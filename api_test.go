@@ -1,0 +1,198 @@
+// api_test.go exercises the public facade end to end, the way a downstream
+// user would drive the library.
+package rebudget_test
+
+import (
+	"math"
+	"testing"
+
+	"rebudget"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	bundle, err := rebudget.Figure3Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := rebudget.NewSetup(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rebudget.ReBudget{Step: 20}.Allocate(setup.Capacity, setup.Players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mechanism != "ReBudget-20" {
+		t.Errorf("mechanism = %s", out.Mechanism)
+	}
+	if out.Efficiency() <= 0 || out.Efficiency() > float64(len(setup.Players)) {
+		t.Errorf("efficiency %g out of range", out.Efficiency())
+	}
+	ef, err := out.EnvyFreeness(setup.Players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef < out.EFBound()-1e-9 {
+		t.Errorf("EF %g below Theorem 2 bound %g", ef, out.EFBound())
+	}
+}
+
+func TestFacadeTheoremHelpers(t *testing.T) {
+	mur, err := rebudget.MUR([]float64{1, 2})
+	if err != nil || mur != 0.5 {
+		t.Errorf("MUR = %g (%v)", mur, err)
+	}
+	mbr, err := rebudget.MBR([]float64{50, 100})
+	if err != nil || mbr != 0.5 {
+		t.Errorf("MBR = %g (%v)", mbr, err)
+	}
+	if got := rebudget.PoALowerBound(1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("PoALowerBound(1) = %g", got)
+	}
+	if got := rebudget.EnvyFreenessBound(1); math.Abs(got-(2*math.Sqrt2-2)) > 1e-12 {
+		t.Errorf("EnvyFreenessBound(1) = %g", got)
+	}
+	floor, err := rebudget.MinMBRForEnvyFreeness(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rebudget.EnvyFreenessBound(floor); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("MinMBRForEnvyFreeness roundtrip = %g", got)
+	}
+}
+
+func TestFacadeCustomMarket(t *testing.T) {
+	// A user-defined market with hand-written utilities.
+	u := rebudget.UtilityFunc(func(a []float64) float64 {
+		return math.Sqrt(a[0]/100) * 0.5
+	})
+	players := []*rebudget.Player{
+		{Name: "a", Utility: u, Budget: 10},
+		{Name: "b", Utility: u, Budget: 30},
+	}
+	m, err := rebudget.NewMarket([]float64{100}, players, rebudget.DefaultMarketConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := m.FindEquilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Converged {
+		t.Error("simple market did not converge")
+	}
+	// 3× the budget buys 3× the single resource.
+	if ratio := eq.Allocations[1][0] / eq.Allocations[0][0]; math.Abs(ratio-3) > 0.01 {
+		t.Errorf("allocation ratio %g, want 3", ratio)
+	}
+}
+
+func TestFacadeCatalogAndClasses(t *testing.T) {
+	cat := rebudget.Catalog()
+	if len(cat) != 24 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	counts := map[rebudget.AppClass]int{}
+	for _, s := range cat {
+		counts[s.Class]++
+	}
+	for _, cl := range []rebudget.AppClass{
+		rebudget.ClassCache, rebudget.ClassPower, rebudget.ClassBoth, rebudget.ClassNone,
+	} {
+		if counts[cl] != 6 {
+			t.Errorf("class %v count %d", cl, counts[cl])
+		}
+	}
+	spec, err := rebudget.LookupApp("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := rebudget.NewAppModel(spec)
+	curve, err := model.AnalyticMissCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := rebudget.NewAppUtility(model, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := u.Value([]float64{15, 20}); v < 0.9 {
+		t.Errorf("mcf near-max utility %g, want ≈1", v)
+	}
+}
+
+func TestFacadeBundleGeneration(t *testing.T) {
+	bundles, err := rebudget.GenerateBundles(8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 12 {
+		t.Fatalf("bundle count %d", len(bundles))
+	}
+	if len(rebudget.Categories()) != 6 {
+		t.Error("category count wrong")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	bundles, err := rebudget.GenerateBundles(4, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rebudget.DefaultSimConfig(4)
+	cfg.Epochs = 4
+	cfg.WarmupEpochs = 2
+	cfg.MaxAccessesPerCoreEpoch = 2000
+	chip, err := rebudget.NewChip(cfg, bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chip.Run(rebudget.EqualBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightedSpeedup <= 0 {
+		t.Error("no throughput measured")
+	}
+	sys := rebudget.NewSystemConfig(4)
+	if sys.PowerBudgetW != 40 {
+		t.Errorf("system config power %g", sys.PowerBudgetW)
+	}
+}
+
+func TestFacadeAllMechanismsAgreeOnShape(t *testing.T) {
+	bundle, err := rebudget.Figure3Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := rebudget.NewSetup(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mechs := []rebudget.Allocator{
+		rebudget.EqualShare{},
+		rebudget.EqualBudget{},
+		rebudget.Balanced{},
+		rebudget.ReBudget{Step: 20},
+		rebudget.ReBudget{MinEnvyFreeness: 0.5},
+		rebudget.MaxEfficiency{},
+	}
+	for _, m := range mechs {
+		out, err := m.Allocate(setup.Capacity, setup.Players)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(out.Allocations) != len(setup.Players) {
+			t.Fatalf("%s: allocation shape", m.Name())
+		}
+		for j, c := range setup.Capacity {
+			total := 0.0
+			for i := range out.Allocations {
+				total += out.Allocations[i][j]
+			}
+			if total > c*(1+1e-6) {
+				t.Errorf("%s over-allocates resource %d: %g > %g", m.Name(), j, total, c)
+			}
+		}
+	}
+}

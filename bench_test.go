@@ -1,0 +1,332 @@
+// bench_test.go holds one benchmark per table/figure of the paper's
+// evaluation (§6), plus micro-benchmarks for the performance-critical
+// substrates and the ablation studies called out in DESIGN.md. Each
+// figure/table bench runs the corresponding experiment kernel end to end;
+// regenerating the full-size datasets is cmd/rebudget-bench's job.
+package rebudget_test
+
+import (
+	"testing"
+
+	"rebudget"
+	"rebudget/internal/cache"
+	"rebudget/internal/cmpsim"
+	"rebudget/internal/core"
+	"rebudget/internal/experiments"
+	"rebudget/internal/market"
+	"rebudget/internal/numeric"
+	"rebudget/internal/trace"
+	"rebudget/internal/workload"
+)
+
+// --- Table 1 ---
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if cfg := rebudget.NewSystemConfig(64); cfg.PowerBudgetW != 640 {
+			b.Fatal("bad config")
+		}
+	}
+}
+
+// --- Figure 1: theory bounds ---
+
+func BenchmarkFig1TheoryBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig1(101)
+		if len(pts) != 101 {
+			b.Fatal("bad point count")
+		}
+	}
+}
+
+// --- Figure 2: cache utility convexification ---
+
+func BenchmarkFig2CacheUtility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 3: per-app lambda under budget reassignment ---
+
+func BenchmarkFig3Lambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 4: phase-1 sweep (efficiency and envy-freeness panels) ---
+
+// sweepOnce runs a reduced sweep (8 cores, one bundle per category) — the
+// same kernel as the full 64-core × 40-bundle dataset.
+func sweepOnce(b *testing.B) *experiments.SweepResult {
+	b.Helper()
+	s, err := experiments.RunSweep(8, 1, 7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkFig4Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sweepOnce(b)
+		if len(s.EfficiencyColumn("ReBudget-40")) != 6 {
+			b.Fatal("bad sweep shape")
+		}
+	}
+}
+
+func BenchmarkFig4EnvyFreeness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sweepOnce(b)
+		if len(s.EnvyColumn("EqualBudget")) != 6 {
+			b.Fatal("bad sweep shape")
+		}
+	}
+}
+
+// --- Figure 5: detailed execution-driven simulation ---
+
+func BenchmarkFig5Simulation(b *testing.B) {
+	cfg := cmpsim.DefaultConfig(4)
+	cfg.Epochs = 4
+	cfg.WarmupEpochs = 2
+	cfg.MaxAccessesPerCoreEpoch = 2000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(cfg, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §6.4 convergence study ---
+
+func BenchmarkConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sweepOnce(b)
+		for _, sum := range s.Summarize() {
+			if sum.Mechanism != "EqualShare" && sum.P95Iterations <= 0 {
+				b.Fatal("missing iteration data")
+			}
+		}
+	}
+}
+
+// --- ablations (DESIGN.md design choices) ---
+
+func BenchmarkAblationTalus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTalus(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBackoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBackoff(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBidOptimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBidOptimizer(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLambdaThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLambdaThreshold(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkMarketEquilibrium8(b *testing.B)  { benchEquilibrium(b, 8) }
+func BenchmarkMarketEquilibrium64(b *testing.B) { benchEquilibrium(b, 64) }
+
+func benchEquilibrium(b *testing.B, cores int) {
+	b.Helper()
+	bundle, err := workload.Generate(workload.CPBN, cores, numeric.NewRand(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var players []*market.Player
+	for i, p := range setup.Players {
+		players = append(players, &market.Player{Name: p.Name, Utility: p.Utility, Budget: 100 + float64(i%3)})
+	}
+	m, err := market.New(setup.Capacity, players, market.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindEquilibrium(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReBudget64(b *testing.B) {
+	bundle, err := workload.Generate(workload.CPBB, 64, numeric.NewRand(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.ReBudget{Step: 20}).Allocate(setup.Capacity, setup.Players); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxEfficiency64(b *testing.B) {
+	bundle, err := workload.Generate(workload.CPBB, 64, numeric.NewRand(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.MaxEfficiency{}).Allocate(setup.Capacity, setup.Players); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.NewPartitioned(cache.Config{CapacityBytes: 4 << 20, Ways: 16, Partitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{
+		{Kind: trace.Geometric, Weight: 0.8, Param: 4096},
+		{Kind: trace.Streaming, Weight: 0.2},
+	}, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(g.Next(), i&15)
+	}
+}
+
+func BenchmarkUMONObserve(b *testing.B) {
+	u, err := cache.NewUMON(16, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{
+		{Kind: trace.Geometric, Weight: 1, Param: 4096},
+	}, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Observe(g.Next())
+	}
+}
+
+func BenchmarkTraceGenerate(b *testing.B) {
+	g := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{
+		{Kind: trace.Geometric, Weight: 0.7, Param: 8192},
+		{Kind: trace.Cyclic, Weight: 0.2, Param: 4096},
+		{Kind: trace.Streaming, Weight: 0.1},
+	}, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkTalusSplit(b *testing.B) {
+	ratio := make([]float64, 17)
+	for r := range ratio {
+		if r < 12 {
+			ratio[r] = 0.8
+		} else {
+			ratio[r] = 0.02
+		}
+	}
+	mc, err := cache.NewMissCurve(ratio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tal, err := cache.NewTalus(mc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tal.Split(float64(i%15) + 0.5)
+	}
+}
+
+func BenchmarkUtilityValue(b *testing.B) {
+	spec, err := rebudget.LookupApp("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := rebudget.NewAppModel(spec)
+	curve, err := m.AnalyticMissCurve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := rebudget.NewAppUtility(m, curve)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := []float64{5.5, 7.25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Value(alloc)
+	}
+}
+
+func BenchmarkThreeResourceEquilibrium(b *testing.B) {
+	bundle, err := workload.Generate(workload.BBNN, 8, numeric.NewRand(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup, err := workload.NewSetupWithBandwidth(bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.EqualBudget{}).Allocate(setup.Capacity, setup.Players); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	cfg := cmpsim.DefaultConfig(8)
+	cfg.Epochs = 4
+	cfg.WarmupEpochs = 2
+	cfg.MaxAccessesPerCoreEpoch = 2000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGranularity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Command marketsim runs a single workload bundle through one allocation
+// mechanism and prints the full market state: budgets, bids, allocations,
+// per-player utilities and marginal utilities, MUR/MBR and the theoretical
+// bounds they imply.
+//
+// Usage:
+//
+//	marketsim -category CPBB -cores 8 -mech rebudget-20
+//	marketsim -fig3 -mech equalbudget
+//	marketsim -category BBPN -cores 64 -mech rebudget -min-ef 0.5 -sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rebudget/internal/cmpsim"
+	"rebudget/internal/core"
+	"rebudget/internal/numeric"
+	"rebudget/internal/workload"
+)
+
+func main() {
+	var (
+		category = flag.String("category", "CPBN", "bundle category (CPBN|CCPP|CPBB|BBNN|BBPN|BBCN)")
+		cores    = flag.Int("cores", 8, "number of cores (multiple of 4)")
+		seed     = flag.Uint64("seed", 1, "bundle selection seed")
+		fig3     = flag.Bool("fig3", false, "use the paper's Figure 3 BBPC bundle (8 cores)")
+		mechName = flag.String("mech", "equalbudget", "mechanism: equalshare|equalbudget|balanced|maxefficiency|rebudget-<step>|rebudget")
+		minEF    = flag.Float64("min-ef", 0, "fairness floor for -mech rebudget (Theorem 2 knob)")
+		sim      = flag.Bool("sim", false, "run the detailed execution-driven simulation instead of the analytic market")
+		bw       = flag.Bool("bw", false, "allocate memory bandwidth as a third resource")
+	)
+	flag.Parse()
+
+	if err := run(*category, *cores, *seed, *fig3, *mechName, *minEF, *sim, *bw); err != nil {
+		fmt.Fprintln(os.Stderr, "marketsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMechanism(name string, minEF float64) (core.Allocator, error) {
+	switch {
+	case name == "equalshare":
+		return core.EqualShare{}, nil
+	case name == "equalbudget":
+		return core.EqualBudget{}, nil
+	case name == "balanced":
+		return core.Balanced{}, nil
+	case name == "maxefficiency":
+		return core.MaxEfficiency{}, nil
+	case name == "rebudget":
+		if minEF <= 0 {
+			return nil, fmt.Errorf("-mech rebudget needs -min-ef")
+		}
+		return core.ReBudget{MinEnvyFreeness: minEF}, nil
+	case strings.HasPrefix(name, "rebudget-"):
+		step, err := strconv.ParseFloat(strings.TrimPrefix(name, "rebudget-"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rebudget step in %q: %w", name, err)
+		}
+		return core.ReBudget{Step: step}, nil
+	default:
+		return nil, fmt.Errorf("unknown mechanism %q", name)
+	}
+}
+
+func run(category string, cores int, seed uint64, fig3 bool, mechName string, minEF float64, sim, bw bool) error {
+	mech, err := parseMechanism(mechName, minEF)
+	if err != nil {
+		return err
+	}
+	var bundle workload.Bundle
+	if fig3 {
+		bundle, err = workload.Figure3Bundle()
+		cores = len(bundle.Apps)
+	} else {
+		bundle, err = workload.Generate(workload.Category(category), cores, numeric.NewRand(seed))
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bundle %s (%d cores):", bundle.Category, cores)
+	for _, a := range bundle.Apps {
+		fmt.Printf(" %s[%s]", a.Name, a.Class)
+	}
+	fmt.Println()
+
+	if sim {
+		cfg := cmpsim.DefaultConfig(cores)
+		cfg.Seed = seed
+		cfg.BandwidthMarket = bw
+		chip, err := cmpsim.NewChip(cfg, bundle)
+		if err != nil {
+			return err
+		}
+		res, err := chip.Run(mech)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndetailed simulation, mechanism %s:\n", res.Mechanism)
+		fmt.Printf("  weighted speedup  %8.3f\n", res.WeightedSpeedup)
+		fmt.Printf("  envy-freeness     %8.3f\n", res.EnvyFreeness)
+		fmt.Printf("  mean iterations   %8.1f\n", res.MeanIterations)
+		fmt.Printf("  avg core power    %7.2f W\n", res.AvgPowerW)
+		fmt.Printf("  max temperature   %7.1f C\n", res.MaxTempC)
+		fmt.Printf("  %-14s %10s\n", "app", "norm perf")
+		for i, a := range bundle.Apps {
+			fmt.Printf("  %-14s %10.3f\n", fmt.Sprintf("%s#%d", a.Name, i), res.NormPerf[i])
+		}
+		return nil
+	}
+
+	var setup *workload.Setup
+	if bw {
+		setup, err = workload.NewSetupWithBandwidth(bundle)
+	} else {
+		setup, err = workload.NewSetup(bundle)
+	}
+	if err != nil {
+		return err
+	}
+	out, err := mech.Allocate(setup.Capacity, setup.Players)
+	if err != nil {
+		return err
+	}
+	ef, err := out.EnvyFreeness(setup.Players)
+	if err != nil {
+		return err
+	}
+	if bw {
+		fmt.Printf("\nmechanism %s (capacity: %.0f regions, %.1f W, %.1f GB/s beyond floors):\n",
+			out.Mechanism, setup.Capacity[0], setup.Capacity[1], setup.Capacity[2])
+	} else {
+		fmt.Printf("\nmechanism %s (capacity: %.0f regions, %.1f W beyond floors):\n",
+			out.Mechanism, setup.Capacity[0], setup.Capacity[1])
+	}
+	fmt.Printf("  efficiency (weighted speedup) %8.3f\n", out.Efficiency())
+	fmt.Printf("  envy-freeness                 %8.3f\n", ef)
+	fmt.Printf("  MUR %6.3f  → PoA bound %6.3f\n", out.MUR, out.PoABound())
+	fmt.Printf("  MBR %6.3f  → EF  bound %6.3f\n", out.MBR, out.EFBound())
+	fmt.Printf("  equilibrium runs %d, total iterations %d, converged %v\n",
+		out.EquilibriumRuns, out.Iterations, out.Converged)
+	header := "  %-14s %8s %10s %10s"
+	cols := []interface{}{"app", "budget", "Δregions", "Δwatts"}
+	if bw {
+		header += " %10s"
+		cols = append(cols, "ΔGB/s")
+	}
+	fmt.Printf(header+" %12s %10s\n", append(cols, "utility", "lambda")...)
+	for i, p := range setup.Players {
+		budget := "-"
+		lambda := "-"
+		if out.Budgets != nil {
+			budget = fmt.Sprintf("%.2f", out.Budgets[i])
+		}
+		if out.Lambdas != nil {
+			lambda = fmt.Sprintf("%.5f", out.Lambdas[i])
+		}
+		fmt.Printf("  %-14s %8s", p.Name, budget)
+		for _, a := range out.Allocations[i] {
+			fmt.Printf(" %10.2f", a)
+		}
+		fmt.Printf(" %12.3f %10s\n", out.Utilities[i], lambda)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Cluster: the market framework is not CMP-specific — any set of players
+// with concave utilities over divisible resources works. This example
+// allocates CPU cores and network bandwidth among datacenter tenants with
+// hand-written utility functions, then uses ReBudget to favour the tenants
+// that benefit most while keeping a provable fairness floor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rebudget"
+)
+
+// tenant models a service's diminishing-returns utility over
+// [cpuCores, gbps]: u = weighted log-saturation per resource.
+type tenant struct {
+	name      string
+	cpuWeight float64 // relative value of CPU
+	netWeight float64 // relative value of bandwidth
+	cpuDemand float64 // cores at which CPU utility saturates
+	netDemand float64 // Gbps at which bandwidth utility saturates
+}
+
+func (t tenant) utility(alloc []float64) float64 {
+	sat := func(x, demand float64) float64 {
+		// log1p-shaped: concave, non-decreasing, ≈1 at the demand point.
+		return math.Log1p(x/demand*(math.E-1)) / 1.0
+	}
+	u := t.cpuWeight*math.Min(1, sat(alloc[0], t.cpuDemand)) +
+		t.netWeight*math.Min(1, sat(alloc[1], t.netDemand))
+	return u / (t.cpuWeight + t.netWeight)
+}
+
+func main() {
+	// 128 cores and 100 Gbps to divide among four tenants.
+	capacity := []float64{128, 100}
+	tenants := []tenant{
+		{name: "web-frontend", cpuWeight: 3, netWeight: 2, cpuDemand: 48, netDemand: 40},
+		{name: "batch-ml", cpuWeight: 5, netWeight: 0.5, cpuDemand: 96, netDemand: 10},
+		{name: "video-cdn", cpuWeight: 0.5, netWeight: 5, cpuDemand: 12, netDemand: 80},
+		{name: "cron-jobs", cpuWeight: 1, netWeight: 1, cpuDemand: 8, netDemand: 5},
+	}
+
+	var players []rebudget.PlayerSpec
+	for _, t := range tenants {
+		t := t
+		players = append(players, rebudget.PlayerSpec{
+			Name:    t.name,
+			Utility: rebudget.UtilityFunc(t.utility),
+			// Balanced uses these to size budgets by potential.
+			MaxAlloc: []float64{t.cpuDemand, t.netDemand},
+			MinAlloc: []float64{0, 0},
+		})
+	}
+
+	for _, mech := range []rebudget.Allocator{
+		rebudget.EqualBudget{},
+		rebudget.ReBudget{MinEnvyFreeness: 0.5},
+		rebudget.MaxEfficiency{},
+	} {
+		out, err := mech.Allocate(capacity, players)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ef, err := out.EnvyFreeness(players)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: welfare %.3f, envy-freeness %.3f\n", out.Mechanism, out.Efficiency(), ef)
+		for i, t := range tenants {
+			budget := "-"
+			if out.Budgets != nil {
+				budget = fmt.Sprintf("%.0f", out.Budgets[i])
+			}
+			fmt.Printf("  %-14s budget %4s → %6.1f cores, %6.1f Gbps (u=%.3f)\n",
+				t.name, budget, out.Allocations[i][0], out.Allocations[i][1], out.Utilities[i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,70 @@
+// Fairnessknob: sweep ReBudget's two knobs — the step size and the
+// administrator's envy-freeness floor — and print the efficiency/fairness
+// frontier they trace (§6.2: "system designers can use the step as a knob
+// to trade off one for the other").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rebudget"
+)
+
+func main() {
+	// The paper's BBPC case-study bundle (§6.1.1) — the category with the
+	// most headroom for budget reassignment. Note that per-bundle results
+	// are not guaranteed monotone in the knob (§3.2); the aggregate trend
+	// across many bundles is (see cmd/rebudget-bench -exp fig4).
+	pick, err := rebudget.Figure3Bundle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup, err := rebudget.NewSetup(pick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("knob 1: step aggressiveness (initial budget cut)")
+	fmt.Printf("%-14s %10s %8s %8s %10s\n", "mechanism", "speedup", "EF", "MBR", "EF bound")
+	base, err := rebudget.EqualBudget{}.Allocate(setup.Capacity, setup.Players)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRow(setup, base)
+	for _, step := range []float64{5, 10, 20, 40, 60} {
+		out, err := rebudget.ReBudget{Step: step}.Allocate(setup.Capacity, setup.Players)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(setup, out)
+	}
+
+	fmt.Println("\nknob 2: administrator's fairness floor (Theorem 2 → MBR floor)")
+	fmt.Printf("%-14s %10s %8s %8s %10s\n", "min EF", "speedup", "EF", "MBR", "EF bound")
+	for _, minEF := range []float64{0.8, 0.6, 0.4, 0.2} {
+		out, err := rebudget.ReBudget{MinEnvyFreeness: minEF}.Allocate(setup.Capacity, setup.Players)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ef, err := out.EnvyFreeness(setup.Players)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if ef < minEF {
+			status = "VIOLATED"
+		}
+		fmt.Printf("%-14.2f %10.3f %8.3f %8.3f %10.3f  %s\n",
+			minEF, out.Efficiency(), ef, out.MBR, out.EFBound(), status)
+	}
+}
+
+func printRow(setup *rebudget.Setup, out *rebudget.Outcome) {
+	ef, err := out.EnvyFreeness(setup.Players)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %10.3f %8.3f %8.3f %10.3f\n",
+		out.Mechanism, out.Efficiency(), ef, out.MBR, out.EFBound())
+}

@@ -1,0 +1,3 @@
+module rebudget
+
+go 1.22

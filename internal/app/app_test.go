@@ -1,0 +1,299 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"rebudget/internal/cache"
+	"rebudget/internal/trace"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 24 {
+		t.Fatalf("catalog has %d applications, want 24 (§5)", len(cat))
+	}
+	counts := map[Class]int{}
+	names := map[string]bool{}
+	for _, s := range cat {
+		if names[s.Name] {
+			t.Errorf("duplicate application name %q", s.Name)
+		}
+		names[s.Name] = true
+		counts[s.Class]++
+		if s.CPIBase < 0.25 || s.CPIBase > 2 {
+			t.Errorf("%s: CPIBase %g outside a plausible 4-wide OoO range", s.Name, s.CPIBase)
+		}
+		if s.API <= 0 || s.API > 0.1 {
+			t.Errorf("%s: API %g implausible", s.Name, s.API)
+		}
+		if s.Activity <= 0 || s.Activity > 1 {
+			t.Errorf("%s: activity %g outside (0,1]", s.Name, s.Activity)
+		}
+		if _, err := trace.New(trace.Config{LineSize: cache.LineSize, Mix: s.Mix}); err != nil {
+			t.Errorf("%s: invalid mixture: %v", s.Name, err)
+		}
+	}
+	for _, c := range []Class{Cache, Power, Both, None} {
+		if counts[c] != 6 {
+			t.Errorf("class %v has %d applications, want 6", c, counts[c])
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Cache.String() != "C" || Power.String() != "P" || Both.String() != "B" || None.String() != "N" {
+		t.Error("class strings wrong")
+	}
+	if Class(42).String() == "" {
+		t.Error("unknown class should produce a diagnostic string")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup("mcf")
+	if err != nil || s.Name != "mcf" || s.Class != Cache {
+		t.Errorf("Lookup(mcf) = %+v, %v", s, err)
+	}
+	if _, err := Lookup("doom"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestByClass(t *testing.T) {
+	m := ByClass()
+	if len(m) != 4 {
+		t.Fatalf("ByClass has %d classes", len(m))
+	}
+	for c, apps := range m {
+		for _, a := range apps {
+			if a.Class != c {
+				t.Errorf("%s filed under %v", a.Name, c)
+			}
+		}
+	}
+}
+
+func mustUtility(t *testing.T, name string) (*Model, *Utility) {
+	t.Helper()
+	spec, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(spec)
+	curve, err := m.AnalyticMissCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUtility(m, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, u
+}
+
+func TestMcfCliffShape(t *testing.T) {
+	m, u := mustUtility(t, "mcf")
+	curve, _ := m.AnalyticMissCurve()
+	// Figure 2: flat and high below 12 regions, low at 12+.
+	if curve.Ratio[6] < 0.7 {
+		t.Errorf("mcf miss at 6 regions = %g, want high (working set not fitting)", curve.Ratio[6])
+	}
+	if curve.Ratio[12] > 0.25 {
+		t.Errorf("mcf miss at 12 regions = %g, want low (1.5 MB fits)", curve.Ratio[12])
+	}
+	raw, hull := u.CacheUtilityCurve()
+	// Raw utility nearly flat from 1..10 regions, then a jump.
+	if raw[9].Y-raw[0].Y > 0.2 {
+		t.Errorf("mcf raw utility should be flat below the cliff: %g → %g", raw[0].Y, raw[9].Y)
+	}
+	if raw[11].Y < 0.8 {
+		t.Errorf("mcf raw utility at 12 regions = %g, want ≈1", raw[11].Y)
+	}
+	// The hull bridges the flat region: strictly above raw at 6 regions.
+	if hull[5].Y < raw[5].Y+0.1 {
+		t.Errorf("talus hull (%g) does not lift the cliff above raw (%g)", hull[5].Y, raw[5].Y)
+	}
+}
+
+func TestVprConcave(t *testing.T) {
+	_, u := mustUtility(t, "vpr")
+	raw, hull := u.CacheUtilityCurve()
+	// vpr's curve is already nearly concave: hull ≈ raw everywhere.
+	for i := range raw {
+		if hull[i].Y-raw[i].Y > 0.05 {
+			t.Errorf("vpr hull deviates from raw at %g regions: %g vs %g",
+				raw[i].X, hull[i].Y, raw[i].Y)
+		}
+	}
+}
+
+func TestUtilityRangeAndMonotonicity(t *testing.T) {
+	for _, name := range []string{"mcf", "vpr", "sixtrack", "swim", "lucas"} {
+		_, u := mustUtility(t, name)
+		maxAlloc := u.MaxUsefulAlloc()
+		prev := -1.0
+		for dc := 0.0; dc <= maxAlloc[0]; dc += 0.5 {
+			v := u.Value([]float64{dc, maxAlloc[1]})
+			if v < prev-1e-9 {
+				t.Errorf("%s: utility decreasing in cache at %g regions", name, dc)
+			}
+			prev = v
+		}
+		prev = -1.0
+		for dp := 0.0; dp <= maxAlloc[1]; dp += 0.25 {
+			v := u.Value([]float64{maxAlloc[0], dp})
+			if v < prev-1e-9 {
+				t.Errorf("%s: utility decreasing in power at %g W", name, dp)
+			}
+			prev = v
+		}
+		// Normalised: full allocation ≈ 1, everything within [0, 1+ε].
+		full := u.Value(maxAlloc)
+		if math.Abs(full-1) > 0.05 {
+			t.Errorf("%s: utility at max alloc = %g, want ≈1", name, full)
+		}
+		if v := u.Value([]float64{0, 0}); v <= 0 || v >= 1 {
+			t.Errorf("%s: floor utility = %g, want in (0,1)", name, v)
+		}
+		// Past the useful maximum the utility saturates.
+		beyond := u.Value([]float64{maxAlloc[0] * 3, maxAlloc[1] * 3})
+		if beyond > full+1e-9 {
+			t.Errorf("%s: utility grew past the useful maximum", name)
+		}
+	}
+}
+
+func TestUtilityConcaveAlongAxes(t *testing.T) {
+	for _, name := range []string{"mcf", "swim", "vpr"} {
+		_, u := mustUtility(t, name)
+		maxAlloc := u.MaxUsefulAlloc()
+		// Cache axis at a fixed mid power.
+		p := maxAlloc[1] / 2
+		var prevSlope = math.Inf(1)
+		for dc := 0.0; dc+1 <= maxAlloc[0]; dc++ {
+			slope := u.Value([]float64{dc + 1, p}) - u.Value([]float64{dc, p})
+			if slope > prevSlope+1e-6 {
+				t.Errorf("%s: cache utility not concave at %g regions (+%g vs +%g)",
+					name, dc, slope, prevSlope)
+			}
+			prevSlope = slope
+		}
+	}
+}
+
+func TestClassSensitivities(t *testing.T) {
+	// Gains are measured as the utility lost when taking one resource away
+	// from the full allocation — the marginal importance of each resource.
+	gains := func(name string) (cacheGain, powerGain float64) {
+		_, u := mustUtility(t, name)
+		maxA := u.MaxUsefulAlloc()
+		full := u.Value(maxA)
+		cacheGain = full - u.Value([]float64{0, maxA[1]})
+		powerGain = full - u.Value([]float64{maxA[0], 0})
+		return
+	}
+	// C apps lose more from losing cache than from losing power.
+	for _, n := range []string{"mcf", "art", "vpr"} {
+		cg, pg := gains(n)
+		if cg < 1.1*pg {
+			t.Errorf("%s (C class): cache gain %g not dominant over power gain %g", n, cg, pg)
+		}
+	}
+	// P apps gain far more from power.
+	for _, n := range []string{"sixtrack", "hmmer", "eon"} {
+		cg, pg := gains(n)
+		if pg < 5*cg {
+			t.Errorf("%s (P class): power gain %g not dominant over cache gain %g", n, pg, cg)
+		}
+	}
+	// B apps gain substantially from both.
+	for _, n := range []string{"swim", "apsi", "equake"} {
+		cg, pg := gains(n)
+		if cg < 0.08 || pg < 0.08 {
+			t.Errorf("%s (B class): gains %g/%g, want both substantial", n, cg, pg)
+		}
+	}
+	// N apps gain little from either.
+	for _, n := range []string{"lucas", "gap", "sjeng"} {
+		cg, pg := gains(n)
+		if cg > 0.15 || pg > 0.35 {
+			t.Errorf("%s (N class): gains %g/%g too large for an insensitive app", n, cg, pg)
+		}
+	}
+}
+
+func TestFloorPowerAffordable(t *testing.T) {
+	// The free floor must be a small fraction of the 10 W per-core budget,
+	// otherwise the market has nothing to allocate.
+	for _, s := range Catalog() {
+		m := NewModel(s)
+		if f := m.FloorPowerW(); f > 2 {
+			t.Errorf("%s: floor power %g W too large", s.Name, f)
+		}
+		if m.MaxPowerW() <= m.FloorPowerW() {
+			t.Errorf("%s: no power headroom", s.Name)
+		}
+	}
+}
+
+func TestTimeModelComposition(t *testing.T) {
+	m := NewModel(Spec{Name: "x", CPIBase: 1.0, API: 0.01, Activity: 1, Mix: []trace.Component{{Kind: trace.Streaming, Weight: 1}}})
+	// At 2 GHz with all misses: 0.5 ns compute + 0.01·75 = 0.75 ns memory.
+	got := m.TimePerInstrNs(1, 2)
+	if math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("TimePerInstrNs = %g, want 1.25", got)
+	}
+	// Zero misses: memory term becomes the L2 hit time.
+	got = m.TimePerInstrNs(0, 2)
+	if math.Abs(got-(0.5+0.01*8)) > 1e-9 {
+		t.Errorf("TimePerInstrNs(hit) = %g", got)
+	}
+	if m.PerfIPS(1, 2) != 1e9/1.25 {
+		t.Errorf("PerfIPS inconsistent with TimePerInstrNs")
+	}
+}
+
+func TestNewUtilityValidation(t *testing.T) {
+	spec, _ := Lookup("vpr")
+	m := NewModel(spec)
+	if _, err := NewUtility(nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	curve, _ := m.AnalyticMissCurve()
+	if _, err := NewUtility(m, curve); err != nil {
+		t.Errorf("valid utility rejected: %v", err)
+	}
+}
+
+func TestUtilityFromMeasuredCurve(t *testing.T) {
+	// Build a utility from a UMON-measured curve and check it agrees with
+	// the analytic one within monitoring error.
+	spec, _ := Lookup("vpr")
+	m := NewModel(spec)
+	analytic, _ := m.AnalyticMissCurve()
+	ua, _ := NewUtility(m, analytic)
+
+	um, _ := cache.NewUMON(MaxRegions, 0)
+	g, err := m.NewTrace(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300000; i++ {
+		um.Observe(g.Next())
+	}
+	um.Reset()
+	for i := 0; i < 300000; i++ {
+		um.Observe(g.Next())
+	}
+	umu, err := NewUtility(m, um.Curve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alloc := range [][]float64{{0, 0}, {3, 2}, {8, 5}, {15, 9}} {
+		a, b := ua.Value(alloc), umu.Value(alloc)
+		if math.Abs(a-b) > 0.12 {
+			t.Errorf("measured vs analytic utility at %v: %g vs %g", alloc, a, b)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package app
+
+import (
+	"testing"
+)
+
+func mustBWUtility(t *testing.T, name string) *BandwidthUtility {
+	t.Helper()
+	spec, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(spec)
+	curve, err := m.AnalyticMissCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewBandwidthUtility(m, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestBandwidthUtilityValidation(t *testing.T) {
+	if _, err := NewBandwidthUtility(nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}
+
+func TestBandwidthUtilityMonotone(t *testing.T) {
+	for _, name := range []string{"mcf", "lucas", "sixtrack"} {
+		u := mustBWUtility(t, name)
+		maxA := u.MaxUsefulAlloc()
+		for dim := 0; dim < 3; dim++ {
+			prev := -1.0
+			for frac := 0.0; frac <= 1.0; frac += 0.1 {
+				alloc := append([]float64(nil), maxA...)
+				alloc[dim] = frac * maxA[dim]
+				v := u.Value(alloc)
+				if v < prev-1e-9 {
+					t.Errorf("%s: utility decreasing along dim %d", name, dim)
+				}
+				prev = v
+			}
+		}
+		full := u.Value(maxA)
+		if full < 0.85 || full > 1.05 {
+			t.Errorf("%s: full-allocation utility %g, want ≈1", name, full)
+		}
+		if v := u.Value(u.MinAlloc()); v <= 0 || v >= full {
+			t.Errorf("%s: floor utility %g out of range", name, v)
+		}
+	}
+}
+
+func TestBandwidthMattersForStreamers(t *testing.T) {
+	// N-class streamers are memory-bandwidth-bound: bandwidth must move
+	// their utility far more than cache does.
+	u := mustBWUtility(t, "lucas")
+	maxA := u.MaxUsefulAlloc()
+	base := u.Value([]float64{0, maxA[1], 0})
+	cacheGain := u.Value([]float64{maxA[0], maxA[1], 0}) - base
+	bwGain := u.Value([]float64{0, maxA[1], maxA[2]}) - base
+	if bwGain < 3*cacheGain {
+		t.Errorf("lucas: bandwidth gain %g not dominant over cache gain %g", bwGain, cacheGain)
+	}
+	if bwGain < 0.05 {
+		t.Errorf("lucas: bandwidth gain %g too small to matter", bwGain)
+	}
+}
+
+func TestBandwidthIrrelevantForComputeBound(t *testing.T) {
+	u := mustBWUtility(t, "sixtrack")
+	maxA := u.MaxUsefulAlloc()
+	base := u.Value([]float64{maxA[0], maxA[1], 0})
+	gain := u.Value(maxA) - base
+	if gain > 0.05 {
+		t.Errorf("sixtrack: bandwidth gain %g should be negligible", gain)
+	}
+}
+
+func TestBandwidthUtilityConcaveInBandwidth(t *testing.T) {
+	u := mustBWUtility(t, "lucas")
+	maxA := u.MaxUsefulAlloc()
+	prevSlope := 1e18
+	step := maxA[2] / 10
+	for b := 0.0; b+step <= maxA[2]; b += step {
+		slope := u.Value([]float64{2, maxA[1], b + step}) - u.Value([]float64{2, maxA[1], b})
+		if slope > prevSlope+1e-6 {
+			t.Errorf("bandwidth utility not concave at %g GB/s (+%g vs +%g)", b, slope, prevSlope)
+		}
+		prevSlope = slope
+	}
+}

@@ -1,0 +1,135 @@
+package app
+
+import (
+	"fmt"
+
+	"rebudget/internal/cache"
+	"rebudget/internal/power"
+	"rebudget/internal/trace"
+)
+
+// Performance-model constants shared by the analytic phase and the detailed
+// simulator. MemLatNs is the uncontended L2-miss service latency
+// (interconnect + DDR3-1600); the simulator replaces it with the live DRAM
+// queueing latency.
+const (
+	DefaultMemLatNs = 75.0
+	DefaultL2HitNs  = 8.0
+	// MaxRegions caps the useful cache allocation at 2 MB (§5.1: UMON
+	// stack distance limited to 16 regions).
+	MaxRegions = 16
+	// RefTempC is the die temperature assumed when building utility
+	// models analytically; the simulator feeds back live temperatures.
+	RefTempC = 70.0
+)
+
+// Model evaluates an application's performance and power on the modelled
+// CMP: execution time per instruction decomposes into a compute phase
+// (CPIBase cycles at frequency f) and a memory phase (API accesses through
+// the L2, misses served by DRAM), following §4.1.1.
+type Model struct {
+	Spec     Spec
+	Power    power.Model
+	MemLatNs float64
+	L2HitNs  float64
+}
+
+// NewModel builds a model with default electrical and memory parameters.
+func NewModel(spec Spec) *Model {
+	return &Model{
+		Spec:     spec,
+		Power:    power.DefaultModel(),
+		MemLatNs: DefaultMemLatNs,
+		L2HitNs:  DefaultL2HitNs,
+	}
+}
+
+// TimePerInstrNs is the expected wall-clock nanoseconds per instruction at
+// the given L2 miss ratio and core frequency.
+func (m *Model) TimePerInstrNs(missRatio, fGHz float64) float64 {
+	compute := m.Spec.CPIBase / fGHz
+	memory := m.Spec.API * (missRatio*m.MemLatNs + (1-missRatio)*m.L2HitNs)
+	return compute + memory
+}
+
+// PerfIPS is throughput in instructions per second.
+func (m *Model) PerfIPS(missRatio, fGHz float64) float64 {
+	return 1e9 / m.TimePerInstrNs(missRatio, fGHz)
+}
+
+// AnalyticMissCurve returns the application's modelled miss-rate curve over
+// 0..MaxRegions regions, derived from its reuse mixture. For a phased
+// application the curve is the access-weighted average of its phases'
+// curves — what long-horizon profiling would observe.
+func (m *Model) AnalyticMissCurve() (*cache.MissCurve, error) {
+	type weighted struct {
+		mix    []trace.Component
+		weight float64
+	}
+	var parts []weighted
+	if len(m.Spec.Phases) > 0 {
+		total := 0.0
+		for _, ph := range m.Spec.Phases {
+			total += float64(ph.Accesses)
+		}
+		for _, ph := range m.Spec.Phases {
+			parts = append(parts, weighted{mix: ph.Mix, weight: float64(ph.Accesses) / total})
+		}
+	} else {
+		parts = []weighted{{mix: m.Spec.Mix, weight: 1}}
+	}
+	ratio := make([]float64, MaxRegions+1)
+	for _, part := range parts {
+		g, err := trace.New(trace.Config{LineSize: cache.LineSize, Mix: part.mix})
+		if err != nil {
+			return nil, fmt.Errorf("app %s: %w", m.Spec.Name, err)
+		}
+		for r := 0; r <= MaxRegions; r++ {
+			ratio[r] += part.weight * g.MissRatio(r*cache.RegionBytes)
+		}
+	}
+	return cache.NewMissCurve(ratio)
+}
+
+// NewTrace returns a fresh access stream for this application, tagged with
+// the given namespace (one per core). Phased applications get a
+// PhasedGenerator.
+func (m *Model) NewTrace(seed uint64, namespace uint8) (trace.Stream, error) {
+	if len(m.Spec.Phases) > 0 {
+		return trace.NewPhased(cache.LineSize, m.Spec.Phases, seed, namespace)
+	}
+	return trace.New(trace.Config{
+		LineSize:  cache.LineSize,
+		Mix:       m.Spec.Mix,
+		Seed:      seed,
+		Namespace: namespace,
+	})
+}
+
+// AlonePerfIPS is the throughput when running alone: the full 2 MB useful
+// cache at maximum frequency. Utilities normalise against it (§4.1.1).
+func (m *Model) AlonePerfIPS(curve *cache.MissCurve) float64 {
+	return m.PerfIPS(curve.At(MaxRegions), power.MaxFreqGHz)
+}
+
+// FloorPowerW is the free minimum power allocation: enough to run at
+// 800 MHz (§4.1).
+func (m *Model) FloorPowerW() float64 {
+	return m.Power.Total(power.MinFreqGHz, m.Spec.Activity, RefTempC)
+}
+
+// MaxPowerW is the power draw at full frequency, the most power this
+// application can usefully consume.
+func (m *Model) MaxPowerW() float64 {
+	return m.Power.Total(power.MaxFreqGHz, m.Spec.Activity, RefTempC)
+}
+
+// FreqAtTotalPowerGHz converts a total per-core power budget into the
+// highest sustainable frequency, clamping into the DVFS range.
+func (m *Model) FreqAtTotalPowerGHz(watts, tempC float64) float64 {
+	f, err := m.Power.FreqAtPower(watts, m.Spec.Activity, tempC)
+	if err != nil {
+		return power.MinFreqGHz
+	}
+	return f
+}

@@ -1,0 +1,207 @@
+// Package app models the 24 SPEC CPU2000/2006 applications of the paper's
+// workload (§5) as parameterised synthetic programs. Each application is a
+// compute phase (base CPI at a given frequency) interleaved with a memory
+// phase (L2 accesses whose reuse behaviour is a trace mixture), the same
+// decomposition XChange's runtime monitor assumes (§4.1.1). Parameters are
+// chosen so each application lands in its paper class — Cache-sensitive (C),
+// Power-sensitive (P), Both (B) or None (N) — and mirrors its namesake's
+// qualitative shape (e.g. mcf's 1.5 MB working-set cliff from Figure 2).
+package app
+
+import (
+	"fmt"
+
+	"rebudget/internal/cache"
+	"rebudget/internal/trace"
+)
+
+// Class is the paper's four-way sensitivity classification (§5).
+type Class int
+
+// Sensitivity classes.
+const (
+	Cache Class = iota // "C": performance governed by L2 allocation
+	Power              // "P": performance governed by frequency
+	Both               // "B": sensitive to cache and power
+	None               // "N": largely insensitive to either
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Cache:
+		return "C"
+	case Power:
+		return "P"
+	case Both:
+		return "B"
+	case None:
+		return "N"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Spec is one application's model parameters.
+type Spec struct {
+	Name  string
+	Class Class
+	// CPIBase is cycles per instruction of the compute phase on the
+	// 4-wide OoO core, excluding L2/memory stalls.
+	CPIBase float64
+	// API is L2 accesses per instruction (the L1 miss rate).
+	API float64
+	// Activity is the dynamic-power activity factor in (0, 1].
+	Activity float64
+	// Mix is the L2 reuse-distance mixture. Cyclic/geometric parameters
+	// are in cache lines (one 128 kB region = 2048 lines).
+	Mix []trace.Component
+	// Phases, when non-empty, overrides Mix with a cyclic sequence of
+	// behavioural phases (§4.3's "application phase changes"): the
+	// stream's reuse profile changes shape mid-run and the per-epoch
+	// monitoring + reallocation must follow it. The analytic miss curve
+	// of a phased application is the access-weighted mix of its phases.
+	Phases []trace.Phase
+}
+
+// reg converts regions to lines for mixture parameters.
+const reg = float64(cache.LinesPerRegion)
+
+// Catalog returns the 24-application workload. The slice is freshly
+// allocated; callers may reorder it.
+func Catalog() []Spec {
+	return []Spec{
+		// --- Cache-sensitive (C) ---
+		{Name: "mcf", Class: Cache, CPIBase: 0.70, API: 0.055, Activity: 0.70, Mix: []trace.Component{
+			// The Figure 2 cliff: a 1.5 MB (12-region) working set.
+			{Kind: trace.Cyclic, Weight: 0.85, Param: 12 * reg},
+			{Kind: trace.Geometric, Weight: 0.10, Param: 0.25 * reg},
+			{Kind: trace.Streaming, Weight: 0.05},
+		}},
+		{Name: "art", Class: Cache, CPIBase: 0.55, API: 0.050, Activity: 0.75, Mix: []trace.Component{
+			{Kind: trace.Cyclic, Weight: 0.80, Param: 8 * reg},
+			{Kind: trace.Geometric, Weight: 0.15, Param: 0.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.05},
+		}},
+		{Name: "twolf", Class: Cache, CPIBase: 0.60, API: 0.042, Activity: 0.75, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.90, Param: 3 * reg},
+			{Kind: trace.Streaming, Weight: 0.10},
+		}},
+		{Name: "vpr", Class: Cache, CPIBase: 0.60, API: 0.040, Activity: 0.75, Mix: []trace.Component{
+			// Smooth concave cache curve (Figure 2).
+			{Kind: trace.Geometric, Weight: 0.92, Param: 2 * reg},
+			{Kind: trace.Streaming, Weight: 0.08},
+		}},
+		{Name: "ammp", Class: Cache, CPIBase: 0.65, API: 0.045, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.85, Param: 4 * reg},
+			{Kind: trace.Streaming, Weight: 0.15},
+		}},
+		{Name: "parser", Class: Cache, CPIBase: 0.60, API: 0.038, Activity: 0.75, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.88, Param: 1.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.12},
+		}},
+
+		// --- Power-sensitive (P) ---
+		{Name: "sixtrack", Class: Power, CPIBase: 0.45, API: 0.002, Activity: 1.00, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.95, Param: 0.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.05},
+		}},
+		{Name: "hmmer", Class: Power, CPIBase: 0.50, API: 0.003, Activity: 0.95, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.95, Param: 0.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.05},
+		}},
+		{Name: "crafty", Class: Power, CPIBase: 0.55, API: 0.004, Activity: 0.90, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.93, Param: 0.7 * reg},
+			{Kind: trace.Streaming, Weight: 0.07},
+		}},
+		{Name: "eon", Class: Power, CPIBase: 0.50, API: 0.003, Activity: 0.90, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.95, Param: 0.4 * reg},
+			{Kind: trace.Streaming, Weight: 0.05},
+		}},
+		{Name: "mesa", Class: Power, CPIBase: 0.60, API: 0.005, Activity: 0.85, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.92, Param: 0.6 * reg},
+			{Kind: trace.Streaming, Weight: 0.08},
+		}},
+		{Name: "gzip", Class: Power, CPIBase: 0.55, API: 0.006, Activity: 0.85, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.90, Param: 0.8 * reg},
+			{Kind: trace.Streaming, Weight: 0.10},
+		}},
+
+		// --- Both-sensitive (B) ---
+		{Name: "swim", Class: Both, CPIBase: 0.50, API: 0.020, Activity: 0.80, Mix: []trace.Component{
+			// A compact working set: swim saturates its cache appetite
+			// quickly, which is what makes it the over-budgeted player
+			// of the paper's Figure 3 case study.
+			{Kind: trace.Cyclic, Weight: 0.70, Param: 2 * reg},
+			{Kind: trace.Geometric, Weight: 0.20, Param: 0.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.10},
+		}},
+		{Name: "apsi", Class: Both, CPIBase: 0.55, API: 0.015, Activity: 0.90, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.80, Param: 2.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.20},
+		}},
+		{Name: "equake", Class: Both, CPIBase: 0.60, API: 0.018, Activity: 0.85, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.75, Param: 3 * reg},
+			{Kind: trace.Streaming, Weight: 0.25},
+		}},
+		{Name: "applu", Class: Both, CPIBase: 0.50, API: 0.016, Activity: 0.90, Mix: []trace.Component{
+			{Kind: trace.Cyclic, Weight: 0.60, Param: 4 * reg},
+			{Kind: trace.Geometric, Weight: 0.25, Param: 1 * reg},
+			{Kind: trace.Streaming, Weight: 0.15},
+		}},
+		{Name: "mgrid", Class: Both, CPIBase: 0.50, API: 0.014, Activity: 0.90, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.80, Param: 2 * reg},
+			{Kind: trace.Streaming, Weight: 0.20},
+		}},
+		{Name: "bzip2", Class: Both, CPIBase: 0.60, API: 0.013, Activity: 0.85, Mix: []trace.Component{
+			{Kind: trace.Geometric, Weight: 0.85, Param: 1.5 * reg},
+			{Kind: trace.Streaming, Weight: 0.15},
+		}},
+
+		// --- Insensitive (N): streaming-bound, cache cannot help and the
+		// memory wall mutes frequency gains ---
+		{Name: "lucas", Class: None, CPIBase: 0.50, API: 0.030, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Streaming, Weight: 0.95},
+			{Kind: trace.Geometric, Weight: 0.05, Param: 0.2 * reg},
+		}},
+		{Name: "gap", Class: None, CPIBase: 0.60, API: 0.026, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Streaming, Weight: 0.90},
+			{Kind: trace.Geometric, Weight: 0.10, Param: 0.2 * reg},
+		}},
+		{Name: "vortex", Class: None, CPIBase: 0.70, API: 0.024, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Streaming, Weight: 0.85},
+			{Kind: trace.Geometric, Weight: 0.15, Param: 0.3 * reg},
+		}},
+		{Name: "sjeng", Class: None, CPIBase: 0.65, API: 0.028, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Streaming, Weight: 0.90},
+			{Kind: trace.Geometric, Weight: 0.10, Param: 0.25 * reg},
+		}},
+		{Name: "wupwise", Class: None, CPIBase: 0.55, API: 0.032, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Streaming, Weight: 0.92},
+			{Kind: trace.Geometric, Weight: 0.08, Param: 0.2 * reg},
+		}},
+		{Name: "gcc", Class: None, CPIBase: 0.70, API: 0.026, Activity: 0.70, Mix: []trace.Component{
+			{Kind: trace.Streaming, Weight: 0.88},
+			{Kind: trace.Geometric, Weight: 0.12, Param: 0.3 * reg},
+		}},
+	}
+}
+
+// ByClass groups the catalog into the four classes.
+func ByClass() map[Class][]Spec {
+	out := map[Class][]Spec{}
+	for _, s := range Catalog() {
+		out[s.Class] = append(out[s.Class], s)
+	}
+	return out
+}
+
+// Lookup finds a catalog application by name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("app: unknown application %q", name)
+}

@@ -1,0 +1,207 @@
+// Package cache implements the shared last-level cache substrate the paper
+// evaluates on: a set-associative, LRU, way-unconstrained cache partitioned
+// at 128 kB "region" granularity by a Futility-Scaling-style controller
+// (Wang & Chen, MICRO 2014), UMON shadow-tag monitors (Qureshi & Patt,
+// MICRO 2006) limited to stack distance 16, and Talus convexification
+// (Beckmann & Sanchez, HPCA 2015) via address-hashed shadow partitions.
+package cache
+
+import "fmt"
+
+// Standard geometry constants used across the reproduction (Table 1).
+const (
+	// LineSize is the L2 line size in bytes.
+	LineSize = 64
+	// RegionBytes is the partitioning granularity (one cache region).
+	RegionBytes = 128 << 10
+	// LinesPerRegion is RegionBytes expressed in lines.
+	LinesPerRegion = RegionBytes / LineSize
+)
+
+// Config sizes a partitioned cache.
+type Config struct {
+	CapacityBytes int // total capacity
+	Ways          int // associativity
+	Partitions    int // number of partition IDs (two per core when Talus is used)
+}
+
+type line struct {
+	tag   uint64
+	owner int32
+	valid bool
+	used  uint64 // global LRU timestamp
+}
+
+// PartitionedCache is a set-associative LRU cache whose replacement policy
+// biases evictions so that per-partition occupancies track per-partition
+// line-count targets, emulating Futility Scaling's fine-grained partition
+// enforcement without per-line futility counters.
+type PartitionedCache struct {
+	cfg       Config
+	sets      int
+	lines     []line // sets × ways
+	clock     uint64
+	occupancy []int     // lines held per partition
+	target    []float64 // line target per partition
+	accesses  uint64
+	misses    uint64
+}
+
+// NewPartitioned validates cfg and builds the cache.
+func NewPartitioned(cfg Config) (*PartitionedCache, error) {
+	if cfg.CapacityBytes <= 0 || cfg.Ways <= 0 || cfg.Partitions <= 0 {
+		return nil, fmt.Errorf("cache: non-positive config %+v", cfg)
+	}
+	linesTotal := cfg.CapacityBytes / LineSize
+	if linesTotal%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: capacity %d not divisible into %d ways", cfg.CapacityBytes, cfg.Ways)
+	}
+	sets := linesTotal / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	c := &PartitionedCache{
+		cfg:       cfg,
+		sets:      sets,
+		lines:     make([]line, linesTotal),
+		occupancy: make([]int, cfg.Partitions),
+		target:    make([]float64, cfg.Partitions),
+	}
+	// Default: equal share.
+	for i := range c.target {
+		c.target[i] = float64(linesTotal) / float64(cfg.Partitions)
+	}
+	return c, nil
+}
+
+// SetTargets installs per-partition line-count targets. Targets may be
+// fractional; their sum should not exceed the cache's line count.
+func (c *PartitionedCache) SetTargets(linesPerPartition []float64) error {
+	if len(linesPerPartition) != c.cfg.Partitions {
+		return fmt.Errorf("cache: %d targets for %d partitions", len(linesPerPartition), c.cfg.Partitions)
+	}
+	total := 0.0
+	for i, t := range linesPerPartition {
+		if t < 0 {
+			return fmt.Errorf("cache: negative target for partition %d", i)
+		}
+		total += t
+	}
+	if total > float64(len(c.lines))*1.0001 {
+		return fmt.Errorf("cache: targets total %.0f lines exceed capacity %d", total, len(c.lines))
+	}
+	copy(c.target, linesPerPartition)
+	return nil
+}
+
+// Access looks up addr on behalf of partition owner, updating replacement
+// state, and reports whether it hit.
+func (c *PartitionedCache) Access(addr uint64, owner int) bool {
+	lineAddr := addr / LineSize
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	c.clock++
+	c.accesses++
+
+	ways := c.lines[base : base+c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.clock
+			// A hit migrates ownership: the line now serves this
+			// partition's reuse. Keeping occupancy in sync matters
+			// when targets shift between epochs.
+			if int(ways[i].owner) != owner {
+				c.occupancy[ways[i].owner]--
+				c.occupancy[owner]++
+				ways[i].owner = int32(owner)
+			}
+			return true
+		}
+	}
+	c.misses++
+	victim := c.chooseVictim(ways, owner)
+	if ways[victim].valid {
+		c.occupancy[ways[victim].owner]--
+	}
+	ways[victim] = line{tag: tag, owner: int32(owner), valid: true, used: c.clock}
+	c.occupancy[owner]++
+	return false
+}
+
+// chooseVictim implements the futility-scaling bias: evict the LRU line of
+// the most over-quota partition present in the set; if every partition in
+// the set is at or under quota, fall back to evicting the requester's own
+// LRU line (if present) or the set's global LRU line.
+func (c *PartitionedCache) chooseVictim(ways []line, requester int) int {
+	bestIdx := -1
+	bestOver := 0.0
+	var bestUsed uint64
+	ownIdx, globalIdx := -1, -1
+	var ownUsed, globalUsed uint64
+	for i := range ways {
+		w := &ways[i]
+		if !w.valid {
+			return i
+		}
+		if globalIdx == -1 || w.used < globalUsed {
+			globalIdx, globalUsed = i, w.used
+		}
+		if int(w.owner) == requester && (ownIdx == -1 || w.used < ownUsed) {
+			ownIdx, ownUsed = i, w.used
+		}
+		over := float64(c.occupancy[w.owner]) - c.target[w.owner]
+		if over > 0 {
+			if bestIdx == -1 || over > bestOver || (over == bestOver && w.used < bestUsed) {
+				bestIdx, bestOver, bestUsed = i, over, w.used
+			}
+		}
+	}
+	// If the requester is over its own quota, it must feed on itself even
+	// when other partitions are also over quota but less so.
+	if float64(c.occupancy[requester]) >= c.target[requester] && ownIdx != -1 {
+		if bestIdx == -1 || int(ways[bestIdx].owner) == requester ||
+			float64(c.occupancy[requester])-c.target[requester] >= bestOver {
+			return ownIdx
+		}
+	}
+	if bestIdx != -1 {
+		return bestIdx
+	}
+	if ownIdx != -1 {
+		return ownIdx
+	}
+	return globalIdx
+}
+
+// Occupancy returns the current line count of each partition.
+func (c *PartitionedCache) Occupancy() []int {
+	out := make([]int, len(c.occupancy))
+	copy(out, c.occupancy)
+	return out
+}
+
+// Stats returns accesses and misses since construction.
+func (c *PartitionedCache) Stats() (accesses, misses uint64) {
+	return c.accesses, c.misses
+}
+
+// ResetStats clears the access/miss counters but keeps cache contents.
+func (c *PartitionedCache) ResetStats() {
+	c.accesses, c.misses = 0, 0
+}
+
+// Sets returns the number of sets.
+func (c *PartitionedCache) Sets() int { return c.sets }
+
+// TotalLines returns the cache capacity in lines.
+func (c *PartitionedCache) TotalLines() int { return len(c.lines) }
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}

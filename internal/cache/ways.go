@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+)
+
+// Partitioner is the contract the simulator needs from a partitioned
+// last-level cache. PartitionedCache (Futility-Scaling-style, 128 kB
+// regions) is the paper's mechanism; WayPartitionedCache (UCP-style strict
+// way quotas) is the coarse-grained alternative the paper's choice of
+// Futility Scaling implicitly argues against, kept for the granularity
+// ablation.
+type Partitioner interface {
+	Access(addr uint64, owner int) bool
+	SetTargets(linesPerPartition []float64) error
+	Occupancy() []int
+	Stats() (accesses, misses uint64)
+	ResetStats()
+	TotalLines() int
+	Sets() int
+}
+
+var (
+	_ Partitioner = (*PartitionedCache)(nil)
+	_ Partitioner = (*WayPartitionedCache)(nil)
+)
+
+// WayPartitionedCache enforces strict per-set way quotas (Qureshi & Patt's
+// UCP enforcement): partition p may hold at most quota[p] lines in any set.
+// Line-count targets quantise to whole ways — with a 64-core 32 MB cache a
+// way is 1 MB, eight regions — which is exactly the granularity loss the
+// paper avoids by adopting Futility Scaling (§4.1.1).
+type WayPartitionedCache struct {
+	cfg       Config
+	sets      int
+	lines     []line
+	clock     uint64
+	quota     []int // ways per partition
+	occupancy []int
+	accesses  uint64
+	misses    uint64
+}
+
+// NewWayPartitioned builds the cache with an initially equal way split.
+func NewWayPartitioned(cfg Config) (*WayPartitionedCache, error) {
+	base, err := NewPartitioned(cfg) // reuse geometry validation
+	if err != nil {
+		return nil, err
+	}
+	c := &WayPartitionedCache{
+		cfg:       cfg,
+		sets:      base.sets,
+		lines:     make([]line, len(base.lines)),
+		quota:     make([]int, cfg.Partitions),
+		occupancy: make([]int, cfg.Partitions),
+	}
+	if cfg.Ways < cfg.Partitions {
+		return nil, fmt.Errorf("cache: %d ways cannot host %d way-partitions", cfg.Ways, cfg.Partitions)
+	}
+	for i := range c.quota {
+		c.quota[i] = cfg.Ways / cfg.Partitions
+	}
+	// Leftover ways go to the first partitions.
+	for i := 0; i < cfg.Ways%cfg.Partitions; i++ {
+		c.quota[i]++
+	}
+	return c, nil
+}
+
+// WayBytes is the capacity of one way — the partitioning granularity.
+func (c *WayPartitionedCache) WayBytes() int {
+	return c.sets * LineSize
+}
+
+// SetTargets quantises line-count targets to whole ways (largest-remainder
+// rounding under the total way budget). Partitions with non-zero targets
+// keep at least one way so no client is starved outright.
+func (c *WayPartitionedCache) SetTargets(linesPerPartition []float64) error {
+	if len(linesPerPartition) != c.cfg.Partitions {
+		return fmt.Errorf("cache: %d targets for %d partitions", len(linesPerPartition), c.cfg.Partitions)
+	}
+	linesPerWay := float64(c.sets)
+	type share struct {
+		idx   int
+		whole int
+		frac  float64
+	}
+	shares := make([]share, len(linesPerPartition))
+	used := 0
+	for i, t := range linesPerPartition {
+		if t < 0 {
+			return fmt.Errorf("cache: negative target for partition %d", i)
+		}
+		ways := t / linesPerWay
+		w := int(math.Floor(ways))
+		if w == 0 && t > 0 {
+			w = 1 // floor guarantee
+		}
+		if w > c.cfg.Ways {
+			w = c.cfg.Ways
+		}
+		shares[i] = share{idx: i, whole: w, frac: ways - math.Floor(ways)}
+		used += w
+	}
+	// Hand out any remaining ways by largest fractional remainder;
+	// claw back overshoot from the smallest remainders.
+	for used < c.cfg.Ways {
+		best := -1
+		for i := range shares {
+			if best == -1 || shares[i].frac > shares[best].frac {
+				best = i
+			}
+		}
+		shares[best].whole++
+		shares[best].frac = 0
+		used++
+	}
+	for used > c.cfg.Ways {
+		worst := -1
+		for i := range shares {
+			if shares[i].whole <= 1 {
+				continue
+			}
+			if worst == -1 || shares[i].frac < shares[worst].frac {
+				worst = i
+			}
+		}
+		if worst == -1 {
+			return fmt.Errorf("cache: cannot fit way quotas into %d ways", c.cfg.Ways)
+		}
+		shares[worst].whole--
+		shares[worst].frac = 1
+		used--
+	}
+	for _, s := range shares {
+		c.quota[s.idx] = s.whole
+	}
+	return nil
+}
+
+// Quotas returns the current per-partition way quotas.
+func (c *WayPartitionedCache) Quotas() []int {
+	return append([]int(nil), c.quota...)
+}
+
+// Access looks up addr for the owner partition under strict way quotas.
+func (c *WayPartitionedCache) Access(addr uint64, owner int) bool {
+	lineAddr := addr / LineSize
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+	c.clock++
+	c.accesses++
+
+	held := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			w.used = c.clock
+			return true
+		}
+		if w.valid && int(w.owner) == owner {
+			held++
+		}
+	}
+	c.misses++
+	victim := -1
+	var victimUsed uint64
+	if held < c.quota[owner] {
+		// Under quota in this set: fill an invalid way, else steal the
+		// LRU line of a partition exceeding its quota here.
+		counts := make(map[int32]int, c.cfg.Partitions)
+		for i := range ways {
+			if !ways[i].valid {
+				victim = i
+				break
+			}
+			counts[ways[i].owner]++
+		}
+		if victim < 0 {
+			for i := range ways {
+				w := &ways[i]
+				if counts[w.owner] > c.quota[w.owner] && (victim < 0 || w.used < victimUsed) {
+					victim, victimUsed = i, w.used
+				}
+			}
+		}
+	}
+	if victim < 0 {
+		// At quota (or nothing to steal): replace own LRU line.
+		for i := range ways {
+			w := &ways[i]
+			if w.valid && int(w.owner) == owner && (victim < 0 || w.used < victimUsed) {
+				victim, victimUsed = i, w.used
+			}
+		}
+	}
+	if victim < 0 {
+		// Quota zero and no stealable line: bypass (count the miss).
+		return false
+	}
+	if ways[victim].valid {
+		c.occupancy[ways[victim].owner]--
+	}
+	ways[victim] = line{tag: tag, owner: int32(owner), valid: true, used: c.clock}
+	c.occupancy[owner]++
+	return false
+}
+
+// Occupancy returns per-partition line counts.
+func (c *WayPartitionedCache) Occupancy() []int {
+	return append([]int(nil), c.occupancy...)
+}
+
+// Stats returns accesses and misses since construction or ResetStats.
+func (c *WayPartitionedCache) Stats() (accesses, misses uint64) {
+	return c.accesses, c.misses
+}
+
+// ResetStats clears counters, keeping contents.
+func (c *WayPartitionedCache) ResetStats() { c.accesses, c.misses = 0, 0 }
+
+// TotalLines returns capacity in lines.
+func (c *WayPartitionedCache) TotalLines() int { return len(c.lines) }
+
+// Sets returns the set count.
+func (c *WayPartitionedCache) Sets() int { return c.sets }

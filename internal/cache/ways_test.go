@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"rebudget/internal/trace"
+)
+
+func TestNewWayPartitionedValidation(t *testing.T) {
+	if _, err := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 4, Partitions: 8}); err == nil {
+		t.Error("more partitions than ways accepted")
+	}
+	c, err := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 16, Partitions: 4})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for i, q := range c.Quotas() {
+		if q != 4 {
+			t.Errorf("initial quota[%d] = %d, want 4", i, q)
+		}
+	}
+}
+
+func TestWayQuotaRounding(t *testing.T) {
+	c, _ := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 16, Partitions: 2})
+	linesPerWay := float64(c.Sets())
+	// 75/25 split in lines quantises to 12/4 ways.
+	if err := c.SetTargets([]float64{0.75 * 16 * linesPerWay, 0.25 * 16 * linesPerWay}); err != nil {
+		t.Fatal(err)
+	}
+	q := c.Quotas()
+	if q[0]+q[1] != 16 {
+		t.Fatalf("quotas %v do not use all ways", q)
+	}
+	if q[0] != 12 || q[1] != 4 {
+		t.Errorf("quotas %v, want [12 4]", q)
+	}
+	// A tiny non-zero target keeps a floor of one way.
+	if err := c.SetTargets([]float64{15.9 * linesPerWay, 0.1 * linesPerWay}); err != nil {
+		t.Fatal(err)
+	}
+	q = c.Quotas()
+	if q[1] < 1 {
+		t.Errorf("floor way lost: %v", q)
+	}
+	if q[0]+q[1] != 16 {
+		t.Errorf("quotas %v do not use all ways", q)
+	}
+	if err := c.SetTargets([]float64{-1, 0}); err == nil {
+		t.Error("negative target accepted")
+	}
+	if err := c.SetTargets([]float64{1}); err == nil {
+		t.Error("wrong target count accepted")
+	}
+}
+
+func TestWayPartitionIsolation(t *testing.T) {
+	// The friendly partition's quota (8 ways = 512 kB) holds its working
+	// set; the streaming partition cannot steal beyond its own 8 ways.
+	c, _ := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 16, Partitions: 2})
+	friendly := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{{Kind: trace.Cyclic, Weight: 1, Param: 2048}}, Seed: 3, Namespace: 1})
+	hostile := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{{Kind: trace.Streaming, Weight: 1}}, Seed: 4, Namespace: 2})
+	for i := 0; i < 200000; i++ {
+		c.Access(friendly.Next(), 0)
+		c.Access(hostile.Next(), 1)
+	}
+	hits := 0
+	const probe = 100000
+	for i := 0; i < probe; i++ {
+		if c.Access(friendly.Next(), 0) {
+			hits++
+		}
+		c.Access(hostile.Next(), 1)
+	}
+	if ratio := float64(hits) / probe; ratio < 0.95 {
+		t.Errorf("friendly hit ratio %g under streaming pressure, want ≥ 0.95", ratio)
+	}
+}
+
+func TestWayPartitionGranularityLoss(t *testing.T) {
+	// The ablation's point: a fractional target (e.g. 2.5 regions) is
+	// unachievable at way granularity. With 16 ways over 1 MB a way is
+	// 64 kB (1024 lines); a 1.5-way target quantises to 1 or 2 ways.
+	c, _ := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 16, Partitions: 2})
+	linesPerWay := float64(c.Sets())
+	if err := c.SetTargets([]float64{1.5 * linesPerWay, 14.5 * linesPerWay}); err != nil {
+		t.Fatal(err)
+	}
+	q := c.Quotas()
+	got := float64(q[0])
+	if got != 1 && got != 2 {
+		t.Fatalf("1.5-way target quantised to %v ways", got)
+	}
+	if math.Abs(got-1.5) < 0.4 {
+		t.Fatalf("test premise broken: quantisation error should be ≥ 0.5 way")
+	}
+}
+
+func TestWayPartitionOccupancyTracksQuota(t *testing.T) {
+	c, _ := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 16, Partitions: 2})
+	linesPerWay := float64(c.Sets())
+	c.SetTargets([]float64{12 * linesPerWay, 4 * linesPerWay})
+	g0 := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{{Kind: trace.Cyclic, Weight: 1, Param: 1 << 16}}, Seed: 1, Namespace: 1})
+	g1 := trace.MustNew(trace.Config{LineSize: 64, Mix: []trace.Component{{Kind: trace.Cyclic, Weight: 1, Param: 1 << 16}}, Seed: 2, Namespace: 2})
+	for i := 0; i < 400000; i++ {
+		c.Access(g0.Next(), 0)
+		c.Access(g1.Next(), 1)
+	}
+	occ := c.Occupancy()
+	frac0 := float64(occ[0]) / float64(c.TotalLines())
+	if math.Abs(frac0-0.75) > 0.05 {
+		t.Errorf("partition 0 occupancy %g of cache, want ≈ 12/16", frac0)
+	}
+}
+
+func TestWayPartitionStatsAndInterfaces(t *testing.T) {
+	c, _ := NewWayPartitioned(Config{CapacityBytes: 1 << 20, Ways: 16, Partitions: 2})
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i)*LineSize, 0)
+	}
+	acc, miss := c.Stats()
+	if acc != 100 || miss != 100 {
+		t.Errorf("stats %d/%d, want 100/100", acc, miss)
+	}
+	c.ResetStats()
+	if a, m := c.Stats(); a != 0 || m != 0 {
+		t.Error("ResetStats failed")
+	}
+	if c.WayBytes() != c.Sets()*LineSize {
+		t.Error("WayBytes inconsistent")
+	}
+	if c.TotalLines() != 1<<20/LineSize {
+		t.Errorf("TotalLines = %d", c.TotalLines())
+	}
+}

@@ -1,0 +1,62 @@
+package cmpsim
+
+import (
+	"testing"
+
+	"rebudget/internal/app"
+	"rebudget/internal/core"
+	"rebudget/internal/numeric"
+	"rebudget/internal/workload"
+)
+
+// TestLargeScalePhysicsSanity runs a 64-core bundle under EqualShare and
+// MaxEfficiency and asserts the physical invariants that once caught a
+// trace-namespace overflow (cores silently sharing address streams made
+// streamers "hit" each other's lines and pushed normalised performance far
+// above 1): streamers must keep missing, nobody beats its stand-alone run
+// materially, and the welfare-optimising reference must not lose to the
+// market-free baseline.
+func TestLargeScalePhysicsSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core simulation is slow")
+	}
+	b, err := workload.Generate(workload.CPBN, 64, numeric.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(64)
+	cfg.Epochs = 8
+
+	run := func(mech core.Allocator) (*Result, *Chip) {
+		chip, err := NewChip(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chip.Run(mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, chip
+	}
+	es, esChip := run(core.EqualShare{})
+	me, _ := run(core.MaxEfficiency{})
+
+	for i, p := range es.NormPerf {
+		if p > 1.15 {
+			t.Errorf("core %d (%s) normalised perf %.2f > 1 — alone reference broken",
+				i, b.Apps[i].Name, p)
+		}
+	}
+	// N-class streamers cannot be served by any cache: their measured miss
+	// ratios must stay high.
+	for i, a := range b.Apps {
+		if a.Class == app.None && esChip.missEst[i] < 0.8 {
+			t.Errorf("streamer %s#%d miss ratio %.2f — address streams may alias",
+				a.Name, i, esChip.missEst[i])
+		}
+	}
+	if me.WeightedSpeedup < es.WeightedSpeedup*0.97 {
+		t.Errorf("MaxEfficiency speedup %.2f clearly below EqualShare %.2f",
+			me.WeightedSpeedup, es.WeightedSpeedup)
+	}
+}

@@ -1,0 +1,235 @@
+package cmpsim
+
+import (
+	"sync"
+
+	"rebudget/internal/app"
+	"rebudget/internal/cache"
+	"rebudget/internal/core"
+	"rebudget/internal/numeric"
+	"rebudget/internal/power"
+)
+
+// runEpoch simulates one allocation interval: every core issues its share
+// of L2 accesses (paced by its current throughput estimate and scaled under
+// the sampling cap), the chip measures per-core miss ratios, retires
+// instructions against the live memory latency, and advances thermals.
+func (c *Chip) runEpoch(measured bool) {
+	n := c.cfg.Cores
+
+	// Trace pacing: per-core access counts proportional to instruction
+	// rate × memory intensity, jointly scaled under the sampling cap.
+	counts := make([]int, n)
+	maxCount := 0
+	rates := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rates[i] = c.instrRate(i) * c.models[i].Spec.API * c.cfg.EpochSeconds
+		if rates[i] > float64(c.cfg.MaxAccessesPerCoreEpoch) {
+			rates[i] = float64(c.cfg.MaxAccessesPerCoreEpoch)
+		}
+	}
+	scale := 1.0
+	top := numeric.Max(rates)
+	if top > float64(c.cfg.MaxAccessesPerCoreEpoch) {
+		scale = float64(c.cfg.MaxAccessesPerCoreEpoch) / top
+	}
+	for i := 0; i < n; i++ {
+		counts[i] = int(rates[i] * scale)
+		if counts[i] > maxCount {
+			maxCount = counts[i]
+		}
+	}
+
+	// Interleave the cores' streams with a Bresenham-style scheduler so
+	// cache pressure is temporally mixed rather than phase-ordered.
+	misses := make([]int, n)
+	credits := make([]int, n)
+	for step := 0; step < maxCount; step++ {
+		for i := 0; i < n; i++ {
+			credits[i] += counts[i]
+			if credits[i] < maxCount {
+				continue
+			}
+			credits[i] -= maxCount
+			addr := c.gens[i].Next()
+			c.umons[i].Observe(addr)
+			if !c.l2.Access(addr, c.shadowFor(i, addr)) {
+				misses[i]++
+				c.bankSim.Access(addr)
+			}
+		}
+	}
+
+	// Measurement: per-core miss ratios and live DRAM latency from the
+	// bank-level model (measured row locality + per-bank queueing; the
+	// sampling scale converts simulated miss counts into real rates).
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			c.missEst[i] = float64(misses[i]) / float64(counts[i])
+		}
+	}
+	sampleScale := 1.0
+	if scale > 0 {
+		sampleScale = 1 / scale
+	}
+	memLat := interconnectNs + c.bankSim.EpochLatencyNs(c.cfg.EpochSeconds, sampleScale)
+	deviceLat := c.bankSim.BaseLatencyNs()
+	c.bankSim.Reset()
+
+	// Retirement and thermals.
+	for i := 0; i < n; i++ {
+		coreLat := memLat
+		if c.cfg.BandwidthMarket {
+			// MemGuard-style enforcement: each core's misses queue on
+			// its own allocated bandwidth share, not the shared pool.
+			demandGBs := float64(misses[i]) * sampleScale * cache.LineSize /
+				c.cfg.EpochSeconds / 1e9
+			bw := c.bwAlloc[i]
+			if bw < app.FloorBandwidthGBs {
+				bw = app.FloorBandwidthGBs
+			}
+			coreLat = interconnectNs + deviceLat*(1+demandGBs/(2*bw))
+		}
+		perf := c.perfIPS(i, c.missEst[i], coreLat)
+		if measured {
+			c.instructions[i] += perf * c.cfg.EpochSeconds
+		}
+		draw := c.models[i].Power.Total(c.freq[i], c.models[i].Spec.Activity, c.therm[i].Temp())
+		c.therm[i].Update(draw, c.cfg.EpochSeconds)
+	}
+	c.enforcePowerBudget()
+	if measured {
+		c.elapsed += c.cfg.EpochSeconds
+	}
+}
+
+// enforcePowerBudget is the RAPL-style chip governor: frequencies are set
+// from per-core budgets at allocation time, but leakage grows with the
+// temperatures that develop *between* allocations, so the measured draw can
+// drift above the chip TDP. When it does, every core's effective power
+// budget is scaled back proportionally and its frequency re-derived at the
+// live temperature. Returns whether a throttle happened.
+func (c *Chip) enforcePowerBudget() bool {
+	total := 0.0
+	for i := range c.models {
+		total += c.models[i].Power.Total(c.freq[i], c.models[i].Spec.Activity, c.therm[i].Temp())
+	}
+	if total <= c.sys.PowerBudgetW {
+		return false
+	}
+	scale := c.sys.PowerBudgetW / total
+	for i := range c.models {
+		c.freq[i] = c.models[i].FreqAtTotalPowerGHz(c.wattsBudg[i]*scale, c.therm[i].Temp())
+	}
+	c.throttles++
+	return true
+}
+
+// reallocate invokes the mechanism on the freshly monitored utilities and
+// installs the resulting allocation.
+func (c *Chip) reallocate(alloc core.Allocator) error {
+	players, _, err := c.buildPlayers()
+	if err != nil {
+		return err
+	}
+	out, err := alloc.Allocate(c.marketCapacity(), players)
+	if err != nil {
+		return err
+	}
+	c.lastOutcome = out
+	c.iterSum += out.Iterations
+	c.reallocs++
+	c.applyAllocation(out.Allocations)
+	// Drain epoch counters; shadow tags stay warm (§4.1.1 monitors run
+	// continuously).
+	for _, u := range c.umons {
+		u.Reset()
+	}
+	return nil
+}
+
+// Run simulates the bundle under the given mechanism and returns the
+// result. Stand-alone reference throughputs are simulated on demand and
+// cached process-wide (they are mechanism-independent).
+func (c *Chip) Run(alloc core.Allocator) (*Result, error) {
+	return c.RunWithSwitches(alloc, nil)
+}
+
+// --- stand-alone reference runs ---
+
+type aloneKey struct {
+	name    string
+	l2Bytes int
+	l2Ways  int
+}
+
+var (
+	aloneMu    sync.Mutex
+	aloneCache = map[aloneKey]float64{}
+)
+
+// alonePerfIPS simulates the application truly alone — the entire shared L2
+// to itself at full frequency (§4.1.1: "running alone and thus owns all the
+// resources") — and returns steady-state instructions per second. The run
+// warms the cache until the measured miss ratio stabilises, then averages a
+// few measurement epochs. Results are cached per (app name, cache
+// geometry); custom specs should therefore carry unique names.
+func alonePerfIPS(spec app.Spec, sys SystemConfig) (float64, error) {
+	key := aloneKey{name: spec.Name, l2Bytes: sys.L2CapacityBytes, l2Ways: sys.L2Ways}
+	aloneMu.Lock()
+	if v, ok := aloneCache[key]; ok {
+		aloneMu.Unlock()
+		return v, nil
+	}
+	aloneMu.Unlock()
+
+	m := app.NewModel(spec)
+	l2, err := cache.NewPartitioned(cache.Config{
+		CapacityBytes: sys.L2CapacityBytes,
+		Ways:          sys.L2Ways,
+		Partitions:    1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	g, err := m.NewTrace(0xA10E, 0)
+	if err != nil {
+		return 0, err
+	}
+	const (
+		epochAccesses = 8192
+		maxEpochs     = 400
+		stableTol     = 0.002
+		stableNeed    = 3
+		measureEpochs = 3
+	)
+	epochMiss := func() float64 {
+		miss := 0
+		for k := 0; k < epochAccesses; k++ {
+			if !l2.Access(g.Next(), 0) {
+				miss++
+			}
+		}
+		return float64(miss) / float64(epochAccesses)
+	}
+	prev := epochMiss()
+	stable := 0
+	for e := 0; e < maxEpochs && stable < stableNeed; e++ {
+		cur := epochMiss()
+		if cur-prev < stableTol && prev-cur < stableTol {
+			stable++
+		} else {
+			stable = 0
+		}
+		prev = cur
+	}
+	sum := 0.0
+	for e := 0; e < measureEpochs; e++ {
+		sum += epochMiss()
+	}
+	perf := m.PerfIPS(sum/measureEpochs, power.MaxFreqGHz)
+	aloneMu.Lock()
+	aloneCache[key] = perf
+	aloneMu.Unlock()
+	return perf, nil
+}

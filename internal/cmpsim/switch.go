@@ -1,0 +1,138 @@
+package cmpsim
+
+import (
+	"fmt"
+	"sort"
+
+	"rebudget/internal/app"
+	"rebudget/internal/core"
+)
+
+// SwitchEvent schedules a context switch: at the start of measured epoch
+// Epoch, core Core begins running application App instead of its current
+// one. The §4.3 motivation for re-running the allocator every millisecond
+// is exactly this: resource demands change when the OS switches contexts,
+// and the next epoch's monitoring + reallocation must adapt.
+type SwitchEvent struct {
+	Epoch int
+	Core  int
+	App   string
+}
+
+// SwitchApp replaces the application running on a core immediately: a
+// fresh trace (new address space), a cleared utility monitor, and a
+// pessimistic miss estimate until the next epoch measures the newcomer.
+// The core's current resource allocation is kept until the allocator next
+// runs, as on real hardware.
+func (c *Chip) SwitchApp(coreID int, spec app.Spec) error {
+	if coreID < 0 || coreID >= c.cfg.Cores {
+		return fmt.Errorf("cmpsim: core %d out of range", coreID)
+	}
+	m := app.NewModel(spec)
+	g, err := m.NewTrace(c.cfg.Seed^(uint64(coreID)<<32)^0x515c, uint8(coreID))
+	if err != nil {
+		return err
+	}
+	c.bundle.Apps[coreID] = spec
+	c.models[coreID] = m
+	c.gens[coreID] = g
+	c.umons[coreID].Clear()
+	c.floorW[coreID] = m.FloorPowerW()
+	c.missEst[coreID] = 1
+	// Throughput accounting restarts for the new process; the residual
+	// instruction count belongs to the departed application.
+	c.instructions[coreID] = 0
+	return nil
+}
+
+// RunWithSwitches is Run with scheduled context switches. Normalised
+// performance for a switched core is reported against the application that
+// finishes the run on it, measured from its arrival epoch.
+func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*Result, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("cmpsim: nil allocator")
+	}
+	if c.ran {
+		// A chip accumulates cache, thermal and accounting state; a second
+		// run would silently mix measurements. Build a fresh chip instead.
+		return nil, fmt.Errorf("cmpsim: chip already ran; construct a new chip per run")
+	}
+	c.ran = true
+	evs := append([]SwitchEvent(nil), switches...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Epoch < evs[j].Epoch })
+	for _, e := range evs {
+		if e.Epoch < 0 || e.Epoch >= c.cfg.Epochs {
+			return nil, fmt.Errorf("cmpsim: switch epoch %d outside run of %d epochs", e.Epoch, c.cfg.Epochs)
+		}
+		if _, err := app.Lookup(e.App); err != nil {
+			return nil, err
+		}
+	}
+	arrival := make([]int, c.cfg.Cores) // measured epoch each core's final app arrived
+
+	for e := 0; e < c.cfg.WarmupEpochs; e++ {
+		c.runEpoch(false)
+	}
+	next := 0
+	for e := 0; e < c.cfg.Epochs; e++ {
+		for next < len(evs) && evs[next].Epoch == e {
+			spec, err := app.Lookup(evs[next].App)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.SwitchApp(evs[next].Core, spec); err != nil {
+				return nil, err
+			}
+			arrival[evs[next].Core] = e
+			next++
+		}
+		if e%c.cfg.ReallocEvery == 0 {
+			if err := c.reallocate(alloc); err != nil {
+				return nil, err
+			}
+		}
+		c.runEpoch(true)
+	}
+
+	res := &Result{
+		Mechanism: alloc.Name(),
+		NormPerf:  make([]float64, c.cfg.Cores),
+	}
+	maxTemp, totalPower := 0.0, 0.0
+	for i := 0; i < c.cfg.Cores; i++ {
+		alone, err := alonePerfIPS(c.bundle.Apps[i], c.sys)
+		if err != nil {
+			return nil, err
+		}
+		span := float64(c.cfg.Epochs-arrival[i]) * c.cfg.EpochSeconds
+		achieved := c.instructions[i] / span
+		res.NormPerf[i] = achieved / alone
+		res.WeightedSpeedup += res.NormPerf[i]
+		t := c.therm[i].Temp()
+		if t > maxTemp {
+			maxTemp = t
+		}
+		totalPower += c.models[i].Power.Total(c.freq[i], c.models[i].Spec.Activity, t)
+	}
+	res.MaxTempC = maxTemp
+	res.AvgPowerW = totalPower / float64(c.cfg.Cores)
+	res.ThrottleEpochs = c.throttles
+	res.FinalOutcome = c.lastOutcome
+	if c.reallocs > 0 {
+		res.MeanIterations = float64(c.iterSum) / float64(c.reallocs)
+	}
+	if c.lastOutcome != nil {
+		_, utils, err := c.buildPlayers()
+		if err != nil {
+			return nil, err
+		}
+		ef, err := envyFreenessOf(utils, c.lastOutcome.Allocations)
+		if err != nil {
+			return nil, err
+		}
+		res.EnvyFreeness = ef
+	} else {
+		res.EnvyFreeness = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,253 @@
+// Package core implements the paper's contribution — the ReBudget runtime
+// budget-reassignment algorithm (§4.2) — together with the competing
+// mechanisms it is evaluated against (§6): EqualShare, XChange-EqualBudget,
+// XChange-Balanced and the infeasible MaxEfficiency search.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rebudget/internal/market"
+	"rebudget/internal/metrics"
+)
+
+// InitialBudget is every player's starting budget in the evaluation (§6).
+const InitialBudget = 100.0
+
+// PlayerSpec describes one allocation client.
+type PlayerSpec struct {
+	Name    string
+	Utility market.Utility
+	// MaxAlloc / MinAlloc are the per-player maximum and minimum
+	// meaningful allocations (2 MB + 4.0 GHz vs 128 kB + 800 MHz in the
+	// multicore instantiation). XChange-Balanced uses them to size
+	// budgets; they default to the full capacity and zero respectively.
+	MaxAlloc []float64
+	MinAlloc []float64
+	// BudgetWeight scales the budget this player receives from
+	// budget-assigning mechanisms (EqualBudget, Balanced, ReBudget).
+	// Zero means 1. A k-thread application coalition carries weight k so
+	// that "equal budget" keeps meaning equal budget *per core* (§5).
+	BudgetWeight float64
+}
+
+// weight returns the effective budget weight.
+func (p PlayerSpec) weight() float64 {
+	if p.BudgetWeight <= 0 {
+		return 1
+	}
+	return p.BudgetWeight
+}
+
+// Outcome is the result of running an allocation mechanism.
+type Outcome struct {
+	Mechanism   string
+	Allocations [][]float64 // player × resource
+	Utilities   []float64
+	Budgets     []float64 // nil for non-market mechanisms
+	Lambdas     []float64 // nil for non-market mechanisms
+	MUR         float64   // NaN when not applicable
+	MBR         float64   // NaN when not applicable
+	// Iterations counts bidding–pricing rounds summed over every
+	// equilibrium run the mechanism performed; EquilibriumRuns counts the
+	// runs themselves (ReBudget re-converges after each budget cut).
+	Iterations      int
+	EquilibriumRuns int
+	Converged       bool
+}
+
+// Efficiency is the social welfare of the outcome (weighted speedup).
+func (o *Outcome) Efficiency() float64 { return metrics.Efficiency(o.Utilities) }
+
+// EnvyFreeness evaluates Definition 3 for the outcome against the players
+// that produced it.
+func (o *Outcome) EnvyFreeness(players []PlayerSpec) (float64, error) {
+	return metrics.EnvyFreeness(len(players), func(i int, alloc []float64) float64 {
+		return players[i].Utility.Value(alloc)
+	}, o.Allocations)
+}
+
+// PoABound returns the Theorem 1 efficiency guarantee implied by the
+// outcome's MUR, or NaN for non-market outcomes.
+func (o *Outcome) PoABound() float64 {
+	if math.IsNaN(o.MUR) {
+		return math.NaN()
+	}
+	return metrics.PoALowerBound(o.MUR)
+}
+
+// EFBound returns the Theorem 2 fairness guarantee implied by the outcome's
+// MBR, or NaN for non-market outcomes.
+func (o *Outcome) EFBound() float64 {
+	if math.IsNaN(o.MBR) {
+		return math.NaN()
+	}
+	return metrics.EnvyFreenessBound(o.MBR)
+}
+
+// Allocator is a resource-allocation mechanism.
+type Allocator interface {
+	Name() string
+	Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error)
+}
+
+func validate(capacity []float64, players []PlayerSpec) error {
+	if len(capacity) == 0 {
+		return fmt.Errorf("core: no resources")
+	}
+	if len(players) < 2 {
+		return fmt.Errorf("core: need at least 2 players, got %d", len(players))
+	}
+	for i, p := range players {
+		if p.Utility == nil {
+			return fmt.Errorf("core: player %d (%s) missing utility", i, p.Name)
+		}
+	}
+	return nil
+}
+
+// EqualShare partitions every resource evenly among players, the
+// market-free baseline of §6.
+type EqualShare struct{}
+
+// Name implements Allocator.
+func (EqualShare) Name() string { return "EqualShare" }
+
+// Allocate implements Allocator.
+func (EqualShare) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error) {
+	if err := validate(capacity, players); err != nil {
+		return nil, err
+	}
+	n := len(players)
+	out := &Outcome{
+		Mechanism:   "EqualShare",
+		Allocations: make([][]float64, n),
+		Utilities:   make([]float64, n),
+		MUR:         math.NaN(),
+		MBR:         math.NaN(),
+		Converged:   true,
+	}
+	for i, p := range players {
+		out.Allocations[i] = make([]float64, len(capacity))
+		for j, c := range capacity {
+			out.Allocations[i][j] = c / float64(n)
+		}
+		out.Utilities[i] = p.Utility.Value(out.Allocations[i])
+	}
+	return out, nil
+}
+
+// marketOutcome runs one equilibrium with the given budgets and wraps it.
+func marketOutcome(name string, capacity []float64, players []PlayerSpec,
+	budgets []float64, cfg market.Config) (*Outcome, error) {
+	mp := make([]*market.Player, len(players))
+	for i, p := range players {
+		mp[i] = &market.Player{Name: p.Name, Utility: p.Utility, Budget: budgets[i]}
+	}
+	m, err := market.New(capacity, mp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eq, err := m.FindEquilibrium()
+	if err != nil {
+		return nil, err
+	}
+	mur, err := metrics.MUR(eq.Lambdas)
+	if err != nil {
+		return nil, err
+	}
+	mbr, err := metrics.MBR(budgets)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Mechanism:       name,
+		Allocations:     eq.Allocations,
+		Utilities:       eq.Utilities,
+		Budgets:         append([]float64(nil), budgets...),
+		Lambdas:         eq.Lambdas,
+		MUR:             mur,
+		MBR:             mbr,
+		Iterations:      eq.Iterations,
+		EquilibriumRuns: 1,
+		Converged:       eq.Converged,
+	}, nil
+}
+
+// EqualBudget is the XChange baseline: a market where every player holds
+// the same budget.
+type EqualBudget struct {
+	Market market.Config
+}
+
+// Name implements Allocator.
+func (EqualBudget) Name() string { return "EqualBudget" }
+
+// Allocate implements Allocator.
+func (a EqualBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error) {
+	if err := validate(capacity, players); err != nil {
+		return nil, err
+	}
+	budgets := make([]float64, len(players))
+	for i := range budgets {
+		budgets[i] = players[i].weight() * InitialBudget
+	}
+	return marketOutcome("EqualBudget", capacity, players, budgets, a.Market)
+}
+
+// Balanced is XChange's wealth-redistribution baseline: each player's
+// budget is proportional to its performance "potential", the utility gap
+// between its maximum and minimum possible allocations normalised to the
+// former (§6).
+type Balanced struct {
+	Market market.Config
+}
+
+// Name implements Allocator.
+func (Balanced) Name() string { return "Balanced" }
+
+// Allocate implements Allocator.
+func (a Balanced) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error) {
+	if err := validate(capacity, players); err != nil {
+		return nil, err
+	}
+	n := len(players)
+	weights := make([]float64, n)
+	sum := 0.0
+	for i, p := range players {
+		maxAlloc := p.MaxAlloc
+		if maxAlloc == nil {
+			maxAlloc = capacity
+		}
+		minAlloc := p.MinAlloc
+		if minAlloc == nil {
+			minAlloc = make([]float64, len(capacity))
+		}
+		umax := p.Utility.Value(maxAlloc)
+		umin := p.Utility.Value(minAlloc)
+		w := 0.0
+		if umax > 0 {
+			w = (umax - umin) / umax
+		}
+		if w < 0 {
+			w = 0
+		}
+		w *= p.weight()
+		weights[i] = w
+		sum += w
+	}
+	budgets := make([]float64, n)
+	if sum == 0 {
+		for i := range budgets {
+			budgets[i] = InitialBudget
+		}
+	} else {
+		for i := range budgets {
+			// Mean budget stays at InitialBudget so prices remain
+			// comparable with EqualBudget.
+			budgets[i] = weights[i] / sum * InitialBudget * float64(n)
+		}
+	}
+	return marketOutcome("Balanced", capacity, players, budgets, a.Market)
+}

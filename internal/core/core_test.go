@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rebudget/internal/market"
+)
+
+// satUtility is a concave saturating utility: u = min(1, Σⱼ wⱼ·fracⱼ/satⱼ)
+// where fracⱼ is the share of resource j obtained. A player with a small
+// saturation point is easily satisfied (its λ collapses to ~0 once
+// saturated), which is exactly the over-budgeted behaviour ReBudget exploits.
+type satUtility struct {
+	weights  []float64
+	sat      []float64
+	capacity []float64
+}
+
+func (u satUtility) Value(alloc []float64) float64 {
+	s := 0.0
+	for j := range u.weights {
+		frac := alloc[j] / u.capacity[j]
+		v := frac / u.sat[j]
+		if v > 1 {
+			v = 1
+		}
+		s += u.weights[j] * v
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+var testCapacity = []float64{100, 100}
+
+// heterogeneousPlayers builds a market where ReBudget clearly helps: two
+// easily-satisfied players and two hungry ones.
+func heterogeneousPlayers() []PlayerSpec {
+	mk := func(name string, sat0, sat1 float64) PlayerSpec {
+		return PlayerSpec{
+			Name: name,
+			Utility: satUtility{
+				weights:  []float64{0.5, 0.5},
+				sat:      []float64{sat0, sat1},
+				capacity: testCapacity,
+			},
+		}
+	}
+	return []PlayerSpec{
+		mk("sated-a", 0.15, 0.15),
+		mk("sated-b", 0.20, 0.20),
+		mk("hungry-a", 1.0, 1.0),
+		mk("hungry-b", 0.9, 0.9),
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	out, err := EqualShare{}.Allocate(testCapacity, heterogeneousPlayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Allocations {
+		for j, c := range testCapacity {
+			if math.Abs(out.Allocations[i][j]-c/4) > 1e-12 {
+				t.Errorf("player %d resource %d = %g, want %g", i, j, out.Allocations[i][j], c/4)
+			}
+		}
+	}
+	if !math.IsNaN(out.MUR) || !math.IsNaN(out.MBR) {
+		t.Error("EqualShare should not report market metrics")
+	}
+	if !math.IsNaN(out.PoABound()) || !math.IsNaN(out.EFBound()) {
+		t.Error("bounds should be NaN for non-market mechanisms")
+	}
+	if out.Efficiency() <= 0 {
+		t.Error("efficiency should be positive")
+	}
+}
+
+func TestAllocatorValidation(t *testing.T) {
+	players := heterogeneousPlayers()
+	for _, a := range []Allocator{EqualShare{}, EqualBudget{}, Balanced{}, ReBudget{Step: 20}, MaxEfficiency{}} {
+		if _, err := a.Allocate(nil, players); err == nil {
+			t.Errorf("%s accepted empty capacity", a.Name())
+		}
+		if _, err := a.Allocate(testCapacity, players[:1]); err == nil {
+			t.Errorf("%s accepted single player", a.Name())
+		}
+		bad := []PlayerSpec{{Name: "x"}, {Name: "y"}}
+		if _, err := a.Allocate(testCapacity, bad); err == nil {
+			t.Errorf("%s accepted players without utilities", a.Name())
+		}
+	}
+}
+
+func TestEqualBudgetProperties(t *testing.T) {
+	out, err := EqualBudget{}.Allocate(testCapacity, heterogeneousPlayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MBR != 1 {
+		t.Errorf("EqualBudget MBR = %g, want 1", out.MBR)
+	}
+	if !out.Converged {
+		t.Error("market did not converge")
+	}
+	for _, b := range out.Budgets {
+		if b != InitialBudget {
+			t.Errorf("budget %g, want %g", b, InitialBudget)
+		}
+	}
+	// Zhang's Lemma 3: ≈0.828-approximate envy-free at worst.
+	ef, err := out.EnvyFreeness(heterogeneousPlayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef < out.EFBound()-1e-9 {
+		t.Errorf("EqualBudget EF %g below Theorem 2 bound %g", ef, out.EFBound())
+	}
+}
+
+func TestMaxEfficiencyDominates(t *testing.T) {
+	players := heterogeneousPlayers()
+	maxEff, err := MaxEfficiency{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Allocator{EqualShare{}, EqualBudget{}, Balanced{}, ReBudget{Step: 20}} {
+		out, err := a.Allocate(testCapacity, players)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if out.Efficiency() > maxEff.Efficiency()+0.02 {
+			t.Errorf("%s efficiency %g exceeds MaxEfficiency %g",
+				a.Name(), out.Efficiency(), maxEff.Efficiency())
+		}
+	}
+}
+
+func TestMaxEfficiencyStarvesSatedPlayers(t *testing.T) {
+	players := heterogeneousPlayers()
+	out, err := MaxEfficiency{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sated players should get roughly their saturation share and no more.
+	if out.Allocations[0][0] > 30 {
+		t.Errorf("sated player got %g of resource 0, expected ≈15", out.Allocations[0][0])
+	}
+	// All capacity is handed out.
+	for j := range testCapacity {
+		total := 0.0
+		for i := range players {
+			total += out.Allocations[i][j]
+		}
+		if math.Abs(total-testCapacity[j]) > 1e-6 {
+			t.Errorf("resource %d total %g, want %g", j, total, testCapacity[j])
+		}
+	}
+}
+
+func TestReBudgetImprovesEfficiency(t *testing.T) {
+	players := heterogeneousPlayers()
+	eq, err := EqualBudget{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReBudget{Step: 40}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Efficiency() < eq.Efficiency()-1e-9 {
+		t.Errorf("ReBudget-40 efficiency %g below EqualBudget %g", rb.Efficiency(), eq.Efficiency())
+	}
+	if rb.MUR < eq.MUR-1e-9 {
+		t.Errorf("ReBudget-40 MUR %g did not improve on EqualBudget %g", rb.MUR, eq.MUR)
+	}
+	if rb.MBR >= 1 {
+		t.Error("ReBudget should have cut someone's budget")
+	}
+	// The sated players must be the ones cut.
+	if rb.Budgets[0] >= rb.Budgets[2] {
+		t.Errorf("sated player budget %g should be below hungry player %g",
+			rb.Budgets[0], rb.Budgets[2])
+	}
+}
+
+func TestReBudgetKnobMonotonicity(t *testing.T) {
+	players := heterogeneousPlayers()
+	r20, err := ReBudget{Step: 20}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r40, err := ReBudget{Step: 40}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: budget re-assignment does not *guarantee* efficiency gains;
+	// allow hill-climb-level noise while catching real regressions.
+	if r40.Efficiency() < r20.Efficiency()-0.05 {
+		t.Errorf("more aggressive step lost efficiency: %g vs %g", r40.Efficiency(), r20.Efficiency())
+	}
+	if r40.MBR > r20.MBR+1e-9 {
+		t.Errorf("more aggressive step should reduce MBR: %g vs %g", r40.MBR, r20.MBR)
+	}
+	ef20, _ := r20.EnvyFreeness(players)
+	ef40, _ := r40.EnvyFreeness(players)
+	if ef40 > ef20+0.05 {
+		t.Errorf("aggressiveness should not improve fairness: EF40=%g EF20=%g", ef40, ef20)
+	}
+}
+
+func TestReBudgetRespectsMBRFloor(t *testing.T) {
+	players := heterogeneousPlayers()
+	out, err := ReBudget{Step: 40, MBRFloor: 0.7}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out.Budgets {
+		if b < 0.7*InitialBudget-1e-9 {
+			t.Errorf("player %d budget %g below floor 70", i, b)
+		}
+	}
+	if out.MBR < 0.7-1e-9 {
+		t.Errorf("MBR %g below floor", out.MBR)
+	}
+}
+
+func TestReBudgetFairnessGuarantee(t *testing.T) {
+	// §4.2: set a fairness target, derive MBR via Theorem 2, and the
+	// resulting equilibrium must satisfy the guarantee.
+	players := heterogeneousPlayers()
+	out, err := ReBudget{MinEnvyFreeness: 0.5}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := out.EnvyFreeness(players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef < 0.5-1e-9 {
+		t.Errorf("envy-freeness %g violates the 0.5 guarantee", ef)
+	}
+	if out.EFBound() < 0.5-1e-9 {
+		t.Errorf("EFBound %g below requested level", out.EFBound())
+	}
+}
+
+func TestReBudgetDerivedFloorMatchesPaper(t *testing.T) {
+	// ReBudget-20 stops after cuts 20+10+5+2.5+1.25 = 38.75, so the
+	// lowest possible budget is 61.25 (§6.1.3).
+	cfg, err := ReBudget{Step: 20}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.MBRFloor-0.6125) > 1e-9 {
+		t.Errorf("derived MBR floor = %g, want 0.6125", cfg.MBRFloor)
+	}
+}
+
+func TestReBudgetConfigValidation(t *testing.T) {
+	players := heterogeneousPlayers()
+	if _, err := (ReBudget{}).Allocate(testCapacity, players); err == nil {
+		t.Error("ReBudget without any knob accepted")
+	}
+	if _, err := (ReBudget{MinEnvyFreeness: 0.9}).Allocate(testCapacity, players); err == nil {
+		t.Error("unreachable fairness target accepted")
+	}
+}
+
+func TestReBudgetName(t *testing.T) {
+	if (ReBudget{Step: 20}).Name() != "ReBudget-20" {
+		t.Errorf("name = %s", ReBudget{Step: 20}.Name())
+	}
+	if (ReBudget{MBRFloor: 0.5}).Name() != "ReBudget" {
+		t.Errorf("name = %s", ReBudget{MBRFloor: 0.5}.Name())
+	}
+}
+
+func TestReBudgetRunsMultipleEquilibria(t *testing.T) {
+	players := heterogeneousPlayers()
+	out, err := ReBudget{Step: 20}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.EquilibriumRuns < 2 {
+		t.Errorf("expected several equilibrium runs, got %d", out.EquilibriumRuns)
+	}
+	if out.Iterations < out.EquilibriumRuns {
+		t.Errorf("iterations %d < runs %d", out.Iterations, out.EquilibriumRuns)
+	}
+}
+
+func TestBalancedBudgetsFollowPotential(t *testing.T) {
+	// One player with no headroom (utility 1 everywhere), one with full
+	// headroom: the former should receive (near-)zero budget.
+	flat := PlayerSpec{
+		Name:    "flat",
+		Utility: market.UtilityFunc(func([]float64) float64 { return 1 }),
+	}
+	hungry := PlayerSpec{
+		Name: "hungry",
+		Utility: satUtility{
+			weights:  []float64{0.5, 0.5},
+			sat:      []float64{1, 1},
+			capacity: testCapacity,
+		},
+	}
+	spare := PlayerSpec{
+		Name: "spare",
+		Utility: satUtility{
+			weights:  []float64{0.5, 0.5},
+			sat:      []float64{1, 1},
+			capacity: testCapacity,
+		},
+	}
+	out, err := Balanced{}.Allocate(testCapacity, []PlayerSpec{flat, hungry, spare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Budgets[0] > 1e-9 {
+		t.Errorf("flat player budget = %g, want 0", out.Budgets[0])
+	}
+	if out.Budgets[1] < InitialBudget {
+		t.Errorf("hungry player budget = %g, want above %g", out.Budgets[1], InitialBudget)
+	}
+	// Mean budget preserved.
+	mean := (out.Budgets[0] + out.Budgets[1] + out.Budgets[2]) / 3
+	if math.Abs(mean-InitialBudget) > 1e-6 {
+		t.Errorf("mean budget = %g, want %g", mean, InitialBudget)
+	}
+}
+
+func TestBalancedAllFlatFallsBackToEqual(t *testing.T) {
+	flat := func(name string) PlayerSpec {
+		return PlayerSpec{Name: name, Utility: market.UtilityFunc(func([]float64) float64 { return 1 })}
+	}
+	out, err := Balanced{}.Allocate(testCapacity, []PlayerSpec{flat("a"), flat("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range out.Budgets {
+		if b != InitialBudget {
+			t.Errorf("fallback budget = %g, want %g", b, InitialBudget)
+		}
+	}
+}
+
+func TestOutcomeEnvyFreenessMatchesManual(t *testing.T) {
+	players := heterogeneousPlayers()
+	out, err := EqualShare{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal allocations: nobody can envy anyone.
+	ef, err := out.EnvyFreeness(players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef != 1 {
+		t.Errorf("equal-share EF = %g, want 1", ef)
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	names := map[string]Allocator{
+		"EqualShare":    EqualShare{},
+		"EqualBudget":   EqualBudget{},
+		"Balanced":      Balanced{},
+		"MaxEfficiency": MaxEfficiency{},
+	}
+	for want, a := range names {
+		if a.Name() != want {
+			t.Errorf("Name() = %s, want %s", a.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"rebudget/internal/market"
+	"rebudget/internal/metrics"
+)
+
+// ReBudget is the paper's iterative budget-reassignment mechanism (§4.2).
+// Starting from equal budgets it repeatedly (1) drives the market to
+// equilibrium, (2) cuts the budget of every player whose marginal utility
+// of money λᵢ falls below LambdaThreshold of the market maximum by the
+// current step, and (3) halves the step — an exponential back-off that
+// terminates once the step drops below 1% of the initial budget or no
+// player was cut. Budgets never fall below MBRFloor × InitialBudget, so the
+// Theorem 2 fairness guarantee chosen by the administrator always holds.
+type ReBudget struct {
+	// Step is the first budget cut ("ReBudget-20" ⇒ 20). If zero, it is
+	// derived from MBRFloor as (1−MBR)·B/2, the §4.2 initialisation.
+	Step float64
+	// MBRFloor is the lowest admissible ratio of any budget to the
+	// maximum budget. If zero, it is derived from Step as the tightest
+	// floor the halving sequence can reach.
+	MBRFloor float64
+	// MinEnvyFreeness, when set, derives MBRFloor from Theorem 2 — the
+	// administrator's fairness knob. Takes precedence over MBRFloor.
+	MinEnvyFreeness float64
+	// LambdaThreshold marks a player "low-λ" when its λᵢ is below this
+	// fraction of the market's maximum λ (§4.2 uses 0.5, the point where
+	// Theorem 1's guarantee starts degrading linearly).
+	LambdaThreshold float64
+	// MinStepFraction terminates the back-off once step < this fraction
+	// of the initial budget (§4.2 uses 1%).
+	MinStepFraction float64
+	// MaxRounds is a safety bound on budget-reassignment rounds.
+	MaxRounds int
+	// NoBackoff disables the exponential step halving (ablation only):
+	// the cut stays at Step every round until no player is cut, the floor
+	// absorbs every cut, or MaxRounds is reached.
+	NoBackoff bool
+	// Market configures the inner equilibrium runs.
+	Market market.Config
+}
+
+// Name implements Allocator.
+func (r ReBudget) Name() string {
+	if r.Step > 0 {
+		return fmt.Sprintf("ReBudget-%g", r.Step)
+	}
+	return "ReBudget"
+}
+
+func (r ReBudget) withDefaults() (ReBudget, error) {
+	if r.LambdaThreshold <= 0 {
+		r.LambdaThreshold = 0.5
+	}
+	if r.MinStepFraction <= 0 {
+		r.MinStepFraction = 0.01
+	}
+	if r.MaxRounds <= 0 {
+		r.MaxRounds = 30
+	}
+	if r.MinEnvyFreeness > 0 {
+		mbr, err := metrics.MinMBRForEnvyFreeness(r.MinEnvyFreeness)
+		if err != nil {
+			return r, err
+		}
+		r.MBRFloor = mbr
+	}
+	switch {
+	case r.Step <= 0 && r.MBRFloor <= 0:
+		return r, fmt.Errorf("core: ReBudget needs Step, MBRFloor or MinEnvyFreeness")
+	case r.Step <= 0:
+		// §4.2 initialisation from the fairness floor.
+		r.Step = (1 - r.MBRFloor) * InitialBudget / 2
+	case r.MBRFloor <= 0:
+		// Tightest floor the halving sequence can reach: total cut of
+		// step + step/2 + … while each term ≥ 1% of the budget.
+		r.MBRFloor = (InitialBudget - maxTotalCut(r.Step, r.MinStepFraction*InitialBudget)) / InitialBudget
+		if r.MBRFloor < 0 {
+			r.MBRFloor = 0
+		}
+	}
+	if r.MBRFloor > 1 {
+		return r, fmt.Errorf("core: MBR floor %g above 1", r.MBRFloor)
+	}
+	return r, nil
+}
+
+// maxTotalCut sums the halving sequence step, step/2, … down to minStep.
+func maxTotalCut(step, minStep float64) float64 {
+	total := 0.0
+	for s := step; s >= minStep; s /= 2 {
+		total += s
+	}
+	return total
+}
+
+// Allocate implements Allocator.
+func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error) {
+	if err := validate(capacity, players); err != nil {
+		return nil, err
+	}
+	cfg, err := r.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := len(players)
+	budgets := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range budgets {
+		weights[i] = players[i].weight()
+		budgets[i] = weights[i] * InitialBudget
+	}
+	// Floors, steps and the termination threshold all scale with each
+	// player's weight, so the knob's meaning is per-core (§5) and the MBR
+	// guarantee holds on the weight-relative budgets.
+	minStep := cfg.MinStepFraction * InitialBudget
+	step := cfg.Step
+
+	mp := make([]*market.Player, n)
+	for i, p := range players {
+		mp[i] = &market.Player{Name: p.Name, Utility: p.Utility, Budget: budgets[i]}
+	}
+	m, err := market.New(capacity, mp, cfg.Market)
+	if err != nil {
+		return nil, err
+	}
+
+	var eq *market.Equilibrium
+	var warmBids [][]float64
+	totalIters, runs := 0, 0
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// Re-converge from the previous equilibrium's bids: after a
+		// budget cut the market is already close, which is what keeps
+		// ReBudget's extra equilibrium runs cheap (§6.4).
+		eq, err = m.FindEquilibriumFrom(warmBids)
+		if err != nil {
+			return nil, err
+		}
+		warmBids = eq.Bids
+		totalIters += eq.Iterations
+		runs++
+		if step < minStep {
+			break
+		}
+		maxLambda := 0.0
+		for _, l := range eq.Lambdas {
+			if l > maxLambda {
+				maxLambda = l
+			}
+		}
+		cut := false
+		for i, l := range eq.Lambdas {
+			if l < cfg.LambdaThreshold*maxLambda {
+				nb := budgets[i] - step*weights[i]
+				if floor := cfg.MBRFloor * weights[i] * InitialBudget; nb < floor {
+					nb = floor
+				}
+				if nb < budgets[i] {
+					budgets[i] = nb
+					mp[i].Budget = nb
+					cut = true
+				}
+			}
+		}
+		if !cfg.NoBackoff {
+			step /= 2
+		}
+		if !cut {
+			break
+		}
+	}
+
+	mur, err := metrics.MUR(eq.Lambdas)
+	if err != nil {
+		return nil, err
+	}
+	mbr, err := metrics.MBR(budgets)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Mechanism:       r.Name(),
+		Allocations:     eq.Allocations,
+		Utilities:       eq.Utilities,
+		Budgets:         budgets,
+		Lambdas:         eq.Lambdas,
+		MUR:             mur,
+		MBR:             mbr,
+		Iterations:      totalIters,
+		EquilibriumRuns: runs,
+		Converged:       eq.Converged,
+	}, nil
+}

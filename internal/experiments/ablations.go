@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rebudget/internal/app"
+	"rebudget/internal/core"
+	"rebudget/internal/market"
+	"rebudget/internal/workload"
+)
+
+// AblationRow is one configuration's outcome in an ablation study.
+type AblationRow struct {
+	Config       string
+	Efficiency   float64 // normalised to MaxEfficiency on hull utilities
+	EnvyFreeness float64
+	MUR          float64
+	MBR          float64
+	Iterations   int
+	Runs         int
+	Converged    bool
+}
+
+func ablationRow(name string, setup *workload.Setup, opt float64, alloc core.Allocator,
+	players []core.PlayerSpec) (AblationRow, error) {
+	out, err := alloc.Allocate(setup.Capacity, players)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	ef, err := out.EnvyFreeness(players)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Config:       name,
+		Efficiency:   out.Efficiency() / opt,
+		EnvyFreeness: ef,
+		MUR:          out.MUR,
+		MBR:          out.MBR,
+		Iterations:   out.Iterations,
+		Runs:         out.EquilibriumRuns,
+		Converged:    out.Converged,
+	}, nil
+}
+
+func fig3Setup() (*workload.Setup, float64, error) {
+	bundle, err := workload.Figure3Bundle()
+	if err != nil {
+		return nil, 0, err
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxEff, err := (core.MaxEfficiency{}).Allocate(setup.Capacity, setup.Players)
+	if err != nil {
+		return nil, 0, err
+	}
+	return setup, maxEff.Efficiency(), nil
+}
+
+// AblationTalus compares an EqualBudget market on Talus-convexified
+// utilities against the same market on raw (cliffy) utilities — the design
+// choice of §4.1.1.
+func AblationTalus() ([]AblationRow, error) {
+	setup, opt, err := fig3Setup()
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{}
+	hullRow, err := ablationRow("talus-hull", setup, opt, core.EqualBudget{}, setup.Players)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, hullRow)
+
+	// Rebuild the same players over raw utilities.
+	rawPlayers := make([]core.PlayerSpec, len(setup.Players))
+	for i, m := range setup.Models {
+		curve, err := m.AnalyticMissCurve()
+		if err != nil {
+			return nil, err
+		}
+		u, err := app.NewRawUtility(m, curve)
+		if err != nil {
+			return nil, err
+		}
+		rawPlayers[i] = core.PlayerSpec{
+			Name:     setup.Players[i].Name,
+			Utility:  u,
+			MaxAlloc: u.MaxUsefulAlloc(),
+			MinAlloc: u.MinAlloc(),
+		}
+	}
+	// Judge the raw market's allocation by the convexified utilities so
+	// both rows share one yardstick (Talus is physically realisable, so
+	// the hull utility is what the hardware would deliver).
+	rawOut, err := (core.EqualBudget{}).Allocate(setup.Capacity, rawPlayers)
+	if err != nil {
+		return nil, err
+	}
+	eff := 0.0
+	for i, alloc := range rawOut.Allocations {
+		eff += setup.Players[i].Utility.Value(alloc)
+	}
+	ef, err := rawOut.EnvyFreeness(setup.Players)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Config:       "raw-cliffs",
+		Efficiency:   eff / opt,
+		EnvyFreeness: ef,
+		MUR:          rawOut.MUR,
+		MBR:          rawOut.MBR,
+		Iterations:   rawOut.Iterations,
+		Runs:         rawOut.EquilibriumRuns,
+		Converged:    rawOut.Converged,
+	})
+	return rows, nil
+}
+
+// AblationLambdaThreshold sweeps ReBudget's "low-λ" cut threshold around
+// the paper's 0.5 (§4.2).
+func AblationLambdaThreshold() ([]AblationRow, error) {
+	setup, opt, err := fig3Setup()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, th := range []float64{0.25, 0.5, 0.75, 0.9} {
+		r, err := ablationRow(fmt.Sprintf("lambda<%.2f·max", th), setup, opt,
+			core.ReBudget{Step: 20, LambdaThreshold: th}, setup.Players)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblationBackoff compares the paper's exponential back-off against a
+// fixed-step variant with the same fairness floor.
+func AblationBackoff() ([]AblationRow, error) {
+	setup, opt, err := fig3Setup()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	expo, err := ablationRow("exponential-backoff", setup, opt,
+		core.ReBudget{Step: 20}, setup.Players)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, expo)
+	fixed, err := ablationRow("fixed-step", setup, opt,
+		core.ReBudget{Step: 20, MBRFloor: 0.6125, NoBackoff: true}, setup.Players)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, fixed)
+	return rows, nil
+}
+
+// AblationBidOptimizer varies the player-local hill climb's stopping
+// granularity (§4.1.2's 1% shift floor) to show the precision/cost
+// trade-off of the bidding strategy.
+func AblationBidOptimizer() ([]AblationRow, error) {
+	setup, opt, err := fig3Setup()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, frac := range []float64{0.10, 0.01, 0.001} {
+		cfg := market.DefaultConfig()
+		cfg.MinShiftFraction = frac
+		r, err := ablationRow(fmt.Sprintf("min-shift=%g%%", frac*100), setup, opt,
+			core.EqualBudget{Market: cfg}, setup.Players)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	// The water-filling reference: near-exact per-player optimisation at
+	// ~10× the utility evaluations. §4.1.2's cheap hill climb should sit
+	// within a whisker of it.
+	greedy := market.DefaultConfig()
+	greedy.Optimizer = market.GreedyExact
+	greedy.GreedyQuanta = 200
+	r, err := ablationRow("greedy-exact (ref)", setup, opt,
+		core.EqualBudget{Market: greedy}, setup.Players)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// RenderAblation prints one ablation table.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "# ablation: %s\n", title)
+	fmt.Fprintf(w, "%-22s %8s %8s %8s %8s %6s %5s %5s\n",
+		"config", "eff", "EF", "MUR", "MBR", "iters", "runs", "conv")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8.3f %8.3f %8.3f %8.3f %6d %5d %5v\n",
+			r.Config, r.Efficiency, r.EnvyFreeness, r.MUR, r.MBR, r.Iterations, r.Runs, r.Converged)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rebudget/internal/numeric"
+	"rebudget/internal/workload"
+)
+
+// CategorySummary breaks one mechanism's sweep results down by bundle
+// category — the lens §6.1 uses when it explains why EqualShare closes the
+// gap on BBPN bundles and why BBPC/CPBB bundles suffer the Tragedy of the
+// Commons under EqualBudget.
+type CategorySummary struct {
+	Category  workload.Category
+	Mechanism string
+	MedianEff float64
+	MinEff    float64
+	MedianEF  float64
+}
+
+// SummarizeByCategory computes per-category medians for every mechanism.
+func (s *SweepResult) SummarizeByCategory() []CategorySummary {
+	byCat := map[workload.Category][]int{}
+	for bi, b := range s.Bundles {
+		byCat[b.Bundle.Category] = append(byCat[b.Bundle.Category], bi)
+	}
+	var out []CategorySummary
+	for _, cat := range workload.Categories() {
+		idxs := byCat[cat]
+		if len(idxs) == 0 {
+			continue
+		}
+		for mi, name := range s.Mechanisms {
+			var eff, efs []float64
+			for _, bi := range idxs {
+				eff = append(eff, s.Bundles[bi].Efficiency[mi])
+				efs = append(efs, s.Bundles[bi].EnvyFreeness[mi])
+			}
+			out = append(out, CategorySummary{
+				Category:  cat,
+				Mechanism: name,
+				MedianEff: numeric.Median(eff),
+				MinEff:    numeric.Min(eff),
+				MedianEF:  numeric.Median(efs),
+			})
+		}
+	}
+	return out
+}
+
+// RenderCategorySummary prints the per-category table, one block per
+// category in the paper's order.
+func RenderCategorySummary(w io.Writer, s *SweepResult) {
+	fmt.Fprintln(w, "# per-category breakdown (§6.1)")
+	rows := s.SummarizeByCategory()
+	var last workload.Category
+	for _, r := range rows {
+		if r.Category != last {
+			fmt.Fprintf(w, "\n## %s\n%-14s %8s %8s %8s\n", r.Category, "mechanism", "medEff", "minEff", "medEF")
+			last = r.Category
+		}
+		fmt.Fprintf(w, "%-14s %8.3f %8.3f %8.3f\n", r.Mechanism, r.MedianEff, r.MinEff, r.MedianEF)
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSweepCSV emits the Figure 4 dataset as tidy CSV (one row per
+// bundle × mechanism) for external plotting.
+func WriteSweepCSV(w io.Writer, s *SweepResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"bundle", "category", "mechanism", "efficiency", "envy_freeness",
+		"mur", "mbr", "ef_bound", "iterations", "equilibrium_runs", "converged",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for bi, b := range s.Bundles {
+		for mi, mech := range s.Mechanisms {
+			rec := []string{
+				strconv.Itoa(bi),
+				string(b.Bundle.Category),
+				mech,
+				f(b.Efficiency[mi]),
+				f(b.EnvyFreeness[mi]),
+				f(b.MUR[mi]),
+				f(b.MBR[mi]),
+				f(b.EFBound[mi]),
+				strconv.Itoa(b.Iterations[mi]),
+				strconv.Itoa(b.Runs[mi]),
+				strconv.FormatBool(b.Converged[mi]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		// The MaxEfficiency reference appears as its own pseudo-mechanism
+		// row so the fairness panel can include it.
+		rec := []string{
+			strconv.Itoa(bi), string(b.Bundle.Category), "MaxEfficiency",
+			"1", f(b.MaxEffEF), "", "", "", "0", "0", "true",
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV emits the detailed-simulation dataset as tidy CSV.
+func WriteFig5CSV(w io.Writer, r *Fig5Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"category", "mechanism", "efficiency", "envy_freeness", "mean_iterations",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, b := range r.Bundles {
+		for mi, mech := range r.Mechanisms {
+			if err := cw.Write([]string{
+				string(b.Category), mech,
+				f(b.Efficiency[mi]), f(b.EnvyFreeness[mi]), f(b.MeanIterations[mi]),
+			}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{
+			string(b.Category), "MaxEfficiency", "1", f(b.MaxEffEF), "0",
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig2CSV emits the cache-utility curves.
+func WriteFig2CSV(w io.Writer, curves []Fig2Curve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "regions", "raw_utility", "talus_utility"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for i := range c.Raw {
+			if err := cw.Write([]string{
+				c.App,
+				fmt.Sprintf("%g", c.Raw[i].X),
+				fmt.Sprintf("%g", c.Raw[i].Y),
+				fmt.Sprintf("%g", c.Hull[i].Y),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

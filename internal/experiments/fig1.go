@@ -1,0 +1,47 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on top of the reproduction's substrates. Each driver
+// returns structured data and can render the same rows/series the paper
+// reports to an io.Writer.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rebudget/internal/metrics"
+)
+
+// Fig1Point is one sample of the two theory curves in Figure 1.
+type Fig1Point struct {
+	X        float64 // MUR (left plot) or MBR (right plot)
+	PoABound float64
+	EFBound  float64
+}
+
+// Fig1 samples Theorem 1 and Theorem 2 across [0, 1].
+func Fig1(samples int) []Fig1Point {
+	if samples < 2 {
+		samples = 2
+	}
+	out := make([]Fig1Point, samples)
+	for i := range out {
+		x := float64(i) / float64(samples-1)
+		out[i] = Fig1Point{
+			X:        x,
+			PoABound: metrics.PoALowerBound(x),
+			EFBound:  metrics.EnvyFreenessBound(x),
+		}
+	}
+	return out
+}
+
+// RenderFig1 prints the two series.
+func RenderFig1(w io.Writer, pts []Fig1Point) {
+	fmt.Fprintln(w, "# Figure 1: theoretical bounds")
+	fmt.Fprintln(w, "# left:  Price of Anarchy lower bound vs Market Utility Range (Theorem 1)")
+	fmt.Fprintln(w, "# right: envy-freeness lower bound vs Market Budget Range (Theorem 2)")
+	fmt.Fprintf(w, "%8s  %12s  %12s\n", "x", "PoA(MUR=x)", "EF(MBR=x)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.3f  %12.4f  %12.4f\n", p.X, p.PoABound, p.EFBound)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rebudget/internal/app"
+	"rebudget/internal/numeric"
+)
+
+// Fig2Curve is one application's normalised cache utility at maximum
+// frequency: the raw profiled points and the Talus convex hull (Figure 2).
+type Fig2Curve struct {
+	App  string
+	Raw  []numeric.Point // x = cache regions, y = normalised utility
+	Hull []numeric.Point
+}
+
+// Fig2 profiles the two representative applications from the paper.
+func Fig2() ([]Fig2Curve, error) {
+	var out []Fig2Curve
+	for _, name := range []string{"mcf", "vpr"} {
+		spec, err := app.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		m := app.NewModel(spec)
+		curve, err := m.AnalyticMissCurve()
+		if err != nil {
+			return nil, err
+		}
+		u, err := app.NewUtility(m, curve)
+		if err != nil {
+			return nil, err
+		}
+		raw, hull := u.CacheUtilityCurve()
+		out = append(out, Fig2Curve{App: name, Raw: raw, Hull: hull})
+	}
+	return out, nil
+}
+
+// RenderFig2 prints both curves side by side.
+func RenderFig2(w io.Writer, curves []Fig2Curve) {
+	fmt.Fprintln(w, "# Figure 2: normalised utility vs cache regions at max frequency")
+	fmt.Fprintln(w, "# (markers = profiled utility; hull = Talus convexification)")
+	for _, c := range curves {
+		fmt.Fprintf(w, "\n## %s\n%8s  %10s  %10s\n", c.App, "regions", "raw", "talus")
+		for i := range c.Raw {
+			fmt.Fprintf(w, "%8.0f  %10.4f  %10.4f\n", c.Raw[i].X, c.Raw[i].Y, c.Hull[i].Y)
+		}
+	}
+}

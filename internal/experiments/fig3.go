@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rebudget/internal/core"
+	"rebudget/internal/numeric"
+	"rebudget/internal/workload"
+)
+
+// Fig3Mechanism is one mechanism's per-application marginal utilities on
+// the sample BBPC bundle (Figure 3).
+type Fig3Mechanism struct {
+	Mechanism string
+	// LambdaByApp holds λᵢ normalised to the bundle maximum, one entry
+	// per distinct application (copies behave identically and are
+	// averaged, as in the figure).
+	LambdaByApp map[string]float64
+	// BudgetByApp is the final budget per distinct application.
+	BudgetByApp map[string]float64
+	MUR         float64
+	Efficiency  float64 // normalised to MaxEfficiency
+}
+
+// Fig3Result is the full experiment.
+type Fig3Result struct {
+	Apps       []string // distinct application names, bundle order
+	Mechanisms []Fig3Mechanism
+}
+
+// Fig3 runs EqualBudget, ReBudget-20 and ReBudget-40 on the 8-core BBPC
+// bundle of §6.1.1 and reports each application's λᵢ and budget.
+func Fig3() (*Fig3Result, error) {
+	bundle, err := workload.Figure3Bundle()
+	if err != nil {
+		return nil, err
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		return nil, err
+	}
+	maxEff, err := (core.MaxEfficiency{}).Allocate(setup.Capacity, setup.Players)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig3Result{}
+	seen := map[string]bool{}
+	for _, a := range bundle.Apps {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			res.Apps = append(res.Apps, a.Name)
+		}
+	}
+
+	for _, alloc := range []core.Allocator{
+		core.EqualBudget{},
+		core.ReBudget{Step: 20},
+		core.ReBudget{Step: 40},
+	} {
+		out, err := alloc.Allocate(setup.Capacity, setup.Players)
+		if err != nil {
+			return nil, err
+		}
+		maxLambda := numeric.Max(out.Lambdas)
+		mech := Fig3Mechanism{
+			Mechanism:   alloc.Name(),
+			LambdaByApp: map[string]float64{},
+			BudgetByApp: map[string]float64{},
+			MUR:         out.MUR,
+			Efficiency:  out.Efficiency() / maxEff.Efficiency(),
+		}
+		counts := map[string]int{}
+		for i, a := range bundle.Apps {
+			norm := 0.0
+			if maxLambda > 0 {
+				norm = out.Lambdas[i] / maxLambda
+			}
+			mech.LambdaByApp[a.Name] += norm
+			mech.BudgetByApp[a.Name] += out.Budgets[i]
+			counts[a.Name]++
+		}
+		for name, k := range counts {
+			mech.LambdaByApp[name] /= float64(k)
+			mech.BudgetByApp[name] /= float64(k)
+		}
+		res.Mechanisms = append(res.Mechanisms, mech)
+	}
+	return res, nil
+}
+
+// RenderFig3 prints per-application λ and budget for each mechanism.
+func RenderFig3(w io.Writer, r *Fig3Result) {
+	fmt.Fprintln(w, "# Figure 3: marginal utility λᵢ per application, sample BBPC bundle")
+	fmt.Fprintln(w, "# (λ normalised to the bundle maximum; copies of an app averaged)")
+	apps := append([]string(nil), r.Apps...)
+	sort.Strings(apps)
+	fmt.Fprintf(w, "%-12s", "app")
+	for _, m := range r.Mechanisms {
+		fmt.Fprintf(w, "  %14s", m.Mechanism)
+	}
+	fmt.Fprintln(w)
+	for _, a := range apps {
+		fmt.Fprintf(w, "%-12s", a)
+		for _, m := range r.Mechanisms {
+			fmt.Fprintf(w, "  %6.2f (B=%3.0f)", m.LambdaByApp[a], m.BudgetByApp[a])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-12s", "MUR")
+	for _, m := range r.Mechanisms {
+		fmt.Fprintf(w, "  %14.2f", m.MUR)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "efficiency")
+	for _, m := range r.Mechanisms {
+		fmt.Fprintf(w, "  %13.0f%%", m.Efficiency*100)
+	}
+	fmt.Fprintln(w)
+}

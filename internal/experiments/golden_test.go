@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// golden_test.go pins the deterministic renderers' exact output so CLI
+// format changes are deliberate.
+
+func TestGoldenTable1(t *testing.T) {
+	var sb strings.Builder
+	RenderTable1(&sb)
+	const want = `# Table 1: system configuration (modelled)
+parameter                                  8-core        64-core
+Number of cores                                 8             64
+Power budget (W)                               80            640
+Shared L2 capacity (MB)                         4             32
+Shared L2 associativity (ways)                 16             32
+Memory controller channels                      2             16
+Frequency (GHz)                           0.8-4.0        0.8-4.0
+Voltage (V)                               0.8-1.2        0.8-1.2
+Cache region granularity (kB)                 128            128
+UMON set-sampling rate                         32             32
+UMON stack-distance cap (regions)              16             16
+
+# core-internal parameters folded into per-application CPIBase:
+#   4-way OoO fetch/issue/commit, 128-entry ROB, 32-entry LSQs,
+#   tournament branch predictor, 32 kB split L1s (2/3-cycle)
+`
+	if sb.String() != want {
+		t.Errorf("Table 1 render changed:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestGoldenFig1Anchors(t *testing.T) {
+	var sb strings.Builder
+	RenderFig1(&sb, Fig1(3))
+	out := sb.String()
+	for _, anchor := range []string{
+		"   0.000        0.0000        0.0000",
+		"   0.500        0.5000        0.4495",
+		"   1.000        0.7500        0.8284",
+	} {
+		if !strings.Contains(out, anchor) {
+			t.Errorf("Figure 1 render missing anchor row %q in:\n%s", anchor, out)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+// probe_test.go holds verbose diagnostics behind -v; it keeps exploratory
+// output available without polluting normal test runs.
+
+import (
+	"testing"
+
+	"rebudget/internal/core"
+	"rebudget/internal/workload"
+)
+
+func TestProbeFig3Detail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	bundle, err := workload.Figure3Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []core.Allocator{core.EqualBudget{}, core.ReBudget{Step: 20}} {
+		out, err := a.Allocate(setup.Capacity, setup.Players)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: MUR=%.3f MBR=%.3f eff=%.3f conv=%v runs=%d",
+			a.Name(), out.MUR, out.MBR, out.Efficiency(), out.Converged, out.EquilibriumRuns)
+		for i, p := range setup.Players {
+			t.Logf("  %-12s B=%6.2f λ=%8.5f u=%.3f alloc=[%6.2f %6.2f]",
+				p.Name, out.Budgets[i], out.Lambdas[i], out.Utilities[i],
+				out.Allocations[i][0], out.Allocations[i][1])
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProbeSummaries prints the headline tables under -v for manual
+// comparison against the paper's §6 numbers.
+func TestProbeSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	r3, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderFig3(&sb, r3)
+	s, err := RunSweep(8, 5, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSummary(&sb, s)
+	RenderConvergence(&sb, s)
+	t.Log("\n" + sb.String())
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rebudget/internal/cmpsim"
+	"rebudget/internal/core"
+	"rebudget/internal/numeric"
+	"rebudget/internal/workload"
+)
+
+// ValidationRow compares one application's analytically modelled utility
+// (phase 1) against its measured normalised performance in the detailed
+// simulator (phase 2), both under the same mechanism — the paper's own
+// cross-check ("we use these results to validate our first phase
+// evaluation", §6).
+type ValidationRow struct {
+	App       string
+	Class     string
+	Predicted float64 // analytic utility at the final simulated allocation
+	Measured  float64 // normalised throughput achieved in the simulator
+}
+
+// PhaseValidation runs one bundle under EqualBudget in the detailed
+// simulator, then evaluates the analytic utility model at the allocation
+// the simulator settled on. Close agreement means the phase-1 sweep's
+// conclusions carry over to execution-driven results.
+func PhaseValidation(cfg cmpsim.Config, seed uint64) ([]ValidationRow, float64, error) {
+	bundle, err := workload.Generate(workload.CPBN, cfg.Cores, numeric.NewRand(seed))
+	if err != nil {
+		return nil, 0, err
+	}
+	setup, err := workload.NewSetup(bundle)
+	if err != nil {
+		return nil, 0, err
+	}
+	chip, err := cmpsim.NewChip(cfg, bundle)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := chip.Run(core.EqualBudget{})
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.FinalOutcome == nil {
+		return nil, 0, fmt.Errorf("experiments: simulation recorded no allocation")
+	}
+	var rows []ValidationRow
+	mae := 0.0
+	for i, a := range bundle.Apps {
+		pred := setup.Utilities[i].Value(res.FinalOutcome.Allocations[i])
+		meas := res.NormPerf[i]
+		rows = append(rows, ValidationRow{
+			App:       fmt.Sprintf("%s#%d", a.Name, i),
+			Class:     a.Class.String(),
+			Predicted: pred,
+			Measured:  meas,
+		})
+		mae += math.Abs(pred - meas)
+	}
+	mae /= float64(len(rows))
+	return rows, mae, nil
+}
+
+// RenderValidation prints the per-application comparison.
+func RenderValidation(w io.Writer, rows []ValidationRow, mae float64) {
+	fmt.Fprintln(w, "# phase-1 vs phase-2 validation (EqualBudget, CPBN bundle)")
+	fmt.Fprintln(w, "# predicted = analytic utility at the simulator's final allocation;")
+	fmt.Fprintln(w, "# measured  = normalised throughput achieved in the detailed simulation")
+	fmt.Fprintf(w, "%-14s %6s %10s %10s %8s\n", "app", "class", "predicted", "measured", "error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %6s %10.3f %10.3f %+8.3f\n",
+			r.App, r.Class, r.Predicted, r.Measured, r.Measured-r.Predicted)
+	}
+	fmt.Fprintf(w, "mean absolute error: %.3f\n", mae)
+}

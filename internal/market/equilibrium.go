@@ -1,0 +1,128 @@
+package market
+
+import (
+	"fmt"
+	"math"
+)
+
+// FindEquilibrium runs the iterative bidding–pricing process of §2.1:
+//
+//  1. every player re-optimises its bids against the others' last bids
+//     (derived from the broadcast prices: yᵢⱼ = pⱼ·Cⱼ − bᵢⱼ);
+//  2. the market re-prices (Equation 1);
+//
+// repeating until every price fluctuates by less than PriceTolerance
+// between rounds, or MaxIterations is hit (the §6.4 fail-safe), in which
+// case Converged is false and the last state is returned.
+func (m *Market) FindEquilibrium() (*Equilibrium, error) {
+	return m.FindEquilibriumFrom(nil)
+}
+
+// FindEquilibriumFrom is FindEquilibrium warm-started from an existing bid
+// matrix — how ReBudget re-converges cheaply after a budget adjustment
+// (§6.4). A nil start means the cold §4.1.2 equal split. Warm-start bids
+// exceeding a player's (possibly reduced) budget are scaled down
+// proportionally.
+func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) {
+	n := len(m.players)
+	mm := len(m.capacity)
+
+	bids := make([][]float64, n)
+	for i, p := range m.players {
+		bids[i] = make([]float64, mm)
+		if initial != nil && i < len(initial) && len(initial[i]) == mm {
+			copy(bids[i], initial[i])
+			spent := 0.0
+			for _, b := range bids[i] {
+				spent += b
+			}
+			if spent > p.Budget && spent > 0 {
+				scale := p.Budget / spent
+				for j := range bids[i] {
+					bids[i][j] *= scale
+				}
+			}
+			continue
+		}
+		// Round zero: equal split of the budget (§4.1.2 step 1).
+		for j := range bids[i] {
+			bids[i][j] = p.Budget / float64(mm)
+		}
+	}
+	prices := m.prices(bids)
+
+	iterations := 0
+	converged := false
+	for iterations < m.cfg.MaxIterations {
+		iterations++
+		next := make([][]float64, n)
+		for i, p := range m.players {
+			others := make([]float64, mm)
+			for j := range others {
+				y := prices[j]*m.capacity[j] - bids[i][j]
+				if y < 0 {
+					y = 0
+				}
+				others[j] = y
+			}
+			var nb []float64
+			if m.cfg.Optimizer == GreedyExact {
+				nb = optimizeBidsGreedy(p.Utility, p.Budget, others, m.capacity, m.cfg.GreedyQuanta)
+			} else {
+				nb = optimizeBids(p.Utility, p.Budget, others, m.capacity, m.cfg)
+			}
+			if d := m.cfg.Damping; d > 0 {
+				for j := range nb {
+					nb[j] = d*bids[i][j] + (1-d)*nb[j]
+				}
+			}
+			next[i] = nb
+		}
+		newPrices := m.prices(next)
+		stable := true
+		for j := range newPrices {
+			ref := math.Max(prices[j], newPrices[j])
+			if ref == 0 {
+				continue
+			}
+			if math.Abs(newPrices[j]-prices[j]) > m.cfg.PriceTolerance*ref {
+				stable = false
+				break
+			}
+		}
+		bids, prices = next, newPrices
+		if stable {
+			converged = true
+			break
+		}
+	}
+
+	allocs := m.allocate(bids, prices)
+	eq := &Equilibrium{
+		Prices:      prices,
+		Bids:        bids,
+		Allocations: allocs,
+		Utilities:   make([]float64, n),
+		Lambdas:     make([]float64, n),
+		Iterations:  iterations,
+		Converged:   converged,
+	}
+	for i, p := range m.players {
+		u := p.Utility.Value(allocs[i])
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return nil, fmt.Errorf("market: player %d (%s) utility is %v at its allocation",
+				i, p.Name, u)
+		}
+		eq.Utilities[i] = u
+		others := make([]float64, mm)
+		for j := range others {
+			y := prices[j]*m.capacity[j] - bids[i][j]
+			if y < 0 {
+				y = 0
+			}
+			others[j] = y
+		}
+		eq.Lambdas[i] = lambdaOf(p.Utility, bids[i], others, m.capacity, p.Budget)
+	}
+	return eq, nil
+}

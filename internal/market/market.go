@@ -1,0 +1,221 @@
+// Package market implements the dynamic proportional-share market the paper
+// adopts from XChange (Wang & Martínez, HPCA 2015). N players bid on M
+// divisible resources; the market prices each resource as the sum of bids
+// over its capacity (Equation 1) and allocates proportionally to bids. An
+// iterative bidding–pricing loop (§2.1) drives the market to equilibrium:
+// each round the market broadcasts prices and every player locally
+// re-optimises its bids by marginal-utility hill climbing (§4.1.2).
+package market
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utility is a player's utility over an allocation vector (one entry per
+// resource, in resource units). Implementations should be continuous,
+// non-decreasing and concave for the theory of §3 to apply; the multicore
+// layer guarantees this via Talus convexification.
+type Utility interface {
+	Value(alloc []float64) float64
+}
+
+// UtilityFunc adapts a plain function to the Utility interface.
+type UtilityFunc func(alloc []float64) float64
+
+// Value implements Utility.
+func (f UtilityFunc) Value(alloc []float64) float64 { return f(alloc) }
+
+// Player is one market participant.
+type Player struct {
+	Name    string
+	Utility Utility
+	Budget  float64
+}
+
+// Config tunes the equilibrium search. Zero values select the paper's
+// defaults (see DefaultConfig).
+type Config struct {
+	// PriceTolerance declares convergence when every resource price
+	// changes by less than this relative fraction between rounds (§2.1
+	// uses 1%).
+	PriceTolerance float64
+	// MaxIterations is the fail-safe bound on bidding–pricing rounds
+	// (§6.4 terminates after 30).
+	MaxIterations int
+	// LambdaTolerance stops a player's hill climb once its per-resource
+	// marginal utilities agree within this relative fraction (§4.1.2
+	// uses 5%).
+	LambdaTolerance float64
+	// MinShiftFraction stops the hill climb once the shift amount S
+	// drops below this fraction of the player's budget (§4.1.2 uses 1%).
+	MinShiftFraction float64
+	// Damping blends each player's new bids with its previous bids
+	// (0 = pure best response). The paper's markets converge without
+	// damping; a small value guards pathological oscillations.
+	Damping float64
+	// Optimizer selects the player-local bid search. The default is the
+	// paper's exponential hill climb (§4.1.2); GreedyExact is the
+	// water-filling reference used by the bid-optimizer ablation.
+	Optimizer BidOptimizer
+	// GreedyQuanta is the budget granularity of GreedyExact (default 100).
+	GreedyQuanta int
+}
+
+// BidOptimizer selects a player-local bid search strategy.
+type BidOptimizer int
+
+// Available optimizers.
+const (
+	// HillClimb is §4.1.2: shift S of money from the lowest-λ resource
+	// to the highest, halving S each round.
+	HillClimb BidOptimizer = iota
+	// GreedyExact water-fills the budget one quantum at a time by
+	// marginal utility — near-exact for concave utilities, ~10× the
+	// evaluations.
+	GreedyExact
+)
+
+// DefaultConfig returns the constants used throughout the paper.
+func DefaultConfig() Config {
+	return Config{
+		PriceTolerance:   0.01,
+		MaxIterations:    30,
+		LambdaTolerance:  0.05,
+		MinShiftFraction: 0.01,
+		Damping:          0,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PriceTolerance <= 0 {
+		c.PriceTolerance = d.PriceTolerance
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = d.MaxIterations
+	}
+	if c.LambdaTolerance <= 0 {
+		c.LambdaTolerance = d.LambdaTolerance
+	}
+	if c.MinShiftFraction <= 0 {
+		c.MinShiftFraction = d.MinShiftFraction
+	}
+	if c.GreedyQuanta <= 0 {
+		c.GreedyQuanta = 100
+	}
+	return c
+}
+
+// Market couples players with resource capacities.
+type Market struct {
+	capacity []float64
+	players  []*Player
+	cfg      Config
+}
+
+// New validates inputs and builds a market.
+func New(capacity []float64, players []*Player, cfg Config) (*Market, error) {
+	if len(capacity) == 0 {
+		return nil, fmt.Errorf("market: no resources")
+	}
+	for j, c := range capacity {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("market: resource %d has invalid capacity %g", j, c)
+		}
+	}
+	if len(players) < 2 {
+		return nil, fmt.Errorf("market: need at least 2 players, got %d", len(players))
+	}
+	for i, p := range players {
+		if p == nil || p.Utility == nil {
+			return nil, fmt.Errorf("market: player %d missing utility", i)
+		}
+		if p.Budget < 0 || math.IsNaN(p.Budget) || math.IsInf(p.Budget, 0) {
+			return nil, fmt.Errorf("market: player %d (%s) has invalid budget %g", i, p.Name, p.Budget)
+		}
+	}
+	return &Market{
+		capacity: append([]float64(nil), capacity...),
+		players:  players,
+		cfg:      cfg.withDefaults(),
+	}, nil
+}
+
+// Capacity returns the resource capacities.
+func (m *Market) Capacity() []float64 {
+	return append([]float64(nil), m.capacity...)
+}
+
+// Players returns the participant slice (shared, not copied: budgets are
+// mutated by budget-reassignment algorithms between equilibrium runs).
+func (m *Market) Players() []*Player { return m.players }
+
+// Equilibrium is the outcome of a bidding–pricing run.
+type Equilibrium struct {
+	Prices      []float64   // per resource (Equation 1)
+	Bids        [][]float64 // player × resource
+	Allocations [][]float64 // player × resource (proportional rule)
+	Utilities   []float64   // player utility at its allocation
+	Lambdas     []float64   // per-player marginal utility of money λᵢ
+	Iterations  int         // bidding–pricing rounds executed
+	Converged   bool        // prices settled within tolerance
+}
+
+// Efficiency returns the social welfare Σᵢ Uᵢ(rᵢ) (Definition 1).
+func (e *Equilibrium) Efficiency() float64 {
+	s := 0.0
+	for _, u := range e.Utilities {
+		s += u
+	}
+	return s
+}
+
+// prices computes Equation 1 for a full bid matrix.
+func (m *Market) prices(bids [][]float64) []float64 {
+	ps := make([]float64, len(m.capacity))
+	for j := range m.capacity {
+		sum := 0.0
+		for i := range bids {
+			sum += bids[i][j]
+		}
+		ps[j] = sum / m.capacity[j]
+	}
+	return ps
+}
+
+// allocate applies the proportional rule rᵢⱼ = bᵢⱼ/pⱼ. Resources nobody
+// bids on are left unallocated (price zero).
+func (m *Market) allocate(bids [][]float64, prices []float64) [][]float64 {
+	out := make([][]float64, len(bids))
+	for i := range bids {
+		out[i] = make([]float64, len(m.capacity))
+		for j := range m.capacity {
+			if prices[j] > 0 {
+				out[i][j] = bids[i][j] / prices[j]
+			}
+		}
+	}
+	return out
+}
+
+// StronglyCompetitive reports whether every resource receives non-zero bids
+// from at least two players, the condition under which Lemma 1 guarantees
+// an equilibrium exists.
+func StronglyCompetitive(bids [][]float64) bool {
+	if len(bids) == 0 {
+		return false
+	}
+	for j := range bids[0] {
+		n := 0
+		for i := range bids {
+			if bids[i][j] > 0 {
+				n++
+			}
+		}
+		if n < 2 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,71 @@
+package market
+
+import (
+	"testing"
+
+	"rebudget/internal/app"
+)
+
+// TestProbeOptimizeBidsOnAppUtility diagnoses the player-local hill climb
+// on a real application utility (verbose diagnostics under -v).
+func TestProbeOptimizeBidsOnAppUtility(t *testing.T) {
+	for _, name := range []string{"swim", "mcf", "hmmer"} {
+		spec, err := app.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := app.NewModel(spec)
+		curve, err := m.AnalyticMissCurve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := app.NewUtility(m, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capacity := []float64{24, 73.8}
+		others := []float64{350, 350}
+		cfg := DefaultConfig()
+		start := []float64{50, 50}
+		lams := marginalUtilities(u, start, others, capacity, 0.01)
+		t.Logf("%s: λ at equal bids = %v", name, lams)
+		bids := optimizeBids(u, 100, others, capacity, cfg)
+		t.Logf("%s: optimized bids = %v", name, bids)
+	}
+}
+
+// TestProbeEquilibriumOnAppUtilities traces the full bidding–pricing loop
+// on the Figure 3 application set.
+func TestProbeEquilibriumOnAppUtilities(t *testing.T) {
+	names := []string{"apsi", "apsi", "swim", "swim", "mcf", "mcf", "hmmer", "sixtrack"}
+	var players []*Player
+	for _, n := range names {
+		spec, err := app.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := app.NewModel(spec)
+		curve, err := m.AnalyticMissCurve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := app.NewUtility(m, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		players = append(players, &Player{Name: n, Utility: u, Budget: 100})
+	}
+	mkt, err := New([]float64{24, 73.8}, players, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := mkt.FindEquilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("iterations=%d converged=%v prices=%v", eq.Iterations, eq.Converged, eq.Prices)
+	for i, n := range names {
+		t.Logf("%-10s bids=%v alloc=%v u=%.3f λ=%.5f",
+			n, eq.Bids[i], eq.Allocations[i], eq.Utilities[i], eq.Lambdas[i])
+	}
+}

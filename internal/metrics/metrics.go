@@ -1,0 +1,145 @@
+// Package metrics implements the paper's efficiency and fairness apparatus:
+// Market Utility Range (Definition 5) with its Price-of-Anarchy bound
+// (Theorem 1), Market Budget Range (Definition 6) with its approximate
+// envy-freeness bound (Theorem 2), social-welfare efficiency (Definition 1)
+// and envy-freeness (Definition 3).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MUR returns the Market Utility Range min λᵢ / max λᵢ (Definition 5).
+// It errors on empty input or negative marginal utilities; a market whose
+// maximum λ is zero (nobody can gain from money) has MUR 1 by convention.
+func MUR(lambdas []float64) (float64, error) {
+	if len(lambdas) == 0 {
+		return 0, fmt.Errorf("metrics: MUR of empty lambda set")
+	}
+	min, max := math.Inf(1), 0.0
+	for i, l := range lambdas {
+		if l < 0 || math.IsNaN(l) {
+			return 0, fmt.Errorf("metrics: invalid lambda %g at player %d", l, i)
+		}
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max == 0 {
+		return 1, nil
+	}
+	return min / max, nil
+}
+
+// MBR returns the Market Budget Range min Bᵢ / max Bᵢ (Definition 6).
+func MBR(budgets []float64) (float64, error) {
+	if len(budgets) == 0 {
+		return 0, fmt.Errorf("metrics: MBR of empty budget set")
+	}
+	min, max := math.Inf(1), 0.0
+	for i, b := range budgets {
+		if b < 0 || math.IsNaN(b) {
+			return 0, fmt.Errorf("metrics: invalid budget %g at player %d", b, i)
+		}
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max == 0 {
+		return 1, nil
+	}
+	return min / max, nil
+}
+
+// PoALowerBound evaluates Theorem 1: the equilibrium efficiency is at least
+// this fraction of the optimal allocation's efficiency. For MUR ≥ ½ the
+// bound is 1 − 1/(4·MUR) ≥ ½; below ½ it degrades linearly to MUR itself.
+func PoALowerBound(mur float64) float64 {
+	mur = clamp01(mur)
+	if mur >= 0.5 {
+		return 1 - 1/(4*mur)
+	}
+	return mur
+}
+
+// EnvyFreenessBound evaluates Theorem 2: any equilibrium under budget range
+// MBR is (2·√(1+MBR) − 2)-approximate envy-free. At MBR = 1 (equal budgets)
+// this recovers Zhang's 0.828 bound (Lemma 3).
+func EnvyFreenessBound(mbr float64) float64 {
+	return 2*math.Sqrt(1+clamp01(mbr)) - 2
+}
+
+// MinMBRForEnvyFreeness inverts Theorem 2: the smallest budget range that
+// still guarantees the given envy-freeness level c. This is how ReBudget
+// translates an administrator's fairness floor into a budget constraint
+// (§4.2). c must lie in [0, 2√2−2].
+func MinMBRForEnvyFreeness(c float64) (float64, error) {
+	maxC := 2*math.Sqrt2 - 2
+	if c < 0 || c > maxC {
+		return 0, fmt.Errorf("metrics: envy-freeness target %g outside [0, %.4f]", c, maxC)
+	}
+	h := (c + 2) / 2
+	return h*h - 1, nil
+}
+
+// Efficiency is the social welfare Σᵢ uᵢ (Definition 1). With utilities
+// normalised to stand-alone IPC this is exactly weighted speedup (§5).
+func Efficiency(utilities []float64) float64 {
+	s := 0.0
+	for _, u := range utilities {
+		s += u
+	}
+	return s
+}
+
+// ValueFunc evaluates player i's utility on an arbitrary allocation vector.
+type ValueFunc func(player int, alloc []float64) float64
+
+// EnvyFreeness computes Definition 3 over a full allocation matrix:
+// min over players i of Uᵢ(rᵢ) / maxⱼ Uᵢ(rⱼ). A player that values some
+// other player's bundle at zero alongside its own (0/0) envies nobody for
+// that bundle, so such pairs are skipped.
+func EnvyFreeness(n int, value ValueFunc, allocs [][]float64) (float64, error) {
+	if n <= 0 || len(allocs) != n {
+		return 0, fmt.Errorf("metrics: %d players but %d allocations", n, len(allocs))
+	}
+	ef := math.Inf(1)
+	for i := 0; i < n; i++ {
+		own := value(i, allocs[i])
+		for j := 0; j < n; j++ {
+			other := value(i, allocs[j])
+			switch {
+			case other == 0:
+				continue // nothing to envy
+			case own == 0:
+				return 0, nil // infinite envy
+			default:
+				if r := own / other; r < ef {
+					ef = r
+				}
+			}
+		}
+	}
+	if math.IsInf(ef, 1) {
+		// Degenerate: all utilities zero everywhere. Nobody envies anyone.
+		return 1, nil
+	}
+	return ef, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

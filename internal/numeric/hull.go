@@ -1,0 +1,57 @@
+package numeric
+
+import "sort"
+
+// UpperConvexHull returns the upper convex hull of the given samples as a
+// subset of the input points, sorted by increasing X. The hull is the
+// smallest concave piecewise-linear majorant touching the samples; it is the
+// construction Talus uses to convexify a cache-utility curve (the retained
+// points are the "points of interest").
+//
+// Input points with duplicate X keep only the one with the largest Y.
+func UpperConvexHull(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y > ps[j].Y
+	})
+	// Drop duplicate X, keeping the max-Y representative (first after sort).
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p.X != uniq[len(uniq)-1].X {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) <= 2 {
+		out := make([]Point, len(uniq))
+		copy(out, uniq)
+		return out
+	}
+	hull := make([]Point, 0, len(uniq))
+	for _, p := range uniq {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) >= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+// cross computes the z-component of (b-a) × (c-a). A non-negative value
+// means b lies on or below the segment a→c, i.e. b is not an upper-hull
+// vertex.
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// HullPWL builds the concave piecewise-linear function through the upper
+// convex hull of the samples.
+func HullPWL(points []Point) (*PWL, error) {
+	return NewPWL(UpperConvexHull(points))
+}

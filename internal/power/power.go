@@ -1,0 +1,143 @@
+// Package power models per-core DVFS and chip power in the style of the
+// paper's setup: Wattch-like dynamic power proportional to C·V²·f on a
+// 0.8–4.0 GHz ladder with 0.8–1.2 V scaling, plus Sandy-Bridge-style static
+// power modelled as a fraction of dynamic power that grows exponentially
+// with temperature (§5.1). Power is a continuous market resource (RAPL sets
+// budgets at 0.125 W granularity), so the package exposes both the discrete
+// DVFS ladder and continuous inverse lookups.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// DVFS ladder constants (Table 1).
+const (
+	MinFreqGHz = 0.8
+	MaxFreqGHz = 4.0
+	FreqStep   = 0.4 // 9 discrete operating points: 0.8, 1.2, …, 4.0
+	MinVolt    = 0.8
+	MaxVolt    = 1.2
+	// TDPPerCoreW is the chip power budget per core (10 W at 65 nm).
+	TDPPerCoreW = 10.0
+	// RAPLGranularityW is the finest power-budget step (§4.1.1).
+	RAPLGranularityW = 0.125
+)
+
+// Model captures a core's electrical parameters. The zero value is not
+// usable; use DefaultModel or fill all fields.
+type Model struct {
+	// CeffnF is the effective switched capacitance in nanofarads,
+	// scaled by the workload's activity factor at full throttle.
+	CeffnF float64
+	// StaticFrac0 is the static/dynamic power fraction at ReferenceTempC.
+	StaticFrac0 float64
+	// ReferenceTempC and TempScaleC shape the exponential temperature
+	// dependence of leakage: frac(T) = StaticFrac0·exp((T-Ref)/Scale).
+	ReferenceTempC float64
+	TempScaleC     float64
+}
+
+// DefaultModel is calibrated so a fully active core at 4.0 GHz, 1.2 V and
+// 70 °C consumes ≈19 W — nearly twice the 10 W per-core TDP share, as on
+// real power-limited chips (PL2 ≈ 2× PL1). The gap is what makes the power
+// budget a scarce, market-worthy resource: not every core can run at
+// maximum frequency within the chip's TDP (§5.1).
+func DefaultModel() Model {
+	return Model{
+		CeffnF:         2.50,
+		StaticFrac0:    0.30,
+		ReferenceTempC: 70,
+		TempScaleC:     35,
+	}
+}
+
+// Levels returns the discrete DVFS operating frequencies in GHz, ascending.
+func Levels() []float64 {
+	var out []float64
+	for f := MinFreqGHz; f <= MaxFreqGHz+1e-9; f += FreqStep {
+		out = append(out, math.Round(f*10)/10)
+	}
+	return out
+}
+
+// Voltage returns the supply voltage for a (possibly non-ladder) frequency,
+// interpolated linearly between the ladder endpoints and clamped.
+func Voltage(fGHz float64) float64 {
+	if fGHz <= MinFreqGHz {
+		return MinVolt
+	}
+	if fGHz >= MaxFreqGHz {
+		return MaxVolt
+	}
+	t := (fGHz - MinFreqGHz) / (MaxFreqGHz - MinFreqGHz)
+	return MinVolt + t*(MaxVolt-MinVolt)
+}
+
+// Dynamic returns the dynamic power in watts at frequency fGHz for a
+// workload with the given activity factor in [0,1].
+func (m Model) Dynamic(fGHz, activity float64) float64 {
+	v := Voltage(fGHz)
+	// C[nF]·V²·f[GHz] happens to come out in watts (1e-9 F × 1e9 Hz).
+	return m.CeffnF * v * v * fGHz * activity
+}
+
+// Static returns the leakage power in watts at frequency fGHz and die
+// temperature tempC. Leakage scales with the dynamic power envelope at the
+// current voltage (a common simplification of the V·exp(T) dependence).
+func (m Model) Static(fGHz, tempC float64) float64 {
+	frac := m.StaticFrac0 * math.Exp((tempC-m.ReferenceTempC)/m.TempScaleC)
+	return frac * m.Dynamic(fGHz, 1)
+}
+
+// Total returns dynamic plus static power in watts.
+func (m Model) Total(fGHz, activity, tempC float64) float64 {
+	return m.Dynamic(fGHz, activity) + m.Static(fGHz, tempC)
+}
+
+// FreqAtPower returns the highest continuous frequency in
+// [MinFreqGHz, MaxFreqGHz] whose total power does not exceed budgetW, or an
+// error if even the minimum frequency needs more than budgetW. Total power
+// is strictly increasing in frequency, so bisection suffices.
+func (m Model) FreqAtPower(budgetW, activity, tempC float64) (float64, error) {
+	if m.Total(MinFreqGHz, activity, tempC) > budgetW {
+		return 0, fmt.Errorf("power: budget %.3f W below minimum-frequency power %.3f W",
+			budgetW, m.Total(MinFreqGHz, activity, tempC))
+	}
+	if m.Total(MaxFreqGHz, activity, tempC) <= budgetW {
+		return MaxFreqGHz, nil
+	}
+	lo, hi := MinFreqGHz, MaxFreqGHz
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.Total(mid, activity, tempC) <= budgetW {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// QuantizeFreq snaps a continuous frequency down to the DVFS ladder.
+func QuantizeFreq(fGHz float64) float64 {
+	if fGHz <= MinFreqGHz {
+		return MinFreqGHz
+	}
+	if fGHz >= MaxFreqGHz {
+		return MaxFreqGHz
+	}
+	// The epsilon absorbs binary rounding of ladder frequencies (1.2-0.8
+	// is not exactly 0.4 in float64).
+	steps := math.Floor((fGHz-MinFreqGHz)/FreqStep + 1e-9)
+	return math.Round((MinFreqGHz+steps*FreqStep)*10) / 10
+}
+
+// QuantizeBudget snaps a power budget down to RAPL granularity.
+func QuantizeBudget(w float64) float64 {
+	if w < 0 {
+		return 0
+	}
+	return math.Floor(w/RAPLGranularityW) * RAPLGranularityW
+}

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevels(t *testing.T) {
+	ls := Levels()
+	if len(ls) != 9 {
+		t.Fatalf("expected 9 DVFS levels, got %d: %v", len(ls), ls)
+	}
+	if ls[0] != 0.8 || ls[len(ls)-1] != 4.0 {
+		t.Errorf("ladder endpoints wrong: %v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if math.Abs(ls[i]-ls[i-1]-0.4) > 1e-9 {
+			t.Errorf("ladder step wrong between %g and %g", ls[i-1], ls[i])
+		}
+	}
+}
+
+func TestVoltage(t *testing.T) {
+	if Voltage(0.8) != 0.8 || Voltage(4.0) != 1.2 {
+		t.Error("voltage endpoints wrong")
+	}
+	if Voltage(0.1) != 0.8 || Voltage(9) != 1.2 {
+		t.Error("voltage should clamp outside the ladder")
+	}
+	mid := Voltage(2.4)
+	if math.Abs(mid-1.0) > 1e-9 {
+		t.Errorf("Voltage(2.4) = %g, want 1.0", mid)
+	}
+}
+
+func TestDynamicPowerScaling(t *testing.T) {
+	m := DefaultModel()
+	// Power strictly increases with frequency (V also rises).
+	prev := 0.0
+	for _, f := range Levels() {
+		p := m.Dynamic(f, 1)
+		if p <= prev {
+			t.Errorf("dynamic power not increasing at %g GHz", f)
+		}
+		prev = p
+	}
+	// Activity scales linearly.
+	if math.Abs(m.Dynamic(2.0, 0.5)-0.5*m.Dynamic(2.0, 1)) > 1e-12 {
+		t.Error("activity should scale dynamic power linearly")
+	}
+}
+
+func TestDefaultModelPowerScarcity(t *testing.T) {
+	m := DefaultModel()
+	// Full throttle must exceed the per-core TDP share (≈1.5×), so the
+	// chip power budget actually constrains frequency choices.
+	p := m.Total(MaxFreqGHz, 1, 70)
+	if p < 1.4*TDPPerCoreW || p > 2.0*TDPPerCoreW {
+		t.Errorf("full-throttle power = %.2f W, want ≈1.9× the %g W TDP share", p, TDPPerCoreW)
+	}
+	// Minimum frequency power must be well below an equal share of TDP so
+	// the free minimum allocation (§4.1) is always affordable.
+	pmin := m.Total(MinFreqGHz, 1, 70)
+	if pmin > 2.0 {
+		t.Errorf("min-frequency power = %.2f W, too high for the free floor", pmin)
+	}
+}
+
+func TestStaticPowerTemperatureDependence(t *testing.T) {
+	m := DefaultModel()
+	cold := m.Static(4.0, 40)
+	hot := m.Static(4.0, 90)
+	if hot <= cold {
+		t.Error("leakage must grow with temperature")
+	}
+	ratio := hot / cold
+	want := math.Exp((90.0 - 40.0) / m.TempScaleC)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("leakage ratio = %g, want %g", ratio, want)
+	}
+}
+
+func TestFreqAtPowerInvertsTotal(t *testing.T) {
+	m := DefaultModel()
+	for _, f := range []float64{0.9, 1.7, 2.5, 3.3, 3.9} {
+		budget := m.Total(f, 0.8, 65)
+		got, err := m.FreqAtPower(budget, 0.8, 65)
+		if err != nil {
+			t.Fatalf("FreqAtPower(%g): %v", budget, err)
+		}
+		if math.Abs(got-f) > 1e-6 {
+			t.Errorf("FreqAtPower inverse = %g, want %g", got, f)
+		}
+	}
+}
+
+func TestFreqAtPowerBounds(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.FreqAtPower(0.01, 1, 70); err == nil {
+		t.Error("impossible budget accepted")
+	}
+	got, err := m.FreqAtPower(1000, 1, 70)
+	if err != nil || got != MaxFreqGHz {
+		t.Errorf("huge budget should give max frequency, got %g err %v", got, err)
+	}
+}
+
+func TestQuantizeFreq(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.8}, {0.8, 0.8}, {1.0, 0.8}, {1.2, 1.2}, {1.19, 0.8},
+		{2.75, 2.4}, {4.0, 4.0}, {5.0, 4.0}, {3.99, 3.6},
+	}
+	for _, c := range cases {
+		if got := QuantizeFreq(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("QuantizeFreq(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeBudget(t *testing.T) {
+	if QuantizeBudget(-1) != 0 {
+		t.Error("negative budget should clamp to 0")
+	}
+	if got := QuantizeBudget(1.3); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("QuantizeBudget(1.3) = %g, want 1.25", got)
+	}
+	if got := QuantizeBudget(2.0); got != 2.0 {
+		t.Errorf("QuantizeBudget(2.0) = %g", got)
+	}
+}
+
+// Property: FreqAtPower result's power never exceeds the budget, and a
+// higher budget never yields a lower frequency.
+func TestFreqAtPowerProperties(t *testing.T) {
+	m := DefaultModel()
+	f := func(b1, b2, act, temp float64) bool {
+		act = 0.2 + math.Abs(math.Mod(act, 0.8))
+		temp = 40 + math.Abs(math.Mod(temp, 50))
+		floor := m.Total(MinFreqGHz, act, temp)
+		b1 = floor + math.Abs(math.Mod(b1, 12))
+		b2 = floor + math.Abs(math.Mod(b2, 12))
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		f1, err1 := m.FreqAtPower(b1, act, temp)
+		f2, err2 := m.FreqAtPower(b2, act, temp)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if m.Total(f1, act, temp) > b1+1e-6 {
+			return false
+		}
+		return f1 <= f2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

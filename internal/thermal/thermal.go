@@ -1,0 +1,58 @@
+// Package thermal provides a first-order lumped RC thermal model per core,
+// standing in for the HotSpot simulator the paper integrates with SESC. The
+// market mechanism only consumes temperature through the static-power
+// feedback loop, so a single-node RC network per core (die-to-ambient
+// resistance plus thermal capacitance) preserves the relevant behaviour:
+// temperature rises with sustained power, decays toward ambient, and feeds
+// leakage back into the power model.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterises an RC node.
+type Config struct {
+	AmbientC      float64 // ambient/heat-sink temperature
+	ResistanceCW  float64 // junction-to-ambient thermal resistance (°C/W)
+	TimeConstantS float64 // RC time constant
+}
+
+// DefaultConfig models a 65 nm core under a conventional heat sink: 10 W of
+// sustained power settles ≈35 °C above ambient within a few hundred ms.
+func DefaultConfig() Config {
+	return Config{AmbientC: 45, ResistanceCW: 3.5, TimeConstantS: 0.1}
+}
+
+// Node is one core's thermal state.
+type Node struct {
+	cfg  Config
+	temp float64
+}
+
+// NewNode validates cfg and returns a node at ambient temperature.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ResistanceCW <= 0 || cfg.TimeConstantS <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive RC parameters %+v", cfg)
+	}
+	return &Node{cfg: cfg, temp: cfg.AmbientC}, nil
+}
+
+// Temp returns the current junction temperature in °C.
+func (n *Node) Temp() float64 { return n.temp }
+
+// SteadyState returns the settled temperature under constant power.
+func (n *Node) SteadyState(powerW float64) float64 {
+	return n.cfg.AmbientC + powerW*n.cfg.ResistanceCW
+}
+
+// Update advances the node by dt seconds under the given power draw and
+// returns the new temperature. It uses the exact exponential solution of
+// the first-order ODE, so arbitrarily large dt steps remain stable.
+func (n *Node) Update(powerW, dt float64) float64 {
+	target := n.SteadyState(powerW)
+	alpha := 1 - math.Exp(-dt/n.cfg.TimeConstantS)
+	n.temp += (target - n.temp) * alpha
+	return n.temp
+}

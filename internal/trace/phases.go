@@ -1,0 +1,80 @@
+package trace
+
+import "fmt"
+
+// Phase is one behavioural phase of a phased stream: a mixture that runs
+// for Accesses accesses before the stream moves on.
+type Phase struct {
+	Mix      []Component
+	Accesses int
+}
+
+// PhasedGenerator cycles through behavioural phases, reproducing the
+// application phase changes §4.3 cites (alongside context switches) as the
+// reason allocation must be re-run every millisecond: an application's
+// miss curve can change shape mid-run, and monitoring + reallocation must
+// follow it.
+//
+// Each phase owns an independent Generator (disjoint component namespaces
+// are preserved across phases via distinct phase tags), so returning to a
+// phase resumes its reuse state — like a program revisiting a data
+// structure it built earlier.
+type PhasedGenerator struct {
+	gens     []*Generator
+	phases   []Phase
+	lineSize int
+	cur      int
+	left     int
+}
+
+// NewPhased validates the phases and builds the generator.
+func NewPhased(lineSize int, phases []Phase, seed uint64, namespace uint8) (*PhasedGenerator, error) {
+	if len(phases) < 1 {
+		return nil, fmt.Errorf("trace: need at least one phase")
+	}
+	p := &PhasedGenerator{phases: append([]Phase(nil), phases...), lineSize: lineSize}
+	for i, ph := range phases {
+		if ph.Accesses < 1 {
+			return nil, fmt.Errorf("trace: phase %d has %d accesses", i, ph.Accesses)
+		}
+		// Tag each phase's components into a disjoint namespace slice by
+		// offsetting the component index space: reuse Config.Namespace
+		// for the core and shift the phase into the seed so streams
+		// differ across phases.
+		g, err := New(Config{
+			LineSize:  lineSize,
+			Mix:       ph.Mix,
+			Seed:      seed ^ (uint64(i+1) << 20),
+			Namespace: namespace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trace: phase %d: %w", i, err)
+		}
+		// Tag each phase's component bases at bits 28–31 so phases never
+		// alias each other's lines (block counters keep bits 0–27, which
+		// is 268M lines per component — far beyond any run).
+		for ci := range g.states {
+			g.states[ci].base |= uint64(i&0xF) << 28
+		}
+		p.gens = append(p.gens, g)
+	}
+	p.left = p.phases[0].Accesses
+	return p, nil
+}
+
+// Next returns the next address, advancing phases as their access budgets
+// drain.
+func (p *PhasedGenerator) Next() uint64 {
+	if p.left == 0 {
+		p.cur = (p.cur + 1) % len(p.phases)
+		p.left = p.phases[p.cur].Accesses
+	}
+	p.left--
+	return p.gens[p.cur].Next()
+}
+
+// CurrentPhase reports which phase the stream is in.
+func (p *PhasedGenerator) CurrentPhase() int { return p.cur }
+
+// LineSize returns the configured line size.
+func (p *PhasedGenerator) LineSize() int { return p.lineSize }

@@ -1,0 +1,120 @@
+// Package trace generates synthetic memory-access streams whose LRU
+// stack-distance profiles follow specified mixtures of reuse behaviours.
+// The streams stand in for the SPEC CPU2000/2006 SimPoint regions the paper
+// drives SESC with: allocation mechanisms observe applications only through
+// the miss-rate curves and access streams these generators produce, so
+// matching the curve *shapes* (smooth concave reuse, working-set cliffs,
+// streaming) reproduces the allocation dynamics of the paper's workloads.
+package trace
+
+import "rebudget/internal/numeric"
+
+// lruStack is an order-statistic treap over block IDs ordered by recency
+// (index 0 = most recently used). It supports the three operations a
+// stack-distance trace generator needs, each in O(log n): fetch the block at
+// a given depth, move it to the front, and push a brand-new block.
+type lruStack struct {
+	root *stackNode
+	rng  *numeric.Rand
+}
+
+type stackNode struct {
+	block    uint64
+	priority uint64
+	size     int
+	left     *stackNode
+	right    *stackNode
+}
+
+func newLRUStack(rng *numeric.Rand) *lruStack {
+	return &lruStack{rng: rng}
+}
+
+func size(n *stackNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *stackNode) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// split divides t into (left, right) where left holds the first k nodes.
+func split(t *stackNode, k int) (*stackNode, *stackNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if size(t.left) >= k {
+		l, r := split(t.left, k)
+		t.left = r
+		t.update()
+		return l, t
+	}
+	l, r := split(t.right, k-size(t.left)-1)
+	t.right = l
+	t.update()
+	return t, r
+}
+
+func merge(a, b *stackNode) *stackNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.priority > b.priority {
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	}
+	b.left = merge(a, b.left)
+	b.update()
+	return b
+}
+
+// Len returns the number of blocks on the stack.
+func (s *lruStack) Len() int { return size(s.root) }
+
+// At returns the block at stack depth d (0 = MRU) without reordering.
+func (s *lruStack) At(d int) uint64 {
+	n := s.root
+	for {
+		ls := size(n.left)
+		switch {
+		case d < ls:
+			n = n.left
+		case d == ls:
+			return n.block
+		default:
+			d -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// Touch moves the block at depth d to the front and returns it.
+func (s *lruStack) Touch(d int) uint64 {
+	left, rest := split(s.root, d)
+	node, right := split(rest, 1)
+	s.root = merge(node, merge(left, right))
+	return node.block
+}
+
+// PushFront inserts a new block at depth 0.
+func (s *lruStack) PushFront(block uint64) {
+	n := &stackNode{block: block, priority: s.rng.Uint64(), size: 1}
+	s.root = merge(n, s.root)
+}
+
+// DropBack removes the least-recently-used block (used to bound memory for
+// streaming components whose footprint would otherwise grow without limit).
+func (s *lruStack) DropBack() {
+	if s.root == nil {
+		return
+	}
+	l, _ := split(s.root, size(s.root)-1)
+	s.root = l
+}

@@ -1,0 +1,386 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"rebudget/internal/numeric"
+)
+
+// refLRU is a simple fully-associative LRU used as a reference model.
+type refLRU struct {
+	capacity int
+	order    []uint64 // index 0 = MRU
+	index    map[uint64]int
+}
+
+func newRefLRU(capacityLines int) *refLRU {
+	return &refLRU{capacity: capacityLines, index: map[uint64]int{}}
+}
+
+func (c *refLRU) access(line uint64) bool {
+	pos, ok := c.index[line]
+	if ok {
+		c.order = append(c.order[:pos], c.order[pos+1:]...)
+	} else if len(c.order) >= c.capacity {
+		evict := c.order[len(c.order)-1]
+		c.order = c.order[:len(c.order)-1]
+		delete(c.index, evict)
+	}
+	c.order = append([]uint64{line}, c.order...)
+	for i, l := range c.order {
+		c.index[l] = i
+	}
+	return ok
+}
+
+func measuredMissRatio(t *testing.T, g *Generator, capacityLines, accesses int) float64 {
+	t.Helper()
+	c := newRefLRU(capacityLines)
+	// Warm up to populate reuse state before measuring.
+	for i := 0; i < accesses/2; i++ {
+		c.access(g.Next() / uint64(g.LineSize()))
+	}
+	misses := 0
+	for i := 0; i < accesses; i++ {
+		if !c.access(g.Next() / uint64(g.LineSize())) {
+			misses++
+		}
+	}
+	return float64(misses) / float64(accesses)
+}
+
+func TestNewValidation(t *testing.T) {
+	valid := Config{LineSize: 64, Mix: []Component{{Kind: Streaming, Weight: 1}}}
+	if _, err := New(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{LineSize: 0, Mix: valid.Mix},
+		{LineSize: 48, Mix: valid.Mix},
+		{LineSize: 64},
+		{LineSize: 64, Mix: []Component{{Kind: Geometric, Weight: 1, Param: 0}}},
+		{LineSize: 64, Mix: []Component{{Kind: Cyclic, Weight: 1, Param: 0.5}}},
+		{LineSize: 64, Mix: []Component{{Kind: Streaming, Weight: -1}}},
+		{LineSize: 64, Mix: []Component{{Kind: Streaming, Weight: 0}}},
+		{LineSize: 64, Mix: []Component{{Kind: ComponentKind(99), Weight: 1}}},
+		{LineSize: 64, Mix: []Component{{Kind: Geometric, Weight: math.NaN(), Param: 10}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestStreamingAlwaysMisses(t *testing.T) {
+	g := MustNew(Config{LineSize: 64, Mix: []Component{{Kind: Streaming, Weight: 1}}, Seed: 1})
+	got := measuredMissRatio(t, g, 1024, 5000)
+	if got != 1 {
+		t.Errorf("streaming miss ratio = %g, want 1", got)
+	}
+	if a := g.MissRatio(1 << 20); a != 1 {
+		t.Errorf("analytic streaming miss ratio = %g, want 1", a)
+	}
+}
+
+func TestCyclicCliff(t *testing.T) {
+	const ws = 256 // lines
+	g := MustNew(Config{LineSize: 64, Mix: []Component{{Kind: Cyclic, Weight: 1, Param: ws}}, Seed: 2})
+	// Below the working set: ~100% misses.
+	below := measuredMissRatio(t, g, ws-16, 20000)
+	if below < 0.99 {
+		t.Errorf("below-WS miss ratio = %g, want ~1", below)
+	}
+	// At/above the working set: ~0% misses.
+	g2 := MustNew(Config{LineSize: 64, Mix: []Component{{Kind: Cyclic, Weight: 1, Param: ws}}, Seed: 2})
+	above := measuredMissRatio(t, g2, ws, 20000)
+	if above > 0.01 {
+		t.Errorf("above-WS miss ratio = %g, want ~0", above)
+	}
+	// Analytic curve has the same cliff.
+	if g.MissRatio((ws-1)*64) != 1 || g.MissRatio(ws*64) != 0 {
+		t.Errorf("analytic cliff wrong: %g, %g", g.MissRatio((ws-1)*64), g.MissRatio(ws*64))
+	}
+}
+
+func TestGeometricMatchesAnalytic(t *testing.T) {
+	const mean = 200.0
+	for _, lines := range []int{64, 256, 1024} {
+		g := MustNew(Config{LineSize: 64, Mix: []Component{{Kind: Geometric, Weight: 1, Param: mean}}, Seed: 3})
+		got := measuredMissRatio(t, g, lines, 40000)
+		want := g.MissRatio(lines * 64)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("capacity %d lines: measured %g vs analytic %g", lines, got, want)
+		}
+	}
+}
+
+func TestGeometricMissCurveMonotone(t *testing.T) {
+	g := MustNew(Config{LineSize: 64, Mix: []Component{
+		{Kind: Geometric, Weight: 0.7, Param: 300},
+		{Kind: Streaming, Weight: 0.3},
+	}, Seed: 4})
+	prev := 1.1
+	for lines := 16; lines <= 4096; lines *= 2 {
+		m := g.MissRatio(lines * 64)
+		if m > prev+1e-12 {
+			t.Errorf("analytic miss curve not monotone at %d lines: %g > %g", lines, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMixtureMissFloor(t *testing.T) {
+	// 30% streaming imposes a 0.3 miss floor no matter the capacity.
+	g := MustNew(Config{LineSize: 64, Mix: []Component{
+		{Kind: Geometric, Weight: 0.7, Param: 50},
+		{Kind: Streaming, Weight: 0.3},
+	}, Seed: 5})
+	got := measuredMissRatio(t, g, 1<<14, 30000)
+	if got < 0.25 || got > 0.4 {
+		t.Errorf("mixture miss floor = %g, want ≈0.3", got)
+	}
+}
+
+func TestAddressesAreLineAligned(t *testing.T) {
+	g := MustNew(Config{LineSize: 128, Mix: []Component{
+		{Kind: Geometric, Weight: 1, Param: 10},
+	}, Seed: 6})
+	for i := 0; i < 1000; i++ {
+		if a := g.Next(); a%128 != 0 {
+			t.Fatalf("address %#x not line-aligned", a)
+		}
+	}
+}
+
+func TestComponentNamespacesDisjoint(t *testing.T) {
+	g := MustNew(Config{LineSize: 64, Mix: []Component{
+		{Kind: Cyclic, Weight: 0.5, Param: 64},
+		{Kind: Streaming, Weight: 0.5},
+	}, Seed: 7})
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[g.Next()/64>>32] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("expected 2 disjoint namespaces, got %d", len(seen))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{LineSize: 64, Mix: []Component{
+		{Kind: Geometric, Weight: 0.6, Param: 100},
+		{Kind: Cyclic, Weight: 0.3, Param: 500},
+		{Kind: Streaming, Weight: 0.1},
+	}, Seed: 42}
+	a, b := MustNew(cfg), MustNew(cfg)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	if Geometric.String() != "geometric" || Cyclic.String() != "cyclic" || Streaming.String() != "streaming" {
+		t.Error("kind strings wrong")
+	}
+	if ComponentKind(99).String() == "" {
+		t.Error("unknown kind should still produce a string")
+	}
+}
+
+func TestLRUStackOperations(t *testing.T) {
+	s := newLRUStack(numeric.NewRand(1))
+	for i := 5; i >= 1; i-- {
+		s.PushFront(uint64(i))
+	}
+	// Stack is now [1 2 3 4 5] from MRU to LRU.
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if got := s.At(i); got != uint64(i+1) {
+			t.Fatalf("At(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := s.Touch(3); got != 4 {
+		t.Fatalf("Touch(3) = %d, want 4", got)
+	}
+	// Now [4 1 2 3 5].
+	want := []uint64{4, 1, 2, 3, 5}
+	for i, w := range want {
+		if got := s.At(i); got != w {
+			t.Fatalf("after touch At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	s.DropBack()
+	if s.Len() != 4 || s.At(3) != 3 {
+		t.Fatalf("DropBack failed: len=%d back=%d", s.Len(), s.At(s.Len()-1))
+	}
+}
+
+func TestLRUStackLarge(t *testing.T) {
+	s := newLRUStack(numeric.NewRand(2))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.PushFront(uint64(i))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Touch random depths and verify the touched block lands at depth 0.
+	r := numeric.NewRand(3)
+	for i := 0; i < 1000; i++ {
+		d := r.Intn(s.Len())
+		b := s.At(d)
+		if got := s.Touch(d); got != b {
+			t.Fatalf("Touch(%d) returned %d, expected %d", d, got, b)
+		}
+		if s.At(0) != b {
+			t.Fatalf("touched block not at front")
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len changed to %d", s.Len())
+	}
+	s.DropBack()
+	if s.Len() != n-1 {
+		t.Fatalf("DropBack: len=%d", s.Len())
+	}
+}
+
+func TestDropBackEmpty(t *testing.T) {
+	s := newLRUStack(numeric.NewRand(4))
+	s.DropBack() // must not panic
+	if s.Len() != 0 {
+		t.Fatal("empty stack should stay empty")
+	}
+}
+
+func TestNamespaceNoOverflowAtHighIDs(t *testing.T) {
+	// Regression: namespace tags once sat at bits 56–61, so block×LineSize
+	// overflowed uint64 and namespaces collided modulo 4 — cores 0, 4, 8…
+	// of a large CMP silently shared address streams.
+	mk := func(ns uint8) *Generator {
+		return MustNew(Config{LineSize: 64, Mix: []Component{
+			{Kind: Cyclic, Weight: 1, Param: 64},
+		}, Seed: 1, Namespace: ns})
+	}
+	for _, ns := range []uint8{4, 63, 255} {
+		a, b := mk(0), mk(ns)
+		linesA := map[uint64]bool{}
+		for i := 0; i < 256; i++ {
+			linesA[a.Next()/64] = true
+		}
+		for i := 0; i < 256; i++ {
+			if linesA[b.Next()/64] {
+				t.Fatalf("namespace %d aliases namespace 0", ns)
+			}
+		}
+	}
+}
+
+func TestAddressesFitUint64(t *testing.T) {
+	g := MustNew(Config{LineSize: 64, Mix: []Component{
+		{Kind: Streaming, Weight: 1},
+	}, Seed: 2, Namespace: 255})
+	for i := 0; i < 10000; i++ {
+		if a := g.Next(); a>>55 != 0 {
+			t.Fatalf("address %#x unexpectedly large (overflow risk)", a)
+		}
+	}
+}
+
+func TestPhasedGeneratorValidation(t *testing.T) {
+	if _, err := NewPhased(64, nil, 1, 0); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := NewPhased(64, []Phase{{Mix: []Component{{Kind: Streaming, Weight: 1}}, Accesses: 0}}, 1, 0); err == nil {
+		t.Error("zero-length phase accepted")
+	}
+	if _, err := NewPhased(64, []Phase{{Mix: nil, Accesses: 10}}, 1, 0); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestPhasedGeneratorCycles(t *testing.T) {
+	cacheFriendly := []Component{{Kind: Cyclic, Weight: 1, Param: 64}}
+	streaming := []Component{{Kind: Streaming, Weight: 1}}
+	p, err := NewPhased(64, []Phase{
+		{Mix: cacheFriendly, Accesses: 1000},
+		{Mix: streaming, Accesses: 500},
+	}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CurrentPhase() != 0 {
+		t.Fatal("should start in phase 0")
+	}
+	// Drive through phase 0 and into phase 1.
+	for i := 0; i < 1001; i++ {
+		p.Next()
+	}
+	if p.CurrentPhase() != 1 {
+		t.Fatalf("after 1001 accesses phase = %d, want 1", p.CurrentPhase())
+	}
+	for i := 0; i < 500; i++ {
+		p.Next()
+	}
+	if p.CurrentPhase() != 0 {
+		t.Fatalf("phases should cycle back, got %d", p.CurrentPhase())
+	}
+}
+
+func TestPhasedGeneratorBehaviourChanges(t *testing.T) {
+	// Phase 0 is cache-friendly (64-line loop), phase 1 streams: a small
+	// reference cache must hit in phase 0 and miss in phase 1.
+	p, err := NewPhased(64, []Phase{
+		{Mix: []Component{{Kind: Cyclic, Weight: 1, Param: 64}}, Accesses: 4000},
+		{Mix: []Component{{Kind: Streaming, Weight: 1}}, Accesses: 4000},
+	}, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newRefLRU(512)
+	measure := func(n int) float64 {
+		miss := 0
+		for i := 0; i < n; i++ {
+			if !c.access(p.Next() / 64) {
+				miss++
+			}
+		}
+		return float64(miss) / float64(n)
+	}
+	measure(1000) // warm phase 0
+	phase0 := measure(3000)
+	phase1 := measure(4000)
+	if phase0 > 0.05 {
+		t.Errorf("cache-friendly phase miss ratio %g, want ~0", phase0)
+	}
+	if phase1 < 0.9 {
+		t.Errorf("streaming phase miss ratio %g, want ~1", phase1)
+	}
+}
+
+func TestPhasedPhasesDoNotAlias(t *testing.T) {
+	// Two phases with identical mixes must still use disjoint lines.
+	mix := []Component{{Kind: Cyclic, Weight: 1, Param: 32}}
+	p, err := NewPhased(64, []Phase{
+		{Mix: mix, Accesses: 100},
+		{Mix: mix, Accesses: 100},
+	}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen0 := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen0[p.Next()/64] = true
+	}
+	for i := 0; i < 100; i++ {
+		if seen0[p.Next()/64] {
+			t.Fatal("phases share lines")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rebudget/internal/app"
+	"rebudget/internal/core"
+)
+
+func threadedBundle(t *testing.T) ThreadedBundle {
+	t.Helper()
+	mk := func(name string, threads int) ThreadedApp {
+		spec, err := app.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ThreadedApp{Spec: spec, Threads: threads}
+	}
+	// 8 cores: a 4-thread solver, a 2-thread cache-hungry app, two
+	// single-thread compute jobs.
+	return ThreadedBundle{Apps: []ThreadedApp{
+		mk("swim", 4),
+		mk("mcf", 2),
+		mk("sixtrack", 1),
+		mk("hmmer", 1),
+	}}
+}
+
+func TestThreadedBundleCores(t *testing.T) {
+	if got := threadedBundle(t).Cores(); got != 8 {
+		t.Fatalf("cores = %d", got)
+	}
+}
+
+func TestNewSetupThreadedValidation(t *testing.T) {
+	if _, err := NewSetupThreaded(ThreadedBundle{}); err == nil {
+		t.Error("empty bundle accepted")
+	}
+	tb := threadedBundle(t)
+	tb.Apps[0].Threads = 0
+	if _, err := NewSetupThreaded(tb); err == nil {
+		t.Error("zero-thread application accepted")
+	}
+}
+
+func TestThreadedSetupShape(t *testing.T) {
+	tb := threadedBundle(t)
+	s, err := NewSetupThreaded(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Players) != 4 {
+		t.Fatalf("players = %d, want one per application", len(s.Players))
+	}
+	// Capacity is per-core: 8 cores → 24 market regions.
+	if s.Capacity[0] != 24 {
+		t.Errorf("cache capacity %g, want 24", s.Capacity[0])
+	}
+	// The 4-thread app's max useful allocation is 4× a single thread's.
+	single := s.Players[2].MaxAlloc[0] // sixtrack ×1
+	quad := s.Players[0].MaxAlloc[0]   // swim ×4
+	if math.Abs(quad-4*single) > 1e-9 {
+		t.Errorf("4-thread MaxAlloc %g, want 4× single %g", quad, single)
+	}
+}
+
+func TestCoalitionUtilitySplitsEvenly(t *testing.T) {
+	tb := threadedBundle(t)
+	s, err := NewSetupThreaded(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coalition at allocation k·x equals k threads at x.
+	per := []float64{3, 5}
+	coal := s.Players[0].Utility.Value([]float64{4 * per[0], 4 * per[1]})
+	single := s.Utilities[0].Value(per)
+	if math.Abs(coal-4*single) > 1e-12 {
+		t.Errorf("coalition utility %g != 4× per-thread %g", coal, single)
+	}
+	if s.Players[0].BudgetWeight != 4 {
+		t.Errorf("coalition budget weight %g, want 4", s.Players[0].BudgetWeight)
+	}
+}
+
+func TestThreadedMarketScalesAllocationWithThreads(t *testing.T) {
+	tb := threadedBundle(t)
+	s, err := NewSetupThreaded(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal budget per *application* over-funds narrow applications: a
+	// single thread cannot use a whole application's purse, so its λ
+	// collapses and ReBudget reclaims the money for the wide coalitions.
+	eq, err := (core.EqualBudget{}).Allocate(s.Capacity, s.Players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (core.ReBudget{Step: 40}).Allocate(s.Capacity, s.Players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets start weighted per core: the 4-thread coalition holds 4×.
+	if eq.Budgets[0] != 4*eq.Budgets[2] {
+		t.Errorf("coalition budget %g, want 4× single-thread %g", eq.Budgets[0], eq.Budgets[2])
+	}
+	// §3.2: re-assignment does not guarantee a per-instance improvement;
+	// only catastrophic losses indicate a bug.
+	if out.Efficiency() < eq.Efficiency()*0.9 {
+		t.Errorf("ReBudget (%g) collapsed vs EqualBudget (%g) on coalitions",
+			out.Efficiency(), eq.Efficiency())
+	}
+	// Coalition utilities sum to the per-core weighted speedup, bounded
+	// by the core count.
+	if out.Efficiency() <= 0 || out.Efficiency() > 8 {
+		t.Errorf("weighted speedup %g out of range", out.Efficiency())
+	}
+	per, err := PerThreadUtilities(tb, out.Utilities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range per {
+		if u < 0 || u > 1.01 {
+			t.Errorf("app %d per-thread utility %g out of range", i, u)
+		}
+	}
+}
+
+func TestPerThreadUtilitiesValidation(t *testing.T) {
+	tb := threadedBundle(t)
+	if _, err := PerThreadUtilities(tb, []float64{1}); err == nil {
+		t.Error("mismatched utilities accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"testing"
+
+	"rebudget/internal/app"
+	"rebudget/internal/core"
+	"rebudget/internal/numeric"
+)
+
+func TestClassCounts(t *testing.T) {
+	counts, err := CPBN.ClassCounts(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range []app.Class{app.Cache, app.Power, app.Both, app.None} {
+		if counts[cl] != 2 {
+			t.Errorf("CPBN/8: class %v count = %d, want 2", cl, counts[cl])
+		}
+	}
+	counts, _ = CCPP.ClassCounts(64)
+	if counts[app.Cache] != 32 || counts[app.Power] != 32 || counts[app.Both] != 0 {
+		t.Errorf("CCPP/64 counts wrong: %v", counts)
+	}
+	counts, _ = CPBB.ClassCounts(8)
+	if counts[app.Both] != 4 || counts[app.Cache] != 2 || counts[app.Power] != 2 {
+		t.Errorf("CPBB/8 counts wrong: %v", counts)
+	}
+	if _, err := CPBN.ClassCounts(6); err == nil {
+		t.Error("non-multiple-of-4 core count accepted")
+	}
+	if _, err := Category("CPXZ").ClassCounts(8); err == nil {
+		t.Error("bogus category accepted")
+	}
+	if _, err := Category("CPB").ClassCounts(8); err == nil {
+		t.Error("short category accepted")
+	}
+}
+
+func TestGenerateRespectsCategory(t *testing.T) {
+	rng := numeric.NewRand(1)
+	for _, cat := range Categories() {
+		for _, cores := range []int{8, 64} {
+			b, err := Generate(cat, cores, rng)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", cat, cores, err)
+			}
+			if len(b.Apps) != cores {
+				t.Fatalf("%s/%d: %d apps", cat, cores, len(b.Apps))
+			}
+			want, _ := cat.ClassCounts(cores)
+			got := map[app.Class]int{}
+			for _, a := range b.Apps {
+				got[a.Class]++
+			}
+			for cl, w := range want {
+				if got[cl] != w {
+					t.Errorf("%s/%d: class %v count %d, want %d", cat, cores, cl, got[cl], w)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateAllSweepShape(t *testing.T) {
+	bundles, err := GenerateAll(8, 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 240 {
+		t.Fatalf("sweep has %d bundles, want 240 (§5)", len(bundles))
+	}
+	// Deterministic for a fixed seed.
+	again, _ := GenerateAll(8, 40, 42)
+	for i := range bundles {
+		for j := range bundles[i].Apps {
+			if bundles[i].Apps[j].Name != again[i].Apps[j].Name {
+				t.Fatal("GenerateAll not deterministic")
+			}
+		}
+	}
+	other, _ := GenerateAll(8, 40, 43)
+	same := true
+	for i := range bundles {
+		for j := range bundles[i].Apps {
+			if bundles[i].Apps[j].Name != other[i].Apps[j].Name {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sweeps")
+	}
+}
+
+func TestFigure3Bundle(t *testing.T) {
+	b, err := Figure3Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Apps) != 8 || b.Category != CPBB {
+		t.Fatalf("bundle shape wrong: %d apps, category %s", len(b.Apps), b.Category)
+	}
+	count := map[string]int{}
+	for _, a := range b.Apps {
+		count[a.Name]++
+	}
+	if count["apsi"] != 2 || count["swim"] != 2 || count["mcf"] != 2 ||
+		count["hmmer"] != 1 || count["sixtrack"] != 1 {
+		t.Errorf("bundle composition wrong: %v", count)
+	}
+}
+
+func TestNewSetup(t *testing.T) {
+	b, _ := Figure3Bundle()
+	s, err := NewSetup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Players) != 8 || len(s.Models) != 8 || len(s.Utilities) != 8 {
+		t.Fatalf("setup sizes wrong")
+	}
+	// 8 cores: 24 market regions; watts below 80 W TDP but most of it.
+	if s.Capacity[0] != 24 {
+		t.Errorf("cache capacity = %g regions, want 24", s.Capacity[0])
+	}
+	if s.Capacity[1] <= 60 || s.Capacity[1] >= 80 {
+		t.Errorf("power capacity = %g W, want most of the 80 W TDP", s.Capacity[1])
+	}
+	for i, p := range s.Players {
+		if p.Utility == nil || p.MaxAlloc == nil || p.MinAlloc == nil {
+			t.Errorf("player %d incomplete", i)
+		}
+	}
+	if _, err := NewSetup(Bundle{}); err == nil {
+		t.Error("empty bundle accepted")
+	}
+}
+
+func TestNewSetupWithBandwidth(t *testing.T) {
+	b, _ := Figure3Bundle()
+	s, err := NewSetupWithBandwidth(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Capacity) != 3 {
+		t.Fatalf("capacity dims = %d, want 3", len(s.Capacity))
+	}
+	// 8 cores → 2 channels → 25.6 GB/s minus 8×0.25 floors.
+	if s.Capacity[2] <= 20 || s.Capacity[2] >= 26 {
+		t.Errorf("bandwidth capacity %g GB/s implausible", s.Capacity[2])
+	}
+	for i, p := range s.Players {
+		if len(p.MaxAlloc) != 3 {
+			t.Errorf("player %d MaxAlloc dims = %d", i, len(p.MaxAlloc))
+		}
+	}
+	if _, err := NewSetupWithBandwidth(Bundle{}); err == nil {
+		t.Error("empty bundle accepted")
+	}
+}
+
+func TestThreeResourceMarketAllocates(t *testing.T) {
+	// The full pipeline at M=3: a BBNN bundle where the N streamers
+	// compete for bandwidth while B apps want cache and power.
+	rng := numeric.NewRand(4)
+	b, err := Generate(BBNN, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSetupWithBandwidth(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (core.ReBudget{Step: 20}).Allocate(s.Capacity, s.Players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.4: runs that hit the 30-iteration fail-safe still yield a usable
+	// allocation, so feasibility — not convergence — is the requirement.
+	if out.Iterations > 30*out.EquilibriumRuns {
+		t.Errorf("iterations %d exceed the fail-safe budget", out.Iterations)
+	}
+	for j, c := range s.Capacity {
+		total := 0.0
+		for i := range out.Allocations {
+			total += out.Allocations[i][j]
+		}
+		if total > c*(1+1e-6) {
+			t.Errorf("resource %d over-allocated: %g > %g", j, total, c)
+		}
+	}
+	// N-class streamers should hold more bandwidth than B-class apps.
+	var nBW, bBW, nCount, bCount float64
+	for i, a := range b.Apps {
+		switch a.Class {
+		case app.None:
+			nBW += out.Allocations[i][2]
+			nCount++
+		case app.Both:
+			bBW += out.Allocations[i][2]
+			bCount++
+		}
+	}
+	if nBW/nCount < bBW/bCount {
+		t.Errorf("streamers got %.2f GB/s avg, B apps %.2f — bandwidth misdirected",
+			nBW/nCount, bBW/bCount)
+	}
+}
