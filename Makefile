@@ -1,0 +1,25 @@
+# Development targets. `make ci` is the gate every change must pass: a full
+# build, vet, and the test suite under the race detector (the allocation
+# pipeline is wrapper-heavy and lock-protected; races are a primary failure
+# mode of the resilience layer).
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -177,7 +177,7 @@ func benchEquilibrium(b *testing.B, cores int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.FindEquilibrium(); err != nil {
+		if _, err := market.Settle(m.FindEquilibrium()); err != nil {
 			b.Fatal(err)
 		}
 	}

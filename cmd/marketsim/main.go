@@ -8,6 +8,7 @@
 //	marketsim -category CPBB -cores 8 -mech rebudget-20
 //	marketsim -fig3 -mech equalbudget
 //	marketsim -category BBPN -cores 64 -mech rebudget -min-ef 0.5 -sim
+//	marketsim -category CPBN -cores 8 -mech rebudget-20 -sim -faults 0.1 -fault-seed 7
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 
 	"rebudget/internal/cmpsim"
 	"rebudget/internal/core"
+	"rebudget/internal/fault"
+	"rebudget/internal/metrics"
 	"rebudget/internal/numeric"
 	"rebudget/internal/workload"
 )
@@ -33,10 +36,12 @@ func main() {
 		minEF    = flag.Float64("min-ef", 0, "fairness floor for -mech rebudget (Theorem 2 knob)")
 		sim      = flag.Bool("sim", false, "run the detailed execution-driven simulation instead of the analytic market")
 		bw       = flag.Bool("bw", false, "allocate memory bandwidth as a third resource")
+		faults   = flag.Float64("faults", 0, "fault-injection rate in [0,1): monitor corruption + solver stalls at this rate, utility faults at a tenth of it (requires -sim)")
+		faultSee = flag.Uint64("fault-seed", 1, "fault-injection random stream seed")
 	)
 	flag.Parse()
 
-	if err := run(*category, *cores, *seed, *fig3, *mechName, *minEF, *sim, *bw); err != nil {
+	if err := run(*category, *cores, *seed, *fig3, *mechName, *minEF, *sim, *bw, *faults, *faultSee); err != nil {
 		fmt.Fprintln(os.Stderr, "marketsim:", err)
 		os.Exit(1)
 	}
@@ -68,10 +73,16 @@ func parseMechanism(name string, minEF float64) (core.Allocator, error) {
 	}
 }
 
-func run(category string, cores int, seed uint64, fig3 bool, mechName string, minEF float64, sim, bw bool) error {
+func run(category string, cores int, seed uint64, fig3 bool, mechName string, minEF float64, sim, bw bool, faults float64, faultSeed uint64) error {
 	mech, err := parseMechanism(mechName, minEF)
 	if err != nil {
 		return err
+	}
+	if faults < 0 || faults >= 1 {
+		return fmt.Errorf("-faults %g outside [0,1)", faults)
+	}
+	if faults > 0 && !sim {
+		return fmt.Errorf("-faults requires -sim (injection targets the runtime monitoring pipeline)")
 	}
 	var bundle workload.Bundle
 	if fig3 {
@@ -94,6 +105,14 @@ func run(category string, cores int, seed uint64, fig3 bool, mechName string, mi
 		cfg := cmpsim.DefaultConfig(cores)
 		cfg.Seed = seed
 		cfg.BandwidthMarket = bw
+		if faults > 0 {
+			cfg.Faults = fault.Config{
+				MonitorRate: faults,
+				SolverRate:  faults,
+				UtilityRate: faults / 10,
+				Seed:        faultSeed,
+			}
+		}
 		chip, err := cmpsim.NewChip(cfg, bundle)
 		if err != nil {
 			return err
@@ -108,6 +127,17 @@ func run(category string, cores int, seed uint64, fig3 bool, mechName string, mi
 		fmt.Printf("  mean iterations   %8.1f\n", res.MeanIterations)
 		fmt.Printf("  avg core power    %7.2f W\n", res.AvgPowerW)
 		fmt.Printf("  max temperature   %7.1f C\n", res.MaxTempC)
+		if faults > 0 {
+			h := res.Health
+			fmt.Printf("  pipeline health   %8s (attempts %d, failures %d, pinned %d, transitions %d)\n",
+				h.State, h.AllocAttempts, h.AllocFailures, h.PinnedIntervals, h.Transitions)
+			fmt.Printf("  failure causes    monitor %d, utility %d, solver %d, other %d\n",
+				h.Causes[metrics.CauseMonitor], h.Causes[metrics.CauseUtility],
+				h.Causes[metrics.CauseSolver], h.Causes[metrics.CauseAllocator])
+			fmt.Printf("  faults fired      curves %d, utilities %d, stalls %d; repairs %d, non-converged %d\n",
+				res.Faults.CurveFaults, res.Faults.UtilityFaults, res.Faults.SolverStalls,
+				h.CurveRepairs, h.NonConverged)
+		}
 		fmt.Printf("  %-14s %10s\n", "app", "norm perf")
 		for i, a := range bundle.Apps {
 			fmt.Printf("  %-14s %10.3f\n", fmt.Sprintf("%s#%d", a.Name, i), res.NormPerf[i])

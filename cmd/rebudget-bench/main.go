@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|table1|convergence|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|table1|convergence|resilience|ablations|all")
 		cores   = flag.Int("cores", 64, "CMP size for fig4/fig5/convergence (multiple of 4)")
 		bundles = flag.Int("bundles", 40, "random bundles per category for fig4/convergence")
 		seed    = flag.Uint64("seed", 1, "workload generation seed")
@@ -133,6 +133,22 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 		}); err != nil {
 			return err
 		}
+		fmt.Fprintln(w)
+	}
+	if exp == "resilience" {
+		// Explicit-only (not part of "all"): the sweep injects faults, so
+		// it is a diagnostic rather than a paper figure.
+		ran = true
+		cfg := cmpsim.DefaultConfig(cores)
+		cfg.Epochs = epochs
+		cfg.MaxAccessesPerCoreEpoch = samples
+		cfg.Seed = seed
+		fmt.Fprintf(w, "# running resilience sweep: %d cores, %d epochs …\n", cores, epochs)
+		r, err := experiments.RunResilience(cfg, seed, nil)
+		if err != nil {
+			return err
+		}
+		experiments.RenderResilience(w, r)
 		fmt.Fprintln(w)
 	}
 	if want("validate") {

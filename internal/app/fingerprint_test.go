@@ -1,0 +1,42 @@
+package app
+
+import (
+	"testing"
+
+	"rebudget/internal/trace"
+)
+
+func TestSpecFingerprint(t *testing.T) {
+	base, err := Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	again, _ := Lookup("mcf")
+	if base.Fingerprint() != again.Fingerprint() {
+		t.Fatal("identical specs hash differently")
+	}
+
+	// Every model parameter must perturb the hash — a same-named spec with
+	// different parameters is a different workload.
+	mutations := map[string]func(*Spec){
+		"Name":     func(s *Spec) { s.Name = "mcf2" },
+		"Class":    func(s *Spec) { s.Class = (s.Class + 1) % 4 },
+		"CPIBase":  func(s *Spec) { s.CPIBase *= 1.5 },
+		"API":      func(s *Spec) { s.API *= 2 },
+		"Activity": func(s *Spec) { s.Activity *= 0.5 },
+		"Mix": func(s *Spec) {
+			s.Mix = append([]trace.Component(nil), s.Mix...)
+			s.Mix[0].Weight *= 1.25
+		},
+	}
+	for field, mutate := range mutations {
+		mod := base
+		mutate(&mod)
+		if mod.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutating %s did not change the fingerprint", field)
+		}
+	}
+}

@@ -10,6 +10,8 @@ package app
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"rebudget/internal/cache"
 	"rebudget/internal/trace"
@@ -62,6 +64,47 @@ type Spec struct {
 	// monitoring + reallocation must follow it. The analytic miss curve
 	// of a phased application is the access-weighted mix of its phases.
 	Phases []trace.Phase
+}
+
+// Fingerprint hashes every model parameter — name, class, scalars, the
+// full reuse mixture and any phase schedule — into one value. Two specs
+// share a fingerprint iff they describe the same synthetic program, so it
+// is safe as a cache key where the name alone is not: custom or mutated
+// specs may reuse a catalog name with different behaviour.
+func (s Spec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	writeStr := func(v string) {
+		h.Write([]byte(v))
+		h.Write([]byte{0})
+	}
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeMix := func(mix []trace.Component) {
+		writeU64(uint64(len(mix)))
+		for _, c := range mix {
+			writeU64(uint64(c.Kind))
+			writeF64(c.Weight)
+			writeF64(c.Param)
+		}
+	}
+	writeStr(s.Name)
+	writeU64(uint64(s.Class))
+	writeF64(s.CPIBase)
+	writeF64(s.API)
+	writeF64(s.Activity)
+	writeMix(s.Mix)
+	writeU64(uint64(len(s.Phases)))
+	for _, p := range s.Phases {
+		writeMix(p.Mix)
+		writeU64(uint64(p.Accesses))
+	}
+	return h.Sum64()
 }
 
 // reg converts regions to lines for mixture parameters.

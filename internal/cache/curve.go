@@ -57,6 +57,35 @@ func (mc *MissCurve) Monotone() *MissCurve {
 	return &MissCurve{Ratio: out}
 }
 
+// Repair sanitizes a raw miss-ratio vector in place so it satisfies the
+// invariants NewMissCurve checks and the allocation pipeline assumes:
+// every entry finite, within [0, 1], and non-increasing in allocated
+// capacity. Non-finite or out-of-range entries inherit their left
+// neighbour (conventionally 1 at index 0, the no-cache miss ratio), then a
+// monotonicity sweep clamps any remaining upticks. It reports whether
+// anything was changed — false means the input was already a valid curve,
+// so fault-free runs pass through untouched.
+func Repair(ratio []float64) bool {
+	changed := false
+	for i, m := range ratio {
+		if m != m || m < 0 || m > 1 { // NaN, Inf and range violations alike
+			if i == 0 {
+				ratio[i] = 1
+			} else {
+				ratio[i] = ratio[i-1]
+			}
+			changed = true
+		}
+	}
+	for i := 1; i < len(ratio); i++ {
+		if ratio[i] > ratio[i-1] {
+			ratio[i] = ratio[i-1]
+			changed = true
+		}
+	}
+	return changed
+}
+
 // Points converts the curve into (regions, missRatio) samples.
 func (mc *MissCurve) Points() []numeric.Point {
 	pts := make([]numeric.Point, len(mc.Ratio))

@@ -7,6 +7,7 @@ import (
 	"rebudget/internal/cache"
 	"rebudget/internal/core"
 	"rebudget/internal/dram"
+	"rebudget/internal/fault"
 	"rebudget/internal/market"
 	"rebudget/internal/metrics"
 	"rebudget/internal/numeric"
@@ -54,6 +55,14 @@ type Chip struct {
 	reallocs     int
 	throttles    int
 	ran          bool
+
+	// Fault-injection and degraded-mode state. The injector is nil when
+	// Config.Faults is disabled, so clean runs take no fault branch.
+	injector     *fault.Injector
+	resil        ResilienceConfig
+	health       metrics.Health
+	consecFails  int
+	cooldownLeft int
 }
 
 // NewChip builds a chip for the bundle.
@@ -102,6 +111,8 @@ func NewChip(cfg Config, b workload.Bundle) (*Chip, error) {
 		bwAlloc:      make([]float64, cfg.Cores),
 		missEst:      make([]float64, cfg.Cores),
 		instructions: make([]float64, cfg.Cores),
+		injector:     fault.New(cfg.Faults),
+		resil:        cfg.Resilience.withDefaults(),
 	}
 	rng := numeric.NewRand(cfg.Seed)
 	for i, spec := range b.Apps {
@@ -291,10 +302,43 @@ func (c *Chip) Temperatures() []float64 {
 	return out
 }
 
-// buildPlayers constructs market player specs from the online-monitored
-// miss curves — §4.1.1's runtime utility modelling. In BandwidthMarket mode
-// the players carry three-resource utilities.
+// buildPlayers constructs market player specs from the clean
+// online-monitored miss curves — §4.1.1's runtime utility modelling — with
+// no fault injection. The final envy-freeness evaluation uses this path, so
+// resilience is judged against what the applications actually wanted.
 func (c *Chip) buildPlayers() ([]core.PlayerSpec, []market.Utility, error) {
+	curves := make([]*cache.MissCurve, c.cfg.Cores)
+	for i := range curves {
+		curves[i] = c.umons[i].Curve()
+	}
+	return c.playersFrom(curves, false)
+}
+
+// allocationPlayers is the reallocation-path variant of buildPlayers: each
+// monitor reading passes through the fault injector (possibly corrupting
+// it) and then through the cache.Repair sanitizer, and the resulting
+// utilities may be wrapped to misbehave mid-equilibrium. Corruption lives
+// only in the allocator's view — the measurement path and the final
+// evaluation stay clean, as a broken sensor cannot change how the hardware
+// actually performs.
+func (c *Chip) allocationPlayers() ([]core.PlayerSpec, []market.Utility, error) {
+	curves := make([]*cache.MissCurve, c.cfg.Cores)
+	for i := range curves {
+		mc := c.umons[i].Curve()
+		c.injector.CorruptCurve(mc.Ratio)
+		if cache.Repair(mc.Ratio) {
+			c.health.CurveRepairs++
+		}
+		curves[i] = mc
+	}
+	return c.playersFrom(curves, true)
+}
+
+// playersFrom builds the player specs for the given curves. In
+// BandwidthMarket mode the players carry three-resource utilities. With
+// faulty set, utilities pass through the injector's wrapper (a no-op when
+// injection is disabled).
+func (c *Chip) playersFrom(curves []*cache.MissCurve, faulty bool) ([]core.PlayerSpec, []market.Utility, error) {
 	players := make([]core.PlayerSpec, c.cfg.Cores)
 	utils := make([]market.Utility, c.cfg.Cores)
 	for i := range players {
@@ -305,17 +349,21 @@ func (c *Chip) buildPlayers() ([]core.PlayerSpec, []market.Utility, error) {
 		}
 		var err error
 		if c.cfg.BandwidthMarket {
-			u, err = app.NewBandwidthUtility(c.models[i], c.umons[i].Curve())
+			u, err = app.NewBandwidthUtility(c.models[i], curves[i])
 		} else {
-			u, err = app.NewUtility(c.models[i], c.umons[i].Curve())
+			u, err = app.NewUtility(c.models[i], curves[i])
 		}
 		if err != nil {
 			return nil, nil, err
 		}
 		utils[i] = u
+		pu := market.Utility(u)
+		if faulty {
+			pu = c.injector.WrapUtility(pu)
+		}
 		players[i] = core.PlayerSpec{
 			Name:     fmt.Sprintf("%s#%d", c.bundle.Apps[i].Name, i),
-			Utility:  u,
+			Utility:  pu,
 			MaxAlloc: u.MaxUsefulAlloc(),
 			MinAlloc: u.MinAlloc(),
 		}
@@ -358,6 +406,12 @@ type Result struct {
 	// ThrottleEpochs counts epochs where the RAPL-style governor had to
 	// pull frequencies back under the chip TDP.
 	ThrottleEpochs int
+	// Health is the allocation pipeline's degraded-mode telemetry: final
+	// state, failure counts by cause, pinned intervals and repairs.
+	Health metrics.Health
+	// Faults counts the faults the injector actually fired (all zero when
+	// injection is disabled).
+	Faults fault.Stats
 }
 
 // envyFreenessOf evaluates Definition 3 for an outcome under the given

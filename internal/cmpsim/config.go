@@ -12,6 +12,7 @@ package cmpsim
 import (
 	"fmt"
 
+	"rebudget/internal/fault"
 	"rebudget/internal/power"
 )
 
@@ -45,6 +46,38 @@ type Config struct {
 	// its own allocated share of the channels rather than the shared
 	// pool. Exercises the framework's general M-resource form (§2).
 	BandwidthMarket bool
+	// Faults configures deterministic fault injection into the allocation
+	// pipeline (corrupted monitor readings, misbehaving utilities, stalled
+	// equilibrium searches). The zero value disables injection entirely
+	// and leaves the simulation bit-identical to a build without it.
+	Faults fault.Config
+	// Resilience tunes the degraded-mode state machine that keeps the
+	// simulation running when allocation fails. Zero values select the
+	// documented defaults.
+	Resilience ResilienceConfig
+}
+
+// ResilienceConfig tunes the chip's healthy → degraded → recovering state
+// machine (see DESIGN.md, "Failure model & degraded mode").
+type ResilienceConfig struct {
+	// MaxConsecFailures is how many consecutive allocation failures the
+	// pipeline tolerates before transitioning to Degraded and pinning the
+	// last installed allocation (default 3).
+	MaxConsecFailures int
+	// CooldownIntervals is how many reallocation intervals the pipeline
+	// stays pinned before transitioning to Recovering and re-probing the
+	// allocator (default 4).
+	CooldownIntervals int
+}
+
+func (r ResilienceConfig) withDefaults() ResilienceConfig {
+	if r.MaxConsecFailures <= 0 {
+		r.MaxConsecFailures = 3
+	}
+	if r.CooldownIntervals <= 0 {
+		r.CooldownIntervals = 4
+	}
+	return r
 }
 
 // DefaultConfig returns a simulation sized for the given core count with

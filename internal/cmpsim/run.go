@@ -1,11 +1,14 @@
 package cmpsim
 
 import (
+	"errors"
 	"sync"
 
 	"rebudget/internal/app"
 	"rebudget/internal/cache"
 	"rebudget/internal/core"
+	"rebudget/internal/market"
+	"rebudget/internal/metrics"
 	"rebudget/internal/numeric"
 	"rebudget/internal/power"
 )
@@ -66,6 +69,13 @@ func (c *Chip) runEpoch(measured bool) {
 	for i := 0; i < n; i++ {
 		if counts[i] > 0 {
 			c.missEst[i] = float64(misses[i]) / float64(counts[i])
+		} else {
+			// Nothing was measured this epoch, so the old estimate is
+			// stale. Decay it toward the pessimistic cold-start value
+			// instead of trusting it indefinitely: an idle core that
+			// resumes issuing should be re-measured, not modelled by an
+			// epoch-old snapshot.
+			c.missEst[i] += 0.5 * (1 - c.missEst[i])
 		}
 	}
 	sampleScale := 1.0
@@ -126,26 +136,77 @@ func (c *Chip) enforcePowerBudget() bool {
 }
 
 // reallocate invokes the mechanism on the freshly monitored utilities and
-// installs the resulting allocation.
+// installs the resulting allocation. It is also the degraded-mode state
+// machine: allocation failures never abort the simulation. Instead the
+// previously installed allocation stays pinned, and after MaxConsecFailures
+// consecutive failures the pipeline stops probing the allocator for a
+// CooldownIntervals window (Degraded), then re-probes (Recovering) — a
+// failure mid-recovery falls straight back to Degraded, a success returns
+// to Healthy. The returned error is reserved for construction bugs, not
+// runtime faults.
 func (c *Chip) reallocate(alloc core.Allocator) error {
-	players, _, err := c.buildPlayers()
+	if c.health.State == metrics.Degraded {
+		// Pinned: serve the last installed allocation without probing.
+		c.cooldownLeft--
+		c.health.PinnedIntervals++
+		if c.cooldownLeft <= 0 {
+			c.health.Transition(metrics.Recovering)
+		}
+		return nil
+	}
+	players, _, err := c.allocationPlayers()
 	if err != nil {
 		return err
 	}
+	c.health.AllocAttempts++
 	out, err := alloc.Allocate(c.marketCapacity(), players)
 	if err != nil {
-		return err
+		c.health.RecordFailure(classifyFailure(err))
+		c.consecFails++
+		if c.health.State == metrics.Recovering || c.consecFails >= c.resil.MaxConsecFailures {
+			// One failure is evidence enough mid-recovery; from Healthy it
+			// takes a streak. Either way the last good allocation stays on
+			// the hardware for the cooldown window.
+			c.health.Transition(metrics.Degraded)
+			c.cooldownLeft = c.resil.CooldownIntervals
+			c.consecFails = 0
+		}
+	} else {
+		c.consecFails = 0
+		c.health.Transition(metrics.Healthy)
+		if !out.Converged {
+			c.health.NonConverged++
+		}
+		c.lastOutcome = out
+		c.iterSum += out.Iterations
+		c.reallocs++
+		// applyAllocation re-reads the live monitor curves for the Talus
+		// split, so it must run before the epoch counters are drained.
+		c.applyAllocation(out.Allocations)
 	}
-	c.lastOutcome = out
-	c.iterSum += out.Iterations
-	c.reallocs++
-	c.applyAllocation(out.Allocations)
-	// Drain epoch counters; shadow tags stay warm (§4.1.1 monitors run
-	// continuously).
+	// Drain epoch counters whether or not the probe succeeded; shadow tags
+	// stay warm (§4.1.1 monitors run continuously).
 	for _, u := range c.umons {
 		u.Reset()
 	}
 	return nil
+}
+
+// classifyFailure maps an allocation error onto the telemetry cause
+// taxonomy via the typed errors the hardened market layer returns.
+func classifyFailure(err error) metrics.FailureCause {
+	var ue *market.UtilityError
+	if errors.As(err, &ue) {
+		return metrics.CauseUtility
+	}
+	var nc *market.NotConvergedError
+	if errors.As(err, &nc) {
+		return metrics.CauseSolver
+	}
+	if errors.Is(err, core.ErrBadInput) {
+		return metrics.CauseMonitor
+	}
+	return metrics.CauseAllocator
 }
 
 // Run simulates the bundle under the given mechanism and returns the
@@ -158,9 +219,10 @@ func (c *Chip) Run(alloc core.Allocator) (*Result, error) {
 // --- stand-alone reference runs ---
 
 type aloneKey struct {
-	name    string
-	l2Bytes int
-	l2Ways  int
+	name        string
+	fingerprint uint64 // full Spec hash: same-named custom specs must not collide
+	l2Bytes     int
+	l2Ways      int
 }
 
 var (
@@ -172,10 +234,16 @@ var (
 // to itself at full frequency (§4.1.1: "running alone and thus owns all the
 // resources") — and returns steady-state instructions per second. The run
 // warms the cache until the measured miss ratio stabilises, then averages a
-// few measurement epochs. Results are cached per (app name, cache
-// geometry); custom specs should therefore carry unique names.
+// few measurement epochs. Results are cached per (spec fingerprint, cache
+// geometry), so custom specs that reuse a catalog name with different
+// parameters get their own reference run instead of a silently wrong one.
 func alonePerfIPS(spec app.Spec, sys SystemConfig) (float64, error) {
-	key := aloneKey{name: spec.Name, l2Bytes: sys.L2CapacityBytes, l2Ways: sys.L2Ways}
+	key := aloneKey{
+		name:        spec.Name,
+		fingerprint: spec.Fingerprint(),
+		l2Bytes:     sys.L2CapacityBytes,
+		l2Ways:      sys.L2Ways,
+	}
 	aloneMu.Lock()
 	if v, ok := aloneCache[key]; ok {
 		aloneMu.Unlock()

@@ -58,6 +58,11 @@ func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*R
 		return nil, fmt.Errorf("cmpsim: chip already ran; construct a new chip per run")
 	}
 	c.ran = true
+	if hook := c.injector.SolverHook(); hook != nil {
+		// Solver-stall faults enter through the market's round hook; the
+		// allocator types themselves stay fault-agnostic.
+		alloc = core.WithRoundHook(alloc, hook)
+	}
 	evs := append([]SwitchEvent(nil), switches...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Epoch < evs[j].Epoch })
 	for _, e := range evs {
@@ -117,6 +122,8 @@ func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*R
 	res.MaxTempC = maxTemp
 	res.AvgPowerW = totalPower / float64(c.cfg.Cores)
 	res.ThrottleEpochs = c.throttles
+	res.Health = c.health
+	res.Faults = c.injector.Stats()
 	res.FinalOutcome = c.lastOutcome
 	if c.reallocs > 0 {
 		res.MeanIterations = float64(c.iterSum) / float64(c.reallocs)

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -92,6 +93,42 @@ type Allocator interface {
 	Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error)
 }
 
+// ErrBadInput marks allocation failures caused by invalid player input —
+// a utility returning NaN/Inf mid-round, or the degenerate market state
+// such a utility induces — rather than by the mechanism itself. Hardened
+// callers test with errors.Is and sanitize or fall back; the mechanisms
+// guarantee they return this typed error, never NaN budgets.
+var ErrBadInput = errors.New("invalid player input")
+
+// WithRoundHook returns a copy of alloc with the market-level round hook
+// installed on mechanisms that run equilibria (ReBudget, EqualBudget,
+// Balanced); any other mechanism passes through unchanged. The
+// fault-injection framework uses it to stall equilibrium searches without
+// the allocator types knowing about faults.
+func WithRoundHook(a Allocator, hook func(iteration int) bool) Allocator {
+	switch m := a.(type) {
+	case ReBudget:
+		m.Market.RoundHook = hook
+		return m
+	case EqualBudget:
+		m.Market.RoundHook = hook
+		return m
+	case Balanced:
+		m.Market.RoundHook = hook
+		return m
+	case RoundHooker:
+		return m.WithRoundHook(hook)
+	}
+	return a
+}
+
+// RoundHooker is implemented by wrapper allocators (Resilient, telemetry
+// shims) so WithRoundHook can thread the hook through to the mechanism they
+// wrap.
+type RoundHooker interface {
+	WithRoundHook(hook func(iteration int) bool) Allocator
+}
+
 func validate(capacity []float64, players []PlayerSpec) error {
 	if len(capacity) == 0 {
 		return fmt.Errorf("core: no resources")
@@ -139,6 +176,8 @@ func (EqualShare) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 }
 
 // marketOutcome runs one equilibrium with the given budgets and wraps it.
+// Non-convergence is accepted explicitly (Settle) and reported through the
+// outcome's Converged field, matching the paper's §6.4 fail-safe.
 func marketOutcome(name string, capacity []float64, players []PlayerSpec,
 	budgets []float64, cfg market.Config) (*Outcome, error) {
 	mp := make([]*market.Player, len(players))
@@ -147,19 +186,19 @@ func marketOutcome(name string, capacity []float64, players []PlayerSpec,
 	}
 	m, err := market.New(capacity, mp, cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
-	eq, err := m.FindEquilibrium()
+	eq, err := market.Settle(m.FindEquilibrium())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
 	mur, err := metrics.MUR(eq.Lambdas)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
 	mbr, err := metrics.MBR(budgets)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
 	return &Outcome{
 		Mechanism:       name,
@@ -226,6 +265,14 @@ func (a Balanced) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 		}
 		umax := p.Utility.Value(maxAlloc)
 		umin := p.Utility.Value(minAlloc)
+		// A non-finite potential probe would silently turn into NaN budgets
+		// for everyone; surface the culprit as a typed error instead.
+		for _, v := range []float64{umax, umin} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: Balanced: %w: %w", ErrBadInput,
+					&market.UtilityError{Player: i, Name: p.Name, Value: v, Context: "potential probe utility"})
+			}
+		}
 		w := 0.0
 		if umax > 0 {
 			w = (umax - umin) / umax

@@ -88,6 +88,19 @@ func (r ReBudget) withDefaults() (ReBudget, error) {
 	return r, nil
 }
 
+// EffectiveMBRFloor resolves the fairness floor this configuration
+// guarantees: the lowest admissible ratio of any player's budget to the
+// maximum, after the Step/MBRFloor/MinEnvyFreeness derivation rules of
+// withDefaults. Tests and the resilience experiment use it to check the
+// Theorem 2 guarantee is never violated, faults or not.
+func (r ReBudget) EffectiveMBRFloor() (float64, error) {
+	cfg, err := r.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	return cfg.MBRFloor, nil
+}
+
 // maxTotalCut sums the halving sequence step, step/2, … down to minStep.
 func maxTotalCut(step, minStep float64) float64 {
 	total := 0.0
@@ -134,10 +147,14 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 	for round := 0; round < cfg.MaxRounds; round++ {
 		// Re-converge from the previous equilibrium's bids: after a
 		// budget cut the market is already close, which is what keeps
-		// ReBudget's extra equilibrium runs cheap (§6.4).
-		eq, err = m.FindEquilibriumFrom(warmBids)
+		// ReBudget's extra equilibrium runs cheap (§6.4). Non-converged
+		// runs are accepted explicitly (the §6.4 fail-safe installs the
+		// best-effort state); any other equilibrium failure — a NaN/Inf
+		// utility mid-round, say — aborts with a typed error so callers
+		// never see NaN budgets.
+		eq, err = market.Settle(m.FindEquilibriumFrom(warmBids))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: ReBudget round %d: %w: %w", round, ErrBadInput, err)
 		}
 		warmBids = eq.Bids
 		totalIters += eq.Iterations
@@ -175,11 +192,11 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 
 	mur, err := metrics.MUR(eq.Lambdas)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: ReBudget: %w: %w", ErrBadInput, err)
 	}
 	mbr, err := metrics.MBR(budgets)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: ReBudget: %w: %w", ErrBadInput, err)
 	}
 	return &Outcome{
 		Mechanism:       r.Name(),

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rebudget/internal/market"
+	"rebudget/internal/numeric"
+)
+
+// ResilientConfig tunes the Resilient wrapper. Zero values select the
+// defaults documented on each field.
+type ResilientConfig struct {
+	// Fallback is the terminal mechanism of the chain (default EqualShare).
+	// It runs on sanitized utilities, so it cannot be poisoned by the same
+	// bad input that felled the inner mechanism.
+	Fallback Allocator
+	// Threshold is the number of consecutive inner failures before the
+	// wrapper backs off and serves degraded outcomes without probing the
+	// inner mechanism (default 3).
+	Threshold int
+	// CooldownCalls is the base number of Allocate calls spent backing
+	// off before the inner mechanism is probed again (default 4). The
+	// actual cooldown adds a deterministic jitter of up to CooldownCalls
+	// extra calls so that fleets of wrappers sharing a failing dependency
+	// do not re-probe in lockstep.
+	CooldownCalls int
+	// Seed drives the cooldown jitter (default 1).
+	Seed uint64
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.Fallback == nil {
+		c.Fallback = EqualShare{}
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.CooldownCalls <= 0 {
+		c.CooldownCalls = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ResilientStats counts what the fallback chain had to do.
+type ResilientStats struct {
+	Calls               int // Allocate invocations
+	InnerFailures       int // inner mechanism errors or non-finite outcomes
+	SanitizedRecoveries int // retries that succeeded on sanitized utilities
+	LastGoodServed      int // calls answered with the last good outcome
+	FallbackServed      int // calls answered by the Fallback mechanism
+	Backoffs            int // times the wrapper entered cooldown
+}
+
+// Resilient hardens any allocation mechanism with a graceful-degradation
+// fallback chain. Each Allocate call walks:
+//
+//  1. the inner mechanism on the raw inputs;
+//  2. one retry with sanitized utilities (non-finite and negative values
+//     clamped), the cheap repair for transiently corrupted monitors;
+//  3. the last good outcome this wrapper produced for the same problem
+//     shape (player count and capacities);
+//  4. the Fallback mechanism (EqualShare by default) on sanitized inputs.
+//
+// After Threshold consecutive inner failures the wrapper backs off: it
+// serves steps 3–4 directly for a jittered CooldownCalls window before
+// probing the inner mechanism again, bounding how much latency a
+// persistently failing solver can add to the allocation path. A Resilient
+// whose inner mechanism never fails is byte-transparent: outcomes pass
+// through unmodified.
+type Resilient struct {
+	inner Allocator
+	cfg   ResilientConfig
+	rng   *numeric.Rand
+
+	mu           sync.Mutex
+	consecFails  int
+	cooldownLeft int
+	recovering   bool // the next probe follows a cooldown; fail fast on error
+	lastGood     *Outcome
+	lastCapacity []float64
+	lastPlayers  int
+	stats        ResilientStats
+}
+
+// NewResilient wraps inner with the graceful-degradation chain.
+func NewResilient(inner Allocator, cfg ResilientConfig) *Resilient {
+	cfg = cfg.withDefaults()
+	return &Resilient{inner: inner, cfg: cfg, rng: numeric.NewRand(cfg.Seed)}
+}
+
+// Name implements Allocator.
+func (r *Resilient) Name() string { return r.inner.Name() }
+
+// WithRoundHook implements RoundHooker: the hook is threaded through to the
+// wrapped mechanism in place, so handles to this wrapper (and its stats)
+// stay valid.
+func (r *Resilient) WithRoundHook(hook func(iteration int) bool) Allocator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner = WithRoundHook(r.inner, hook)
+	return r
+}
+
+// Stats returns a snapshot of the fallback-chain counters.
+func (r *Resilient) Stats() ResilientStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Allocate implements Allocator. It never returns NaN allocations; it
+// errors only when every link of the chain fails (which requires the
+// fallback mechanism itself to reject the inputs).
+func (r *Resilient) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Calls++
+
+	if r.cooldownLeft > 0 {
+		r.cooldownLeft--
+		if r.cooldownLeft == 0 {
+			r.recovering = true
+		}
+		return r.degraded(capacity, players)
+	}
+
+	out, err := r.inner.Allocate(capacity, players)
+	if err == nil {
+		if err = checkFinite(out); err == nil {
+			r.recordGood(out, capacity, len(players))
+			return out, nil
+		}
+	}
+	r.stats.InnerFailures++
+
+	// Retry once on sanitized utilities: if the failure came from a
+	// transiently corrupted reading, clamping non-finite values is enough
+	// to get a real (if slightly conservative) decision this interval.
+	out, err = r.inner.Allocate(capacity, sanitizePlayers(players))
+	if err == nil {
+		if err = checkFinite(out); err == nil {
+			r.stats.SanitizedRecoveries++
+			r.recordGood(out, capacity, len(players))
+			return out, nil
+		}
+	}
+
+	r.consecFails++
+	if r.recovering || r.consecFails >= r.cfg.Threshold {
+		// A probe straight after cooldown failing again re-enters backoff
+		// immediately: one failure is evidence enough mid-recovery.
+		r.stats.Backoffs++
+		r.consecFails = 0
+		r.recovering = false
+		// Jittered backoff: cooldown + [0, cooldown) extra calls.
+		r.cooldownLeft = r.cfg.CooldownCalls + int(r.rng.Uint64()%uint64(r.cfg.CooldownCalls))
+	}
+	return r.degraded(capacity, players)
+}
+
+// recordGood stores a defensive copy of the outcome for the last-known-good
+// fallback and resets the failure streak.
+func (r *Resilient) recordGood(out *Outcome, capacity []float64, players int) {
+	r.consecFails = 0
+	r.recovering = false
+	r.lastGood = cloneOutcome(out)
+	r.lastCapacity = append([]float64(nil), capacity...)
+	r.lastPlayers = players
+}
+
+// degraded serves the tail of the chain: last good outcome if the problem
+// shape matches, otherwise the fallback mechanism on sanitized inputs.
+func (r *Resilient) degraded(capacity []float64, players []PlayerSpec) (*Outcome, error) {
+	if r.lastGood != nil && r.lastPlayers == len(players) && sameCapacity(r.lastCapacity, capacity) {
+		r.stats.LastGoodServed++
+		return cloneOutcome(r.lastGood), nil
+	}
+	out, err := r.cfg.Fallback.Allocate(capacity, sanitizePlayers(players))
+	if err != nil {
+		return nil, fmt.Errorf("core: resilient fallback chain exhausted: %w", err)
+	}
+	r.stats.FallbackServed++
+	return out, nil
+}
+
+func sameCapacity(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFinite rejects outcomes carrying NaN/Inf allocations or budgets so
+// they can never be installed on hardware or cached as last-good.
+func checkFinite(out *Outcome) error {
+	for i, row := range out.Allocations {
+		for j, a := range row {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("core: %w: non-finite allocation %v for player %d resource %d",
+					ErrBadInput, a, i, j)
+			}
+		}
+	}
+	for i, b := range out.Budgets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("core: %w: non-finite budget %v for player %d", ErrBadInput, b, i)
+		}
+	}
+	return nil
+}
+
+func cloneOutcome(out *Outcome) *Outcome {
+	cp := *out
+	cp.Allocations = make([][]float64, len(out.Allocations))
+	for i, row := range out.Allocations {
+		cp.Allocations[i] = append([]float64(nil), row...)
+	}
+	cp.Utilities = append([]float64(nil), out.Utilities...)
+	cp.Budgets = append([]float64(nil), out.Budgets...)
+	cp.Lambdas = append([]float64(nil), out.Lambdas...)
+	return &cp
+}
+
+// sanitizedUtility clamps a misbehaving utility into the finite,
+// non-negative range the market theory assumes. It deliberately does not
+// try to be clever: a corrupted reading becomes "worthless" rather than
+// "infinitely valuable", which biases degraded allocations toward the
+// players whose monitors still work.
+type sanitizedUtility struct {
+	inner market.Utility
+}
+
+// Value implements market.Utility.
+func (s sanitizedUtility) Value(alloc []float64) float64 {
+	v := s.inner.Value(alloc)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// sanitizePlayers wraps every player's utility with the non-finite clamp.
+// Specs are copied; the caller's slice is never mutated.
+func sanitizePlayers(players []PlayerSpec) []PlayerSpec {
+	out := make([]PlayerSpec, len(players))
+	for i, p := range players {
+		out[i] = p
+		out[i].Utility = sanitizedUtility{inner: p.Utility}
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package market
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -23,6 +22,14 @@ func (m *Market) FindEquilibrium() (*Equilibrium, error) {
 // (§6.4). A nil start means the cold §4.1.2 equal split. Warm-start bids
 // exceeding a player's (possibly reduced) budget are scaled down
 // proportionally.
+//
+// Every run is budgeted: Config.MaxIterations bounds bidding–pricing
+// rounds, Config.MaxBidSteps bounds total player re-optimisations, and
+// Config.RoundHook may abort a round. A run that stops before prices
+// settle returns a *NotConvergedError carrying the full partial state
+// (utilities and lambdas included) instead of an equilibrium with a silent
+// Converged flag; use Settle to accept best-effort state explicitly. A
+// player utility producing NaN/Inf surfaces as a *UtilityError.
 func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) {
 	n := len(m.players)
 	mm := len(m.capacity)
@@ -52,9 +59,20 @@ func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) 
 	prices := m.prices(bids)
 
 	iterations := 0
+	steps := 0
 	converged := false
+	stopReason := "iteration budget exhausted"
 	for iterations < m.cfg.MaxIterations {
+		if m.cfg.RoundHook != nil && !m.cfg.RoundHook(iterations+1) {
+			stopReason = "aborted by round hook"
+			break
+		}
+		if m.cfg.MaxBidSteps > 0 && steps+n > m.cfg.MaxBidSteps {
+			stopReason = "bid-step budget exhausted"
+			break
+		}
 		iterations++
+		steps += n
 		next := make([][]float64, n)
 		for i, p := range m.players {
 			others := make([]float64, mm)
@@ -110,8 +128,7 @@ func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) 
 	for i, p := range m.players {
 		u := p.Utility.Value(allocs[i])
 		if math.IsNaN(u) || math.IsInf(u, 0) {
-			return nil, fmt.Errorf("market: player %d (%s) utility is %v at its allocation",
-				i, p.Name, u)
+			return nil, &UtilityError{Player: i, Name: p.Name, Value: u, Context: "utility"}
 		}
 		eq.Utilities[i] = u
 		others := make([]float64, mm)
@@ -122,7 +139,14 @@ func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) 
 			}
 			others[j] = y
 		}
-		eq.Lambdas[i] = lambdaOf(p.Utility, bids[i], others, m.capacity, p.Budget)
+		l := lambdaOf(p.Utility, bids[i], others, m.capacity, p.Budget)
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return nil, &UtilityError{Player: i, Name: p.Name, Value: l, Context: "lambda"}
+		}
+		eq.Lambdas[i] = l
+	}
+	if !converged {
+		return nil, &NotConvergedError{Partial: eq, Reason: stopReason}
 	}
 	return eq, nil
 }

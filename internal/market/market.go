@@ -60,6 +60,17 @@ type Config struct {
 	Optimizer BidOptimizer
 	// GreedyQuanta is the budget granularity of GreedyExact (default 100).
 	GreedyQuanta int
+	// MaxBidSteps bounds one equilibrium run's total player bid
+	// re-optimisations (N players × iterations). 0 means no step budget;
+	// when exhausted the run stops with a NotConvergedError carrying the
+	// partial state. A finer-grained fail-safe than MaxIterations for
+	// latency-bounded runtime reallocation.
+	MaxBidSteps int
+	// RoundHook, when non-nil, observes each bidding–pricing round before
+	// it executes (1-based). Returning false aborts the run with a
+	// NotConvergedError. Watchdogs and the fault-injection framework hang
+	// off this hook; nil costs nothing.
+	RoundHook func(iteration int) bool
 }
 
 // BidOptimizer selects a player-local bid search strategy.

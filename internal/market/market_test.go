@@ -1,6 +1,7 @@
 package market
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -207,16 +208,39 @@ func TestLambdaDecreasesWithBudget(t *testing.T) {
 }
 
 func TestEquilibriumRespectsMaxIterations(t *testing.T) {
+	// Asymmetric preferences: one bidding–pricing round cannot settle the
+	// prices, so the iteration budget must trip.
 	m := newTestMarket(t,
-		[]float64{10, 10},
-		[][]float64{{1, 1}, {1, 1}})
+		[]float64{10, 40},
+		[][]float64{{5, 1}, {1, 5}})
 	m.cfg.MaxIterations = 1
 	eq, err := m.FindEquilibrium()
+	if err == nil {
+		t.Fatal("1-iteration run converged; expected NotConvergedError")
+	}
+	var nc *NotConvergedError
+	if !errors.As(err, &nc) {
+		t.Fatalf("error %v is not a NotConvergedError", err)
+	}
+	if nc.Partial == nil {
+		t.Fatal("NotConvergedError must carry the partial state")
+	}
+	if eq != nil {
+		t.Error("non-converged run must not also return an equilibrium")
+	}
+	// Settle is the explicit §6.4 fail-safe: accept the best-effort state.
+	eq, err = Settle(m.FindEquilibrium())
 	if err != nil {
 		t.Fatal(err)
 	}
+	if eq.Converged {
+		t.Error("settled partial state should report Converged=false")
+	}
 	if eq.Iterations > 1 {
 		t.Errorf("iterations = %d, want <= 1", eq.Iterations)
+	}
+	if len(eq.Utilities) != 2 || len(eq.Lambdas) != 2 {
+		t.Error("partial state missing utilities or lambdas")
 	}
 }
 
@@ -260,8 +284,9 @@ func TestCapacityCopied(t *testing.T) {
 	}
 }
 
-// Property: random 3-player sqrt-utility markets converge to a feasible
-// allocation with spent budgets and capacity conservation.
+// Property: random 3-player sqrt-utility markets settle to a feasible
+// allocation with spent budgets and capacity conservation — converged or
+// not (the §6.4 fail-safe state must be feasible too).
 func TestEquilibriumFeasibility(t *testing.T) {
 	f := func(ws [6]float64, bs [3]float64) bool {
 		capacity := []float64{100, 50}
@@ -279,7 +304,7 @@ func TestEquilibriumFeasibility(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		eq, err := m.FindEquilibrium()
+		eq, err := Settle(m.FindEquilibrium())
 		if err != nil {
 			return false
 		}

@@ -32,6 +32,7 @@ import (
 	"rebudget/internal/cache"
 	"rebudget/internal/cmpsim"
 	"rebudget/internal/core"
+	"rebudget/internal/fault"
 	"rebudget/internal/market"
 	"rebudget/internal/metrics"
 	"rebudget/internal/workload"
@@ -61,6 +62,47 @@ type (
 
 // InitialBudget is every player's starting budget (§6).
 const InitialBudget = core.InitialBudget
+
+// --- resilience: fault injection and graceful degradation ---
+
+type (
+	// Resilient hardens any Allocator with a graceful-degradation fallback
+	// chain (sanitized retry → last good outcome → fallback mechanism).
+	Resilient = core.Resilient
+	// ResilientConfig tunes the fallback chain.
+	ResilientConfig = core.ResilientConfig
+	// ResilientStats counts what the fallback chain had to do.
+	ResilientStats = core.ResilientStats
+	// FaultConfig configures the deterministic fault injector; the zero
+	// value disables injection entirely.
+	FaultConfig = fault.Config
+	// FaultStats counts the faults an injector fired.
+	FaultStats = fault.Stats
+	// Health is the allocation pipeline's degraded-mode telemetry.
+	Health = metrics.Health
+	// HealthState is the pipeline state machine position.
+	HealthState = metrics.HealthState
+	// NotConvergedError reports an equilibrium run that stopped before
+	// prices settled, carrying the complete partial state.
+	NotConvergedError = market.NotConvergedError
+	// UtilityError reports a player utility that produced a non-finite
+	// value during an equilibrium run.
+	UtilityError = market.UtilityError
+)
+
+// ErrBadInput marks allocation failures caused by invalid player input.
+var ErrBadInput = core.ErrBadInput
+
+// NewResilient wraps an allocation mechanism with the fallback chain.
+func NewResilient(inner Allocator, cfg ResilientConfig) *Resilient {
+	return core.NewResilient(inner, cfg)
+}
+
+// Settle unwraps a NotConvergedError into its best-effort equilibrium —
+// the paper's §6.4 fail-safe policy as an explicit call-site choice.
+func Settle(eq *Equilibrium, err error) (*Equilibrium, error) {
+	return market.Settle(eq, err)
+}
 
 // --- market framework (§2) ---
 
