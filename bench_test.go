@@ -73,22 +73,42 @@ func sweepOnce(b *testing.B) *experiments.SweepResult {
 	return s
 }
 
+// sweepRounds totals the bidding–pricing rounds a sweep performed, so the
+// benches can report convergence cost (rounds/op) alongside wall time.
+func sweepRounds(s *experiments.SweepResult) int {
+	rounds := 0
+	for _, br := range s.Bundles {
+		for _, it := range br.Iterations {
+			rounds += it
+		}
+	}
+	return rounds
+}
+
 func BenchmarkFig4Efficiency(b *testing.B) {
+	b.ReportAllocs()
+	rounds := 0
 	for i := 0; i < b.N; i++ {
 		s := sweepOnce(b)
 		if len(s.EfficiencyColumn("ReBudget-40")) != 6 {
 			b.Fatal("bad sweep shape")
 		}
+		rounds += sweepRounds(s)
 	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 }
 
 func BenchmarkFig4EnvyFreeness(b *testing.B) {
+	b.ReportAllocs()
+	rounds := 0
 	for i := 0; i < b.N; i++ {
 		s := sweepOnce(b)
 		if len(s.EnvyColumn("EqualBudget")) != 6 {
 			b.Fatal("bad sweep shape")
 		}
+		rounds += sweepRounds(s)
 	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 }
 
 // --- Figure 5: detailed execution-driven simulation ---
@@ -108,6 +128,8 @@ func BenchmarkFig5Simulation(b *testing.B) {
 // --- §6.4 convergence study ---
 
 func BenchmarkConvergence(b *testing.B) {
+	b.ReportAllocs()
+	rounds := 0
 	for i := 0; i < b.N; i++ {
 		s := sweepOnce(b)
 		for _, sum := range s.Summarize() {
@@ -115,7 +137,9 @@ func BenchmarkConvergence(b *testing.B) {
 				b.Fatal("missing iteration data")
 			}
 		}
+		rounds += sweepRounds(s)
 	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 }
 
 // --- ablations (DESIGN.md design choices) ---
@@ -154,10 +178,14 @@ func BenchmarkAblationLambdaThreshold(b *testing.B) {
 
 // --- substrate micro-benchmarks ---
 
-func BenchmarkMarketEquilibrium8(b *testing.B)  { benchEquilibrium(b, 8) }
-func BenchmarkMarketEquilibrium64(b *testing.B) { benchEquilibrium(b, 64) }
+func BenchmarkMarketEquilibrium8(b *testing.B)  { benchEquilibrium(b, 8, 0) }
+func BenchmarkMarketEquilibrium64(b *testing.B) { benchEquilibrium(b, 64, 0) }
 
-func benchEquilibrium(b *testing.B, cores int) {
+// Serial pins Workers to 1 — the benchstat reference for the worker-pool
+// speedup (identical results, different wall time on multi-core hosts).
+func BenchmarkMarketEquilibrium64Serial(b *testing.B) { benchEquilibrium(b, 64, 1) }
+
+func benchEquilibrium(b *testing.B, cores, workers int) {
 	b.Helper()
 	bundle, err := workload.Generate(workload.CPBN, cores, numeric.NewRand(3))
 	if err != nil {
@@ -171,16 +199,22 @@ func benchEquilibrium(b *testing.B, cores int) {
 	for i, p := range setup.Players {
 		players = append(players, &market.Player{Name: p.Name, Utility: p.Utility, Budget: 100 + float64(i%3)})
 	}
-	m, err := market.New(setup.Capacity, players, market.Config{})
+	m, err := market.New(setup.Capacity, players, market.Config{Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer m.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
+	rounds := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := market.Settle(m.FindEquilibrium()); err != nil {
+		eq, err := market.Settle(m.FindEquilibrium())
+		if err != nil {
 			b.Fatal(err)
 		}
+		rounds += eq.Iterations
 	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 }
 
 func BenchmarkReBudget64(b *testing.B) {
@@ -192,12 +226,17 @@ func BenchmarkReBudget64(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	rounds := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := (core.ReBudget{Step: 20}).Allocate(setup.Capacity, setup.Players); err != nil {
+		out, err := (core.ReBudget{Step: 20}).Allocate(setup.Capacity, setup.Players)
+		if err != nil {
 			b.Fatal(err)
 		}
+		rounds += out.Iterations
 	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 }
 
 func BenchmarkMaxEfficiency64(b *testing.B) {

@@ -15,12 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"rebudget/internal/cmpsim"
 	"rebudget/internal/core"
 	"rebudget/internal/fault"
+	"rebudget/internal/market"
 	"rebudget/internal/metrics"
 	"rebudget/internal/numeric"
 	"rebudget/internal/workload"
@@ -38,13 +41,61 @@ func main() {
 		bw       = flag.Bool("bw", false, "allocate memory bandwidth as a third resource")
 		faults   = flag.Float64("faults", 0, "fault-injection rate in [0,1): monitor corruption + solver stalls at this rate, utility faults at a tenth of it (requires -sim)")
 		faultSee = flag.Uint64("fault-seed", 1, "fault-injection random stream seed")
+		workers  = flag.Int("workers", 0, "equilibrium round parallelism (0 = GOMAXPROCS, 1 = serial)")
+		eqstats  = flag.Bool("eqstats", false, "print equilibrium convergence-cost counters to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*category, *cores, *seed, *fig3, *mechName, *minEF, *sim, *bw, *faults, *faultSee); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "marketsim:", err)
 		os.Exit(1)
 	}
+	err = run(*category, *cores, *seed, *fig3, *mechName, *minEF, *sim, *bw, *faults, *faultSee, *workers, *eqstats)
+	stopProf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marketsim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts the optional pprof captures; the returned function
+// finalises them (stops the CPU profile, writes the heap profile).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marketsim: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "marketsim: memprofile:", err)
+		}
+	}, nil
 }
 
 func parseMechanism(name string, minEF float64) (core.Allocator, error) {
@@ -73,11 +124,22 @@ func parseMechanism(name string, minEF float64) (core.Allocator, error) {
 	}
 }
 
-func run(category string, cores int, seed uint64, fig3 bool, mechName string, minEF float64, sim, bw bool, faults float64, faultSeed uint64) error {
+func run(category string, cores int, seed uint64, fig3 bool, mechName string, minEF float64, sim, bw bool, faults float64, faultSeed uint64, workers int, eqstats bool) error {
 	mech, err := parseMechanism(mechName, minEF)
 	if err != nil {
 		return err
 	}
+	var prof metrics.EquilibriumProfile
+	defer func() {
+		if eqstats {
+			fmt.Fprintln(os.Stderr, "marketsim:", prof.Snapshot())
+		}
+	}()
+	mech = core.WithMarketConfig(mech, func(mc market.Config) market.Config {
+		mc.Workers = workers
+		mc.Observer = prof.Observe
+		return mc
+	})
 	if faults < 0 || faults >= 1 {
 		return fmt.Errorf("-faults %g outside [0,1)", faults)
 	}
@@ -105,6 +167,7 @@ func run(category string, cores int, seed uint64, fig3 bool, mechName string, mi
 		cfg := cmpsim.DefaultConfig(cores)
 		cfg.Seed = seed
 		cfg.BandwidthMarket = bw
+		cfg.MarketWorkers = workers
 		if faults > 0 {
 			cfg.Faults = fault.Config{
 				MonitorRate: faults,
@@ -120,6 +183,12 @@ func run(category string, cores int, seed uint64, fig3 bool, mechName string, mi
 		res, err := chip.Run(mech)
 		if err != nil {
 			return err
+		}
+		if eqstats {
+			// The chip installs its own per-run profiler over the
+			// command-level one; report the chip's counters.
+			fmt.Fprintln(os.Stderr, "marketsim:", res.Equilibrium)
+			eqstats = false
 		}
 		fmt.Printf("\ndetailed simulation, mechanism %s:\n", res.Mechanism)
 		fmt.Printf("  weighted speedup  %8.3f\n", res.WeightedSpeedup)

@@ -14,10 +14,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rebudget/internal/cmpsim"
 	"rebudget/internal/experiments"
+	"rebudget/internal/market"
+	"rebudget/internal/metrics"
 )
 
 func main() {
@@ -29,17 +33,80 @@ func main() {
 		epochs  = flag.Int("epochs", 12, "measured epochs per fig5 simulation")
 		samples = flag.Int("samples", 6000, "max simulated L2 accesses per core per epoch (fig5)")
 		csvDir  = flag.String("csv", "", "directory to also write tidy CSV datasets into (fig2/fig4/fig5)")
+		workers = flag.Int("workers", 0, "equilibrium round parallelism (0 = GOMAXPROCS, 1 = serial)")
+		eqstats = flag.Bool("eqstats", false, "print equilibrium convergence-cost counters to stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *cores, *bundles, *seed, *epochs, *samples, *csvDir); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rebudget-bench:", err)
+		os.Exit(1)
+	}
+	err = run(*exp, *cores, *bundles, *seed, *epochs, *samples, *csvDir, *workers, *eqstats)
+	stopProf()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rebudget-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDir string) error {
+// startProfiles starts the optional pprof captures; the returned function
+// finalises them (stops the CPU profile, writes the heap profile).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebudget-bench: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rebudget-bench: memprofile:", err)
+		}
+	}, nil
+}
+
+func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDir string, workers int, eqstats bool) error {
 	w := os.Stdout
+	// Equilibrium profiling and the worker knob thread through every
+	// analytic-market experiment; detailed simulations carry their own
+	// per-chip profile (Result.Equilibrium) and take workers via
+	// cmpsim.Config.MarketWorkers.
+	var prof metrics.EquilibriumProfile
+	mechs := experiments.InstrumentedMechanisms(func(mc market.Config) market.Config {
+		mc.Workers = workers
+		mc.Observer = prof.Observe
+		return mc
+	})
+	defer func() {
+		if eqstats {
+			fmt.Fprintln(os.Stderr, "rebudget-bench:", prof.Snapshot())
+		}
+	}()
 	want := func(name string) bool { return exp == "all" || exp == name || strings.HasPrefix(name, exp) }
 	ran := false
 	writeCSV := func(name string, emit func(io.Writer) error) error {
@@ -90,7 +157,7 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 	if want("fig4") || exp == "convergence" {
 		ran = true
 		fmt.Fprintf(w, "# running phase-1 sweep: %d cores × %d bundles/category …\n", cores, bundles)
-		s, err := experiments.RunSweep(cores, bundles, seed, nil)
+		s, err := experiments.RunSweep(cores, bundles, seed, mechs)
 		if err != nil {
 			return err
 		}
@@ -121,6 +188,7 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 		cfg.Epochs = epochs
 		cfg.MaxAccessesPerCoreEpoch = samples
 		cfg.Seed = seed
+		cfg.MarketWorkers = workers
 		fmt.Fprintf(w, "# running detailed simulation: %d cores, %d epochs, one bundle/category …\n",
 			cores, epochs)
 		r, err := experiments.RunFig5(cfg, seed, nil)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rebudget/internal/cache"
+	"rebudget/internal/power"
 )
 
 // FloorBandwidthGBs is the free per-core memory-bandwidth floor, the
@@ -22,6 +23,9 @@ const FloorBandwidthGBs = 0.25
 // ρ = d/b. Utility is non-decreasing and concave in b (latency relief has
 // diminishing returns); the cache dimension uses the Talus hull of the
 // miss curve, keeping it continuous and cliff-free.
+// Like Utility, a BandwidthUtility memoizes its watts→frequency inversion
+// and is therefore NOT safe for concurrent Value calls on one instance; the
+// market engine evaluates each player on at most one goroutine at a time.
 type BandwidthUtility struct {
 	model        *Model
 	tal          *cache.Talus
@@ -29,6 +33,14 @@ type BandwidthUtility struct {
 	alone        float64
 	baseLatNs    float64
 	maxUsefulGBs float64
+
+	// Single-entry watts→frequency memo: perf and demandGBs bisect the
+	// power model at the same watts within one evaluation, and probes that
+	// move only the cache or bandwidth coordinate keep watts fixed.
+	inv       *power.FreqInverter
+	lastWatts float64
+	lastFreq  float64
+	hasFreq   bool
 }
 
 // NewBandwidthUtility builds the three-resource utility surface.
@@ -45,6 +57,7 @@ func NewBandwidthUtility(m *Model, curve *cache.MissCurve) (*BandwidthUtility, e
 		tal:       tal,
 		floorW:    m.FloorPowerW(),
 		baseLatNs: m.MemLatNs,
+		inv:       m.Power.NewFreqInverter(m.Spec.Activity, RefTempC),
 	}
 	// Stand-alone: all cache, max frequency, uncontended memory.
 	u.alone = u.perf(float64(curve.MaxRegions()), MaxPowerAlloc(m), 1e9)
@@ -66,11 +79,25 @@ func MaxPowerAlloc(m *Model) float64 {
 	return m.MaxPowerW() - m.FloorPowerW()
 }
 
+// freqAt is FreqAtTotalPowerGHz at the reference temperature through the
+// single-entry memo.
+func (u *BandwidthUtility) freqAt(watts float64) float64 {
+	if u.hasFreq && watts == u.lastWatts {
+		return u.lastFreq
+	}
+	f, err := u.inv.FreqAtPower(watts)
+	if err != nil {
+		f = power.MinFreqGHz
+	}
+	u.lastWatts, u.lastFreq, u.hasFreq = watts, f, true
+	return f
+}
+
 // demandGBs is the miss traffic the core would generate at an uncontended
 // memory system, used as the queueing arrival rate.
 func (u *BandwidthUtility) demandGBs(regions, dWatts float64) float64 {
 	m := u.tal.MissAt(regions)
-	f := u.model.FreqAtTotalPowerGHz(u.floorW+dWatts, RefTempC)
+	f := u.freqAt(u.floorW + dWatts)
 	perf := u.model.PerfIPS(m, f)
 	return perf * u.model.Spec.API * m * cache.LineSize / 1e9
 }
@@ -78,7 +105,7 @@ func (u *BandwidthUtility) demandGBs(regions, dWatts float64) float64 {
 // perf evaluates instructions/second at a total allocation.
 func (u *BandwidthUtility) perf(regions, dWatts, bwGBs float64) float64 {
 	miss := u.tal.MissAt(regions)
-	f := u.model.FreqAtTotalPowerGHz(u.floorW+dWatts, RefTempC)
+	f := u.freqAt(u.floorW + dWatts)
 	// One-step fixed point: demand at uncontended latency sets the
 	// queueing load on the allocated bandwidth. The open-form M/D/1 term
 	// d/(2b) makes latency convex-decreasing in b, so throughput

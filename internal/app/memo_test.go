@@ -1,0 +1,75 @@
+package app
+
+import "testing"
+
+// TestUtilityMemoTransparent checks that the per-instance memo layers
+// (segment-cached hull evaluators, last-watts frequency cache) are
+// semantically invisible: a utility that has evaluated an arbitrary probe
+// history returns bit-identical values to a freshly built one.
+func TestUtilityMemoTransparent(t *testing.T) {
+	spec, err := Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(spec)
+	curve, err := m.AnalyticMissCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewUtility(m, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float64{
+		{5.5, 7.25}, {5.5, 7.25}, // repeat: memo hit on both layers
+		{5.5, 9.0}, // same regions, new watts
+		{0, 0}, {15.9, 20}, {1.2, 3.3}, {1.25, 3.3}, {1.3, 3.31},
+		{8, 0.5}, {8, 0.5}, {2.75, 12},
+	}
+	for _, alloc := range probes {
+		warm.Value(alloc) // build up memo state
+	}
+	for _, alloc := range probes {
+		fresh, err := NewUtility(m, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := warm.Value(alloc), fresh.Value(alloc); got != want {
+			t.Fatalf("Value(%v): memoized %v != fresh %v", alloc, got, want)
+		}
+	}
+}
+
+// TestBandwidthUtilityMemoTransparent is the same property for the
+// three-resource utility, whose frequency cache sits under demandGBs/perf.
+func TestBandwidthUtilityMemoTransparent(t *testing.T) {
+	spec, err := Lookup("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(spec)
+	curve, err := m.AnalyticMissCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewBandwidthUtility(m, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float64{
+		{5.5, 7.25, 2}, {5.5, 7.25, 2},
+		{5.5, 7.25, 6}, {3, 1.5, 0}, {12, 10, 9.5}, {12, 10.01, 9.5},
+	}
+	for _, alloc := range probes {
+		warm.Value(alloc)
+	}
+	for _, alloc := range probes {
+		fresh, err := NewBandwidthUtility(m, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := warm.Value(alloc), fresh.Value(alloc); got != want {
+			t.Fatalf("Value(%v): memoized %v != fresh %v", alloc, got, want)
+		}
+	}
+}

@@ -19,6 +19,13 @@ import (
 // concave along each resource axis. Between DVFS levels the utility
 // interpolates linearly in frequency, and power maps to frequency through
 // the concave inverse of the power model, preserving concavity in watts.
+//
+// A Utility memoizes its hottest sub-computations (the watts→frequency
+// inversion and the per-level hull interpolation), so Value is NOT safe for
+// concurrent calls on the same instance. The market engine guarantees each
+// player's utility is evaluated by at most one goroutine at a time (see
+// DESIGN.md, "Performance & concurrency"); callers sharing one Utility
+// across goroutines must add their own synchronisation.
 type Utility struct {
 	model  *Model
 	curve  *cache.MissCurve
@@ -26,6 +33,16 @@ type Utility struct {
 	hulls  []*numeric.PWL // per ladder level: convexified utility vs regions
 	floorW float64
 	alone  float64 // stand-alone perf (IPS)
+
+	// Hot-path memo state. The market's finite-difference probes move one
+	// allocation coordinate at a time, so between consecutive evaluations
+	// either the watts (and thus the bisected frequency) or the regions
+	// (and thus the hull lookup x) are unchanged.
+	hullEvals []*numeric.PWLEval // per ladder level, memoized
+	inv       *power.FreqInverter
+	lastWatts float64
+	lastFreq  float64
+	hasFreq   bool
 }
 
 // NewRawUtility builds the utility surface WITHOUT Talus convexification —
@@ -75,8 +92,25 @@ func newUtility(m *Model, curve *cache.MissCurve, convexify bool) (*Utility, err
 			return nil, fmt.Errorf("app %s: curve at %g GHz: %w", m.Spec.Name, f, err)
 		}
 		u.hulls = append(u.hulls, hull)
+		u.hullEvals = append(u.hullEvals, hull.Evaluator())
 	}
+	u.inv = m.Power.NewFreqInverter(m.Spec.Activity, RefTempC)
 	return u, nil
+}
+
+// freqAt is FreqAtTotalPowerGHz at the reference temperature with a
+// single-entry memo: a probe that moves only the cache coordinate reuses
+// the previous bisection result.
+func (u *Utility) freqAt(watts float64) float64 {
+	if u.hasFreq && watts == u.lastWatts {
+		return u.lastFreq
+	}
+	f, err := u.inv.FreqAtPower(watts)
+	if err != nil {
+		f = power.MinFreqGHz
+	}
+	u.lastWatts, u.lastFreq, u.hasFreq = watts, f, true
+	return f
 }
 
 // Value implements market.Utility. alloc[0] is Δregions, alloc[1] Δwatts.
@@ -89,7 +123,7 @@ func (u *Utility) Value(alloc []float64) float64 {
 	if len(alloc) > 1 && alloc[1] > 0 {
 		watts += alloc[1]
 	}
-	f := u.model.FreqAtTotalPowerGHz(watts, RefTempC)
+	f := u.freqAt(watts)
 	return u.valueAt(regions, f)
 }
 
@@ -97,18 +131,18 @@ func (u *Utility) Value(alloc []float64) float64 {
 func (u *Utility) valueAt(regions, fGHz float64) float64 {
 	fs := u.freqs
 	if fGHz <= fs[0] {
-		return u.hulls[0].Eval(regions)
+		return u.hullEvals[0].Eval(regions)
 	}
 	last := len(fs) - 1
 	if fGHz >= fs[last] {
-		return u.hulls[last].Eval(regions)
+		return u.hullEvals[last].Eval(regions)
 	}
 	k := 0
 	for k < last-1 && fs[k+1] < fGHz {
 		k++
 	}
 	w := (fGHz - fs[k]) / (fs[k+1] - fs[k])
-	return (1-w)*u.hulls[k].Eval(regions) + w*u.hulls[k+1].Eval(regions)
+	return (1-w)*u.hullEvals[k].Eval(regions) + w*u.hullEvals[k+1].Eval(regions)
 }
 
 // MaxUsefulAlloc returns the allocation beyond which this application gains

@@ -63,6 +63,23 @@ type Chip struct {
 	health       metrics.Health
 	consecFails  int
 	cooldownLeft int
+
+	// eqProfile accumulates per-equilibrium cost counters across the run
+	// via market.Config.Observer.
+	eqProfile metrics.EquilibriumProfile
+}
+
+// marketConfig is the transform RunWithSwitches threads through
+// core.WithMarketConfig: it sets the round parallelism from the simulation
+// config and installs the chip's equilibrium profiler. Fault-injected runs
+// force serial rounds so the injector's RNG draw order stays deterministic.
+func (c *Chip) marketConfig(mc market.Config) market.Config {
+	mc.Workers = c.cfg.MarketWorkers
+	if c.injector != nil {
+		mc.Workers = 1
+	}
+	mc.Observer = c.eqProfile.Observe
+	return mc
 }
 
 // NewChip builds a chip for the bundle.
@@ -412,6 +429,10 @@ type Result struct {
 	// Faults counts the faults the injector actually fired (all zero when
 	// injection is disabled).
 	Faults fault.Stats
+	// Equilibrium aggregates the §6.4 convergence-cost counters (runs,
+	// rounds, bid steps, wall time) over every equilibrium the run's
+	// allocator performed.
+	Equilibrium metrics.EquilibriumStats
 }
 
 // envyFreenessOf evaluates Definition 3 for an outcome under the given

@@ -63,6 +63,8 @@ func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*R
 		// allocator types themselves stay fault-agnostic.
 		alloc = core.WithRoundHook(alloc, hook)
 	}
+	// Round parallelism and convergence-cost profiling enter the same way.
+	alloc = core.WithMarketConfig(alloc, c.marketConfig)
 	evs := append([]SwitchEvent(nil), switches...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Epoch < evs[j].Epoch })
 	for _, e := range evs {
@@ -124,6 +126,7 @@ func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*R
 	res.ThrottleEpochs = c.throttles
 	res.Health = c.health
 	res.Faults = c.injector.Stats()
+	res.Equilibrium = c.eqProfile.Snapshot()
 	res.FinalOutcome = c.lastOutcome
 	if c.reallocs > 0 {
 		res.MeanIterations = float64(c.iterSum) / float64(c.reallocs)

@@ -129,6 +129,34 @@ type RoundHooker interface {
 	WithRoundHook(hook func(iteration int) bool) Allocator
 }
 
+// WithMarketConfig returns a copy of alloc whose inner market configuration
+// has been transformed by apply, on mechanisms that run equilibria; any
+// other mechanism passes through unchanged. The simulator uses it to set
+// the worker count and install profiling observers without the allocator
+// types knowing about either.
+func WithMarketConfig(a Allocator, apply func(market.Config) market.Config) Allocator {
+	switch m := a.(type) {
+	case ReBudget:
+		m.Market = apply(m.Market)
+		return m
+	case EqualBudget:
+		m.Market = apply(m.Market)
+		return m
+	case Balanced:
+		m.Market = apply(m.Market)
+		return m
+	case MarketConfigurer:
+		return m.WithMarketConfig(apply)
+	}
+	return a
+}
+
+// MarketConfigurer is the WithMarketConfig analogue of RoundHooker for
+// wrapper allocators.
+type MarketConfigurer interface {
+	WithMarketConfig(apply func(market.Config) market.Config) Allocator
+}
+
 func validate(capacity []float64, players []PlayerSpec) error {
 	if len(capacity) == 0 {
 		return fmt.Errorf("core: no resources")
@@ -188,6 +216,7 @@ func marketOutcome(name string, capacity []float64, players []PlayerSpec,
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
+	defer m.Close()
 	eq, err := market.Settle(m.FindEquilibrium())
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)

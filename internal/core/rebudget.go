@@ -140,6 +140,9 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 	if err != nil {
 		return nil, err
 	}
+	// One Market persists across all budget steps, so the worker pool and
+	// scratch buffers are reused by every warm-started re-convergence.
+	defer m.Close()
 
 	var eq *market.Equilibrium
 	var warmBids [][]float64

@@ -106,6 +106,15 @@ func (r *Resilient) WithRoundHook(hook func(iteration int) bool) Allocator {
 	return r
 }
 
+// WithMarketConfig implements MarketConfigurer; like WithRoundHook, the
+// transform is applied to the wrapped mechanism in place.
+func (r *Resilient) WithMarketConfig(apply func(market.Config) market.Config) Allocator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner = WithMarketConfig(r.inner, apply)
+	return r
+}
+
 // Stats returns a snapshot of the fallback-chain counters.
 func (r *Resilient) Stats() ResilientStats {
 	r.mu.Lock()

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rebudget/internal/market"
+)
+
+// floatsBitEqual compares float slices by bit pattern: stricter than == for
+// normal values, and well-defined for the NaN entries BundleResult uses to
+// mark non-market mechanisms (NaN != NaN would make reflect.DeepEqual
+// reject even two identical serial sweeps).
+func floatsBitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func bundlesBitEqual(t *testing.T, a, b BundleResult) bool {
+	t.Helper()
+	return reflect.DeepEqual(a.Bundle, b.Bundle) &&
+		floatsBitEqual(a.Efficiency, b.Efficiency) &&
+		floatsBitEqual(a.EnvyFreeness, b.EnvyFreeness) &&
+		floatsBitEqual(a.MUR, b.MUR) &&
+		floatsBitEqual(a.MBR, b.MBR) &&
+		floatsBitEqual(a.EFBound, b.EFBound) &&
+		reflect.DeepEqual(a.Iterations, b.Iterations) &&
+		reflect.DeepEqual(a.Runs, b.Runs) &&
+		reflect.DeepEqual(a.Converged, b.Converged) &&
+		math.Float64bits(a.MaxEffEF) == math.Float64bits(b.MaxEffEF)
+}
+
+// TestSweepParallelDeterminism runs the same reduced sweep once with the
+// equilibrium engine pinned serial and once fanned across eight workers.
+// The whole point of the indexed-slot worker pool is that this is not a
+// tolerance comparison: every bid, price, utility and iteration count in
+// the SweepResult must be bit-identical.
+func TestSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	serial, err := RunSweep(8, 1, 7, InstrumentedMechanisms(func(mc market.Config) market.Config {
+		mc.Workers = 1
+		return mc
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(8, 1, 7, InstrumentedMechanisms(func(mc market.Config) market.Config {
+		mc.Workers = 8
+		return mc
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Cores != parallel.Cores || !reflect.DeepEqual(serial.Mechanisms, parallel.Mechanisms) {
+		t.Fatalf("sweep shape differs: %v vs %v", serial.Mechanisms, parallel.Mechanisms)
+	}
+	if len(serial.Bundles) != len(parallel.Bundles) {
+		t.Fatalf("bundle count differs: %d vs %d", len(serial.Bundles), len(parallel.Bundles))
+	}
+	for bi := range serial.Bundles {
+		if !bundlesBitEqual(t, serial.Bundles[bi], parallel.Bundles[bi]) {
+			t.Errorf("bundle %d (%s): parallel sweep diverged from serial",
+				bi, serial.Bundles[bi].Bundle.Category)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"rebudget/internal/core"
+	"rebudget/internal/market"
 	"rebudget/internal/numeric"
 	"rebudget/internal/workload"
 )
@@ -23,6 +24,18 @@ func DefaultMechanisms() []core.Allocator {
 		core.ReBudget{Step: 20},
 		core.ReBudget{Step: 40},
 	}
+}
+
+// InstrumentedMechanisms is DefaultMechanisms with a market-config
+// transform threaded through every market-running mechanism — how callers
+// set the equilibrium worker count or install a profiling observer on the
+// standard line-up without rebuilding it by hand.
+func InstrumentedMechanisms(apply func(market.Config) market.Config) []core.Allocator {
+	mechs := DefaultMechanisms()
+	for i, m := range mechs {
+		mechs[i] = core.WithMarketConfig(m, apply)
+	}
+	return mechs
 }
 
 // BundleResult is one bundle's outcome across mechanisms.

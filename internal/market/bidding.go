@@ -10,6 +10,34 @@ import "math"
 //
 // The player predicts its allocation with Equation 2, holding the other
 // players' aggregate bids yᵢⱼ fixed.
+//
+// Every function takes a *bidScratch of reusable work buffers and an `out`
+// slice for its result, so the equilibrium hot loop performs no heap
+// allocation. Passing nil for either falls back to fresh allocations — the
+// convenient form for tests and one-off callers. Buffer reuse never changes
+// results: each buffer is fully overwritten before it is read.
+
+// bidScratch holds one worker's reusable buffers, all sized to the resource
+// count M. A scratch is owned by exactly one goroutine at a time (in the
+// parallel engine, one pool worker); sharing one across concurrent calls is
+// a data race.
+type bidScratch struct {
+	others  []float64 // aggregate other-player bids yᵢⱼ
+	probe   []float64 // finite-difference probe bid vector
+	alloc   []float64 // predicted allocation at the base bids
+	allocB  []float64 // predicted allocation at the probe bids
+	lambdas []float64 // per-resource marginal utilities
+}
+
+func newBidScratch(resources int) *bidScratch {
+	return &bidScratch{
+		others:  make([]float64, resources),
+		probe:   make([]float64, resources),
+		alloc:   make([]float64, resources),
+		allocB:  make([]float64, resources),
+		lambdas: make([]float64, resources),
+	}
+}
 
 // predictedAlloc evaluates rᵢⱼ = bⱼ/(bⱼ+yⱼ)·Cⱼ for a full bid vector.
 func predictedAlloc(bids, others, capacity []float64, out []float64) []float64 {
@@ -30,15 +58,19 @@ func predictedAlloc(bids, others, capacity []float64, out []float64) []float64 {
 }
 
 // marginalUtilities computes λᵢⱼ = ∂Uᵢ/∂bᵢⱼ by forward finite differences
-// on the predicted allocation.
-func marginalUtilities(u Utility, bids, others, capacity []float64, eps float64) []float64 {
-	lambdas := make([]float64, len(capacity))
-	alloc := predictedAlloc(bids, others, capacity, nil)
-	base := u.Value(alloc)
-	probe := append([]float64(nil), bids...)
+// on the predicted allocation. The result lives in s.lambdas and is valid
+// until the next call on the same scratch.
+func marginalUtilities(u Utility, bids, others, capacity []float64, eps float64, s *bidScratch) []float64 {
+	if s == nil {
+		s = newBidScratch(len(capacity))
+	}
+	lambdas := s.lambdas
+	base := u.Value(predictedAlloc(bids, others, capacity, s.alloc))
+	probe := s.probe
+	copy(probe, bids)
 	for j := range capacity {
 		probe[j] = bids[j] + eps
-		pa := predictedAlloc(probe, others, capacity, nil)
+		pa := predictedAlloc(probe, others, capacity, s.allocB)
 		lambdas[j] = (u.Value(pa) - base) / eps
 		probe[j] = bids[j]
 	}
@@ -47,15 +79,25 @@ func marginalUtilities(u Utility, bids, others, capacity []float64, eps float64)
 
 // optimizeBids returns the player's (approximately) utility-maximising bid
 // vector subject to Σⱼ bⱼ ≤ B, given the other players' aggregate bids.
-func optimizeBids(u Utility, budget float64, others, capacity []float64, cfg Config) []float64 {
+// The result is written into out (allocated when nil).
+func optimizeBids(u Utility, budget float64, others, capacity []float64, cfg Config, s *bidScratch, out []float64) []float64 {
 	m := len(capacity)
-	bids := make([]float64, m)
+	if out == nil {
+		out = make([]float64, m)
+	}
+	bids := out
+	for j := range bids {
+		bids[j] = 0
+	}
 	if budget <= 0 {
 		return bids
 	}
 	if m == 1 {
 		bids[0] = budget
 		return bids
+	}
+	if s == nil {
+		s = newBidScratch(m)
 	}
 	for j := range bids {
 		bids[j] = budget / float64(m)
@@ -64,7 +106,7 @@ func optimizeBids(u Utility, budget float64, others, capacity []float64, cfg Con
 	minShift := cfg.MinShiftFraction * budget
 	eps := math.Max(budget*1e-4, 1e-9)
 	for shift >= minShift {
-		lambdas := marginalUtilities(u, bids, others, capacity, eps)
+		lambdas := marginalUtilities(u, bids, others, capacity, eps, s)
 		lo, hi := 0, 0
 		for j := 1; j < m; j++ {
 			// Money can only leave resources that still have some.
@@ -98,9 +140,15 @@ func optimizeBids(u Utility, budget float64, others, capacity []float64, cfg Con
 // §4.1.2 exponential hill climb is validated against (see the bid-optimizer
 // ablation). It costs quanta × M utility evaluations versus the hill
 // climb's ~log₂(1/MinShiftFraction) × M.
-func optimizeBidsGreedy(u Utility, budget float64, others, capacity []float64, quanta int) []float64 {
+func optimizeBidsGreedy(u Utility, budget float64, others, capacity []float64, quanta int, s *bidScratch, out []float64) []float64 {
 	m := len(capacity)
-	bids := make([]float64, m)
+	if out == nil {
+		out = make([]float64, m)
+	}
+	bids := out
+	for j := range bids {
+		bids[j] = 0
+	}
 	if budget <= 0 {
 		return bids
 	}
@@ -108,13 +156,14 @@ func optimizeBidsGreedy(u Utility, budget float64, others, capacity []float64, q
 		bids[0] = budget
 		return bids
 	}
+	if s == nil {
+		s = newBidScratch(m)
+	}
 	if quanta < 1 {
 		quanta = 1
 	}
 	q := budget / float64(quanta)
-	probe := make([]float64, m)
-	allocA := make([]float64, m)
-	allocB := make([]float64, m)
+	probe, allocA, allocB := s.probe, s.alloc, s.allocB
 	for k := 0; k < quanta; k++ {
 		base := u.Value(predictedAlloc(bids, others, capacity, allocA))
 		best, bestGain := 0, math.Inf(-1)
@@ -136,9 +185,9 @@ func optimizeBidsGreedy(u Utility, budget float64, others, capacity []float64, q
 // bids: the maximum λᵢⱼ over resources (Equation 4 makes all non-zero-bid
 // resources share this value at a local optimum; taking the maximum is
 // robust to hill-climb truncation error).
-func lambdaOf(u Utility, bids, others, capacity []float64, budget float64) float64 {
+func lambdaOf(u Utility, bids, others, capacity []float64, budget float64, s *bidScratch) float64 {
 	eps := math.Max(budget*1e-4, 1e-9)
-	lambdas := marginalUtilities(u, bids, others, capacity, eps)
+	lambdas := marginalUtilities(u, bids, others, capacity, eps, s)
 	max := 0.0
 	for _, l := range lambdas {
 		if l > max {

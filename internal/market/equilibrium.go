@@ -2,6 +2,7 @@ package market
 
 import (
 	"math"
+	"time"
 )
 
 // FindEquilibrium runs the iterative bidding–pricing process of §2.1:
@@ -20,8 +21,11 @@ func (m *Market) FindEquilibrium() (*Equilibrium, error) {
 // FindEquilibriumFrom is FindEquilibrium warm-started from an existing bid
 // matrix — how ReBudget re-converges cheaply after a budget adjustment
 // (§6.4). A nil start means the cold §4.1.2 equal split. Warm-start bids
-// exceeding a player's (possibly reduced) budget are scaled down
-// proportionally.
+// are renormalised to the player's current budget in both directions:
+// scaled down when the budget shrank, scaled up when it grew (a player
+// whose budget was raised would otherwise keep bidding its old, smaller
+// total and never spend the increase). A player with positive budget but
+// all-zero warm bids falls back to the cold equal split.
 //
 // Every run is budgeted: Config.MaxIterations bounds bidding–pricing
 // rounds, Config.MaxBidSteps bounds total player re-optimisations, and
@@ -30,33 +34,60 @@ func (m *Market) FindEquilibrium() (*Equilibrium, error) {
 // (utilities and lambdas included) instead of an equilibrium with a silent
 // Converged flag; use Settle to accept best-effort state explicitly. A
 // player utility producing NaN/Inf surfaces as a *UtilityError.
+//
+// The search reuses the Market's internal buffers (see Market), so calls on
+// one Market must not overlap; the returned Equilibrium is freshly
+// allocated and independent of later runs. Rounds execute on the worker
+// pool per Config.Workers, with results bit-identical to the serial loop.
 func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) {
+	var start time.Time
+	if m.cfg.Observer != nil {
+		start = time.Now()
+	}
 	n := len(m.players)
 	mm := len(m.capacity)
 
-	bids := make([][]float64, n)
+	m.ensureScratch()
 	for i, p := range m.players {
-		bids[i] = make([]float64, mm)
+		row := m.curBids[i]
 		if initial != nil && i < len(initial) && len(initial[i]) == mm {
-			copy(bids[i], initial[i])
+			copy(row, initial[i])
 			spent := 0.0
-			for _, b := range bids[i] {
+			for _, b := range row {
 				spent += b
 			}
-			if spent > p.Budget && spent > 0 {
+			switch {
+			case spent > p.Budget && spent > 0:
 				scale := p.Budget / spent
-				for j := range bids[i] {
-					bids[i][j] *= scale
+				for j := range row {
+					row[j] *= scale
+				}
+			case spent <= 0 && p.Budget > 0:
+				// Nothing to scale: restart this player from the cold
+				// equal split so a raised budget is actually spent.
+				for j := range row {
+					row[j] = p.Budget / float64(mm)
+				}
+			case spent < p.Budget*(1-1e-9):
+				// Budget increased since the warm bids were formed: scale
+				// up so the player enters the market at full strength. The
+				// relative tolerance leaves budgets that merely accumulated
+				// float drift (spent ≈ budget) untouched, keeping unchanged
+				// runs bit-identical.
+				scale := p.Budget / spent
+				for j := range row {
+					row[j] *= scale
 				}
 			}
 			continue
 		}
 		// Round zero: equal split of the budget (§4.1.2 step 1).
-		for j := range bids[i] {
-			bids[i][j] = p.Budget / float64(mm)
+		for j := range row {
+			row[j] = p.Budget / float64(mm)
 		}
 	}
-	prices := m.prices(bids)
+	prices := m.pricesInto(m.curBids, m.priceA)
+	nextPrices := m.priceB
 
 	iterations := 0
 	steps := 0
@@ -73,30 +104,8 @@ func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) 
 		}
 		iterations++
 		steps += n
-		next := make([][]float64, n)
-		for i, p := range m.players {
-			others := make([]float64, mm)
-			for j := range others {
-				y := prices[j]*m.capacity[j] - bids[i][j]
-				if y < 0 {
-					y = 0
-				}
-				others[j] = y
-			}
-			var nb []float64
-			if m.cfg.Optimizer == GreedyExact {
-				nb = optimizeBidsGreedy(p.Utility, p.Budget, others, m.capacity, m.cfg.GreedyQuanta)
-			} else {
-				nb = optimizeBids(p.Utility, p.Budget, others, m.capacity, m.cfg)
-			}
-			if d := m.cfg.Damping; d > 0 {
-				for j := range nb {
-					nb[j] = d*bids[i][j] + (1-d)*nb[j]
-				}
-			}
-			next[i] = nb
-		}
-		newPrices := m.prices(next)
+		m.runRound(prices)
+		newPrices := m.pricesInto(m.nxtBids, nextPrices)
 		stable := true
 		for j := range newPrices {
 			ref := math.Max(prices[j], newPrices[j])
@@ -108,16 +117,25 @@ func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) 
 				break
 			}
 		}
-		bids, prices = next, newPrices
+		m.curBids, m.nxtBids = m.nxtBids, m.curBids
+		prices, nextPrices = newPrices, prices
 		if stable {
 			converged = true
 			break
 		}
 	}
+	if m.cfg.Observer != nil {
+		m.cfg.Observer(iterations, steps, time.Since(start))
+	}
 
-	allocs := m.allocate(bids, prices)
+	bids := make([][]float64, n)
+	for i := range bids {
+		bids[i] = append([]float64(nil), m.curBids[i]...)
+	}
+	finalPrices := append([]float64(nil), prices...)
+	allocs := m.allocate(bids, finalPrices)
 	eq := &Equilibrium{
-		Prices:      prices,
+		Prices:      finalPrices,
 		Bids:        bids,
 		Allocations: allocs,
 		Utilities:   make([]float64, n),
@@ -131,15 +149,15 @@ func (m *Market) FindEquilibriumFrom(initial [][]float64) (*Equilibrium, error) 
 			return nil, &UtilityError{Player: i, Name: p.Name, Value: u, Context: "utility"}
 		}
 		eq.Utilities[i] = u
-		others := make([]float64, mm)
+		others := m.scratch.others
 		for j := range others {
-			y := prices[j]*m.capacity[j] - bids[i][j]
+			y := finalPrices[j]*m.capacity[j] - bids[i][j]
 			if y < 0 {
 				y = 0
 			}
 			others[j] = y
 		}
-		l := lambdaOf(p.Utility, bids[i], others, m.capacity, p.Budget)
+		l := lambdaOf(p.Utility, bids[i], others, m.capacity, p.Budget, m.scratch)
 		if math.IsNaN(l) || math.IsInf(l, 0) {
 			return nil, &UtilityError{Player: i, Name: p.Name, Value: l, Context: "lambda"}
 		}

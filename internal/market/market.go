@@ -10,6 +10,8 @@ package market
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 )
 
 // Utility is a player's utility over an allocation vector (one entry per
@@ -71,6 +73,19 @@ type Config struct {
 	// NotConvergedError. Watchdogs and the fault-injection framework hang
 	// off this hook; nil costs nothing.
 	RoundHook func(iteration int) bool
+	// Workers sets the parallelism of each bidding round: per-player bid
+	// re-optimisations fan out across a persistent goroutine pool. 0 means
+	// GOMAXPROCS, 1 forces the serial loop, and markets with fewer than
+	// minParallelPlayers players always run serially (the dispatch overhead
+	// dwarfs the work). Parallel results are bit-identical to serial ones —
+	// see the workerPool doc and DESIGN.md "Performance & concurrency".
+	Workers int
+	// Observer, when non-nil, receives one callback per completed
+	// equilibrium search (converged or not) with the rounds executed, the
+	// total player bid re-optimisations, and the wall time spent. The
+	// metrics.EquilibriumProfile counters hang off this hook; nil costs
+	// nothing. Called from whichever goroutine ran the search.
+	Observer func(rounds, bidSteps int, wall time.Duration)
 }
 
 // BidOptimizer selects a player-local bid search strategy.
@@ -119,10 +134,27 @@ func (c Config) withDefaults() Config {
 }
 
 // Market couples players with resource capacities.
+//
+// A Market owns reusable equilibrium state (double-buffered bid matrices,
+// price buffers, scratch space, and the lazily-created worker pool), so a
+// single Market must not run FindEquilibrium concurrently with itself. The
+// returned Equilibrium holds fresh copies and stays valid across runs.
+// Call Close when done to release pool goroutines promptly; a finalizer
+// backstops markets that are simply dropped.
 type Market struct {
 	capacity []float64
 	players  []*Player
 	cfg      Config
+
+	// Reusable equilibrium state, lazily sized on first use. curBids and
+	// nxtBids are row views into two flat backing arrays, swapped each
+	// round; priceA/priceB double-buffer the price vector.
+	curBids [][]float64
+	nxtBids [][]float64
+	priceA  []float64
+	priceB  []float64
+	scratch *bidScratch // serial-path and finalisation scratch
+	pool    *workerPool
 }
 
 // New validates inputs and builds a market.
@@ -151,6 +183,105 @@ func New(capacity []float64, players []*Player, cfg Config) (*Market, error) {
 		players:  players,
 		cfg:      cfg.withDefaults(),
 	}, nil
+}
+
+// Close releases the worker-pool goroutines, if any were started. The
+// Market remains usable afterwards (a later parallel round restarts the
+// pool). Close is idempotent.
+func (m *Market) Close() {
+	if m.pool != nil {
+		m.pool.close()
+		m.pool = nil
+		runtime.SetFinalizer(m, nil)
+	}
+}
+
+// minParallelPlayers is the market size below which a bidding round always
+// runs serially: channel hand-off costs more than re-optimising a handful
+// of players.
+const minParallelPlayers = 4
+
+// resolveWorkers maps Config.Workers to the effective round parallelism.
+func (m *Market) resolveWorkers() int {
+	n := len(m.players)
+	if n < minParallelPlayers {
+		return 1
+	}
+	w := m.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// ensureScratch sizes the reusable equilibrium buffers on first use.
+func (m *Market) ensureScratch() {
+	if m.curBids != nil {
+		return
+	}
+	n, mm := len(m.players), len(m.capacity)
+	bufA := make([]float64, n*mm)
+	bufB := make([]float64, n*mm)
+	m.curBids = make([][]float64, n)
+	m.nxtBids = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m.curBids[i] = bufA[i*mm : (i+1)*mm : (i+1)*mm]
+		m.nxtBids[i] = bufB[i*mm : (i+1)*mm : (i+1)*mm]
+	}
+	m.priceA = make([]float64, mm)
+	m.priceB = make([]float64, mm)
+	m.scratch = newBidScratch(mm)
+}
+
+// reoptimize computes player i's best response to the broadcast prices into
+// its row of the next-round bid matrix, using only the given scratch — the
+// unit of work a pool worker claims. It reads curBids[i] and prices, writes
+// nxtBids[i], and touches no other shared state.
+func (m *Market) reoptimize(i int, prices []float64, s *bidScratch) {
+	p := m.players[i]
+	cur := m.curBids[i]
+	others := s.others
+	for j := range m.capacity {
+		y := prices[j]*m.capacity[j] - cur[j]
+		if y < 0 {
+			y = 0
+		}
+		others[j] = y
+	}
+	nb := m.nxtBids[i]
+	if m.cfg.Optimizer == GreedyExact {
+		optimizeBidsGreedy(p.Utility, p.Budget, others, m.capacity, m.cfg.GreedyQuanta, s, nb)
+	} else {
+		optimizeBids(p.Utility, p.Budget, others, m.capacity, m.cfg, s, nb)
+	}
+	if d := m.cfg.Damping; d > 0 {
+		for j := range nb {
+			nb[j] = d*cur[j] + (1-d)*nb[j]
+		}
+	}
+}
+
+// runRound re-optimises every player for one bidding round, serially or on
+// the pool depending on the resolved worker count.
+func (m *Market) runRound(prices []float64) {
+	w := m.resolveWorkers()
+	if w < 2 {
+		for i := range m.players {
+			m.reoptimize(i, prices, m.scratch)
+		}
+		return
+	}
+	if m.pool == nil {
+		m.pool = newWorkerPool(w, len(m.capacity))
+		// Backstop for markets dropped without Close: release the pool
+		// goroutines when the Market becomes unreachable. The workers hold
+		// no reference back to the Market, so the finalizer can run.
+		runtime.SetFinalizer(m, (*Market).Close)
+	}
+	m.pool.run(m, prices)
 }
 
 // Capacity returns the resource capacities.
@@ -184,7 +315,11 @@ func (e *Equilibrium) Efficiency() float64 {
 
 // prices computes Equation 1 for a full bid matrix.
 func (m *Market) prices(bids [][]float64) []float64 {
-	ps := make([]float64, len(m.capacity))
+	return m.pricesInto(bids, make([]float64, len(m.capacity)))
+}
+
+// pricesInto is prices writing into a caller-owned buffer.
+func (m *Market) pricesInto(bids [][]float64, ps []float64) []float64 {
 	for j := range m.capacity {
 		sum := 0.0
 		for i := range bids {

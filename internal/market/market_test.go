@@ -57,11 +57,11 @@ func TestOptimizeBidsEqualizesLambda(t *testing.T) {
 	capacity := []float64{100, 100}
 	u := sqrtUtility{weights: []float64{1, 1}, capacity: capacity}
 	others := []float64{10, 10}
-	bids := optimizeBids(u, 20, others, capacity, cfg)
+	bids := optimizeBids(u, 20, others, capacity, cfg, nil, nil)
 	if math.Abs(bids[0]+bids[1]-20) > 1e-9 {
 		t.Fatalf("bids %v do not spend the budget", bids)
 	}
-	lams := marginalUtilities(u, bids, others, capacity, 1e-4)
+	lams := marginalUtilities(u, bids, others, capacity, 1e-4, nil)
 	span := math.Abs(lams[0]-lams[1]) / math.Max(lams[0], lams[1])
 	if span > 0.10 {
 		t.Errorf("lambda spread %.3f too large: %v", span, lams)
@@ -77,7 +77,7 @@ func TestOptimizeBidsSkewedPreferences(t *testing.T) {
 	capacity := []float64{100, 100}
 	// Strongly prefers resource 0.
 	u := sqrtUtility{weights: []float64{10, 0.1}, capacity: capacity}
-	bids := optimizeBids(u, 20, []float64{10, 10}, capacity, cfg)
+	bids := optimizeBids(u, 20, []float64{10, 10}, capacity, cfg, nil, nil)
 	if bids[0] <= bids[1] {
 		t.Errorf("player should bid more on the preferred resource: %v", bids)
 	}
@@ -89,7 +89,7 @@ func TestOptimizeBidsSkewedPreferences(t *testing.T) {
 func TestOptimizeBidsZeroBudget(t *testing.T) {
 	capacity := []float64{10, 10}
 	u := sqrtUtility{weights: []float64{1, 1}, capacity: capacity}
-	bids := optimizeBids(u, 0, []float64{1, 1}, capacity, DefaultConfig())
+	bids := optimizeBids(u, 0, []float64{1, 1}, capacity, DefaultConfig(), nil, nil)
 	if bids[0] != 0 || bids[1] != 0 {
 		t.Errorf("zero budget should produce zero bids: %v", bids)
 	}
@@ -98,7 +98,7 @@ func TestOptimizeBidsZeroBudget(t *testing.T) {
 func TestOptimizeBidsSingleResource(t *testing.T) {
 	capacity := []float64{10}
 	u := sqrtUtility{weights: []float64{1}, capacity: capacity}
-	bids := optimizeBids(u, 7, []float64{3}, capacity, DefaultConfig())
+	bids := optimizeBids(u, 7, []float64{3}, capacity, DefaultConfig(), nil, nil)
 	if bids[0] != 7 {
 		t.Errorf("single-resource bid = %g, want full budget", bids[0])
 	}
@@ -422,8 +422,8 @@ func TestGreedyOptimizerMatchesHillClimb(t *testing.T) {
 	others := []float64{40, 25}
 	for _, w := range [][]float64{{1, 1}, {5, 1}, {0.3, 2}} {
 		u := sqrtUtility{weights: w, capacity: capacity}
-		hc := optimizeBids(u, 30, others, capacity, DefaultConfig())
-		gr := optimizeBidsGreedy(u, 30, others, capacity, 200)
+		hc := optimizeBids(u, 30, others, capacity, DefaultConfig(), nil, nil)
+		gr := optimizeBidsGreedy(u, 30, others, capacity, 200, nil, nil)
 		uhc := u.Value(predictedAlloc(hc, others, capacity, nil))
 		ugr := u.Value(predictedAlloc(gr, others, capacity, nil))
 		// The reference may beat the heuristic slightly, never hugely,
@@ -437,14 +437,14 @@ func TestGreedyOptimizerMatchesHillClimb(t *testing.T) {
 func TestGreedyOptimizerSpendsBudget(t *testing.T) {
 	capacity := []float64{10, 10}
 	u := sqrtUtility{weights: []float64{1, 1}, capacity: capacity}
-	gr := optimizeBidsGreedy(u, 12, []float64{3, 3}, capacity, 100)
+	gr := optimizeBidsGreedy(u, 12, []float64{3, 3}, capacity, 100, nil, nil)
 	if math.Abs(gr[0]+gr[1]-12) > 1e-9 {
 		t.Errorf("greedy bids %v do not spend the budget", gr)
 	}
-	if z := optimizeBidsGreedy(u, 0, []float64{3, 3}, capacity, 100); z[0] != 0 || z[1] != 0 {
+	if z := optimizeBidsGreedy(u, 0, []float64{3, 3}, capacity, 100, nil, nil); z[0] != 0 || z[1] != 0 {
 		t.Error("zero budget should give zero bids")
 	}
-	single := optimizeBidsGreedy(u, 5, []float64{1}, capacity[:1], 100)
+	single := optimizeBidsGreedy(u, 5, []float64{1}, capacity[:1], 100, nil, nil)
 	if single[0] != 5 {
 		t.Error("single resource gets everything")
 	}
@@ -515,7 +515,7 @@ func TestEquilibriumIsApproximateNash(t *testing.T) {
 		}
 		current := p.Utility.Value(eq.Allocations[i])
 		// Best unilateral response via the fine-grained reference optimizer.
-		best := optimizeBidsGreedy(p.Utility, p.Budget, others, capacity, 400)
+		best := optimizeBidsGreedy(p.Utility, p.Budget, others, capacity, 400, nil, nil)
 		alt := p.Utility.Value(predictedAlloc(best, others, capacity, nil))
 		if alt > current*1.03 {
 			t.Errorf("player %s can deviate profitably: %.4f -> %.4f", p.Name, current, alt)

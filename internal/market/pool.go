@@ -1,0 +1,76 @@
+package market
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool fans one bidding round's per-player re-optimisations across a
+// fixed set of goroutines. The §2.1 round is embarrassingly parallel: every
+// player best-responds against the SAME broadcast prices and the SAME
+// previous-round bid matrix, both read-only for the duration of the round,
+// and writes only its own row of the next-round matrix.
+//
+// Determinism: workers claim player indices from a shared atomic cursor, so
+// the assignment of players to workers varies run to run — but the result
+// does not. Player i's new bids depend only on (prices, curBids[i], the
+// player's utility and budget), each worker writes only slot i, and each
+// player's memoizing utility is touched by exactly one goroutine per round
+// (rounds are separated by the dispatch barrier, which establishes the
+// happens-before edge between a player's consecutive owners). The parallel
+// engine is therefore bit-identical to the serial loop.
+//
+// The pool is created lazily by the first parallel round and pinned to its
+// Market. Close the Market (or let the finalizer run) to release the
+// goroutines.
+type workerPool struct {
+	workers int
+	jobs    chan *poolRound
+	stop    sync.Once
+}
+
+// poolRound is one round's shared dispatch state.
+type poolRound struct {
+	m      *Market
+	prices []float64
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// newWorkerPool spawns the goroutines, each with a private bidScratch sized
+// to the market's resource count.
+func newWorkerPool(workers, resources int) *workerPool {
+	p := &workerPool{workers: workers, jobs: make(chan *poolRound)}
+	for k := 0; k < workers; k++ {
+		go func() {
+			s := newBidScratch(resources)
+			for r := range p.jobs {
+				n := int64(len(r.m.players))
+				for {
+					i := r.cursor.Add(1) - 1
+					if i >= n {
+						break
+					}
+					r.m.reoptimize(int(i), r.prices, s)
+				}
+				r.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one round and blocks until every player is re-optimised.
+func (p *workerPool) run(m *Market, prices []float64) {
+	r := &poolRound{m: m, prices: prices}
+	r.wg.Add(p.workers)
+	for k := 0; k < p.workers; k++ {
+		p.jobs <- r
+	}
+	r.wg.Wait()
+}
+
+// close releases the worker goroutines. Safe to call more than once.
+func (p *workerPool) close() {
+	p.stop.Do(func() { close(p.jobs) })
+}

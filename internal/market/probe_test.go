@@ -27,9 +27,9 @@ func TestProbeOptimizeBidsOnAppUtility(t *testing.T) {
 		others := []float64{350, 350}
 		cfg := DefaultConfig()
 		start := []float64{50, 50}
-		lams := marginalUtilities(u, start, others, capacity, 0.01)
+		lams := marginalUtilities(u, start, others, capacity, 0.01, nil)
 		t.Logf("%s: λ at equal bids = %v", name, lams)
-		bids := optimizeBids(u, 100, others, capacity, cfg)
+		bids := optimizeBids(u, 100, others, capacity, cfg, nil, nil)
 		t.Logf("%s: optimized bids = %v", name, bids)
 	}
 }

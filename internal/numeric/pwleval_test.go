@@ -1,0 +1,64 @@
+package numeric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPWLEvalMatchesEval sweeps probe patterns that exercise every branch
+// of the memoizing evaluator — repeated x, cached-segment hits, ±1
+// neighbour steps, binary-search fallbacks, knot boundaries and
+// out-of-domain clamps — and demands bitwise equality with PWL.Eval.
+func TestPWLEvalMatchesEval(t *testing.T) {
+	knots := []Point{{0, 0}, {1, 0.9}, {2.5, 1.4}, {4, 1.7}, {7, 2.1}, {10, 2.2}}
+	p, err := NewPWL(knots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Evaluator()
+
+	var probes []float64
+	// Exact knot coordinates and just-off values (segment boundary cases).
+	for _, k := range knots {
+		probes = append(probes, k.X, k.X-1e-12, k.X+1e-12)
+	}
+	// Out-of-domain clamps.
+	probes = append(probes, -5, -0.001, 10.001, 100)
+	// Monotone sweep (neighbour-segment fast path) and its reverse.
+	for x := -1.0; x <= 11; x += 0.07 {
+		probes = append(probes, x)
+	}
+	for x := 11.0; x >= -1; x -= 0.11 {
+		probes = append(probes, x)
+	}
+	// Random jumps (binary-search fallback) with immediate repeats
+	// (last-(x,y) memo hit).
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()*14 - 2
+		probes = append(probes, x, x)
+	}
+
+	for _, x := range probes {
+		want := p.Eval(x)
+		got := e.Eval(x)
+		if got != want {
+			t.Fatalf("Eval(%v): evaluator %v != PWL %v", x, got, want)
+		}
+	}
+}
+
+// TestPWLEvalTwoKnots covers the degenerate single-segment function, where
+// the neighbour shortcuts can never apply.
+func TestPWLEvalTwoKnots(t *testing.T) {
+	p, err := NewPWL([]Point{{1, 2}, {3, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Evaluator()
+	for _, x := range []float64{0, 1, 1.5, 2, 2, 2.999, 3, 4} {
+		if got, want := e.Eval(x), p.Eval(x); got != want {
+			t.Fatalf("Eval(%v): evaluator %v != PWL %v", x, got, want)
+		}
+	}
+}

@@ -108,16 +108,66 @@ func (m Model) FreqAtPower(budgetW, activity, tempC float64) (float64, error) {
 	if m.Total(MaxFreqGHz, activity, tempC) <= budgetW {
 		return MaxFreqGHz, nil
 	}
+	return m.bisectFreq(budgetW, activity, tempC), nil
+}
+
+// bisectFreq is the bounded bisection for Total(f) = budgetW, with the
+// invariants Total(lo) ≤ budgetW < Total(hi) established by the caller.
+// Once mid collides with an endpoint the remaining iterations cannot move
+// lo (Total(lo) ≤ budget keeps lo fixed; Total(hi) > budget keeps hi
+// fixed), so breaking early returns the bit-identical result of running
+// all 60 rounds while skipping the no-op tail.
+func (m Model) bisectFreq(budgetW, activity, tempC float64) float64 {
 	lo, hi := MinFreqGHz, MaxFreqGHz
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
 		if m.Total(mid, activity, tempC) <= budgetW {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return lo, nil
+	return lo
+}
+
+// FreqInverter answers repeated FreqAtPower queries for one fixed
+// (activity, temperature) operating point — the shape of every utility-model
+// evaluation, which probes many power budgets at the reference temperature.
+// It hoists the DVFS-range boundary powers out of the per-call path, so
+// budgets that clamp to the top or bottom of the ladder cost no Total
+// evaluations at all. Results are bit-identical to Model.FreqAtPower.
+type FreqInverter struct {
+	m        Model
+	activity float64
+	tempC    float64
+	minW     float64 // Total at MinFreqGHz
+	maxW     float64 // Total at MaxFreqGHz
+}
+
+// NewFreqInverter builds an inverter for the operating point.
+func (m Model) NewFreqInverter(activity, tempC float64) *FreqInverter {
+	return &FreqInverter{
+		m:        m,
+		activity: activity,
+		tempC:    tempC,
+		minW:     m.Total(MinFreqGHz, activity, tempC),
+		maxW:     m.Total(MaxFreqGHz, activity, tempC),
+	}
+}
+
+// FreqAtPower mirrors Model.FreqAtPower at the inverter's operating point.
+func (v *FreqInverter) FreqAtPower(budgetW float64) (float64, error) {
+	if v.minW > budgetW {
+		return 0, fmt.Errorf("power: budget %.3f W below minimum-frequency power %.3f W",
+			budgetW, v.minW)
+	}
+	if v.maxW <= budgetW {
+		return MaxFreqGHz, nil
+	}
+	return v.m.bisectFreq(budgetW, v.activity, v.tempC), nil
 }
 
 // QuantizeFreq snaps a continuous frequency down to the DVFS ladder.

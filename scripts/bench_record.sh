@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench_record.sh — run the key benchmarks and record them as a dated JSON
+# snapshot (BENCH_<yyyymmdd>.json) so perf trajectories across changes can
+# be diffed without keeping raw `go test -bench` logs around.
+#
+# Usage: scripts/bench_record.sh [benchtime]   (default 10x)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+OUT="BENCH_$(date +%Y%m%d).json"
+KEY='^(BenchmarkMarketEquilibrium8|BenchmarkMarketEquilibrium64|BenchmarkMarketEquilibrium64Serial|BenchmarkReBudget64|BenchmarkFig5Simulation|BenchmarkCacheAccess)$'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$KEY" -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# Parse "BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  7.0 rounds/op"
+# into one JSON object per benchmark.
+awk -v date="$(date +%Y-%m-%d)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; rounds = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "rounds/op") rounds = $i
+    }
+    if (count++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s", name, $2
+    if (ns != "") printf ", \"ns_per_op\": %s", ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (rounds != "") printf ", \"rounds_per_op\": %s", rounds
+    printf "}"
+}
+END { print "\n  ]\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

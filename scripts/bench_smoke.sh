@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_smoke.sh — non-blocking perf smoke test for `make ci`.
+#
+# Runs BenchmarkMarketEquilibrium64 (the hot allocation kernel) and compares
+# it against the stored baseline in .bench/baseline.txt. A >10% ns/op
+# regression prints a loud warning but never fails the build: benchmarks on
+# shared/loaded CI hosts are too noisy to gate on, and the warning is the
+# signal a human should re-measure on quiet hardware. Uses benchstat when
+# installed, a plain awk comparison otherwise (nothing is downloaded).
+#
+# Refresh the baseline after an intentional perf change:
+#   rm -rf .bench && scripts/bench_smoke.sh
+set -u
+
+cd "$(dirname "$0")/.."
+BENCH='^BenchmarkMarketEquilibrium64$'
+DIR=.bench
+BASE="$DIR/baseline.txt"
+CUR="$DIR/current.txt"
+mkdir -p "$DIR"
+
+if ! go test -run '^$' -bench "$BENCH" -benchtime 5x -count 3 . > "$CUR" 2>&1; then
+    echo "bench-smoke: benchmark failed to run (not fatal):"
+    cat "$CUR"
+    exit 0
+fi
+
+if [ ! -f "$BASE" ]; then
+    cp "$CUR" "$BASE"
+    echo "bench-smoke: recorded new baseline in $BASE"
+    exit 0
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo "bench-smoke: benchstat baseline vs current"
+    benchstat "$BASE" "$CUR" || true
+fi
+
+# Compare mean ns/op with awk regardless, so the >10% warning works without
+# benchstat too.
+# Note: go omits the -N procs suffix from the name when GOMAXPROCS is 1.
+mean() {
+    awk '$1 ~ /^BenchmarkMarketEquilibrium64(-[0-9]+)?$/ { s += $3; n++ } END { if (n) printf "%.0f", s / n }' "$1"
+}
+old=$(mean "$BASE")
+new=$(mean "$CUR")
+if [ -z "$old" ] || [ -z "$new" ]; then
+    echo "bench-smoke: could not parse ns/op (not fatal)"
+    exit 0
+fi
+echo "bench-smoke: MarketEquilibrium64 mean ns/op: baseline $old, current $new"
+awk -v old="$old" -v new="$new" 'BEGIN {
+    if (new > old * 1.10) {
+        printf "bench-smoke: WARNING: MarketEquilibrium64 regressed %.1f%% (>10%%); re-measure on quiet hardware\n",
+            (new / old - 1) * 100
+    } else {
+        print "bench-smoke: within 10% of baseline"
+    }
+}'
+exit 0
