@@ -1,16 +1,19 @@
 # Development targets. `make ci` is the gate every change must pass: a full
-# build, vet, and the test suite under the race detector (the allocation
-# pipeline is wrapper-heavy and lock-protected; races are a primary failure
-# mode of the resilience layer, and the parallel equilibrium engine's
-# serial-vs-parallel determinism tests only mean something under -race).
-# ci ends with a non-blocking perf smoke: a >10% regression of the market
-# equilibrium kernel warns but never fails the build.
+# build, vet (library and commands), and the test suite under the race
+# detector (the allocation pipeline is wrapper-heavy and lock-protected;
+# races are a primary failure mode of the resilience layer, the parallel
+# equilibrium engine's serial-vs-parallel determinism tests only mean
+# something under -race, and the serving layer multiplexes sessions across
+# goroutines). ci ends with two smokes: serve-smoke boots a real rebudgetd
+# and drives it through the typed client, and bench-smoke warns (but does
+# not fail, unless BENCH_STRICT=1) on a >10% regression of the market
+# equilibrium kernel against the newest BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-all bench-smoke
+.PHONY: ci build vet vet-cmd test race race-server bench bench-all bench-smoke serve-smoke
 
-ci: build vet race bench-smoke
+ci: build vet vet-cmd race race-server serve-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,11 +21,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The daemon and smoke-driver commands, vetted explicitly so `make ci`
+# keeps covering them even if a future `vet` narrows its package list.
+vet-cmd:
+	$(GO) vet ./cmd/...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The serving layer on its own under the race detector: session loops,
+# LRU eviction, dispatcher backpressure, and the 64-session stress test.
+race-server:
+	$(GO) test -race ./internal/server/...
+
+# End-to-end: start rebudgetd on a random port, drive one session through
+# 3 epochs via the client, scrape /metrics, assert the counters moved,
+# then check SIGTERM drains cleanly.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Key benchmarks (equilibrium engine, ReBudget, simulation, cache substrate)
 # recorded as a dated JSON snapshot: BENCH_<yyyymmdd>.json.

@@ -1,0 +1,125 @@
+// Command rebudget-smoke drives an end-to-end smoke check against a
+// running rebudgetd: create one market session, step it through a few
+// epochs with the typed client, then scrape /metrics and verify the
+// serving counters actually moved. It exits non-zero on any failure, so
+// scripts/serve_smoke.sh (and `make serve-smoke`) can gate CI on it.
+//
+// Usage:
+//
+//	rebudget-smoke -base http://127.0.0.1:8344 [-epochs 3]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rebudget/internal/server"
+	"rebudget/internal/server/client"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8344", "base URL of the rebudgetd to probe")
+	epochs := flag.Int("epochs", 3, "epochs to drive through the session")
+	wait := flag.Duration("wait", 5*time.Second, "how long to wait for the daemon to come up")
+	flag.Parse()
+
+	if err := run(*base, *epochs, *wait); err != nil {
+		fmt.Fprintf(os.Stderr, "rebudget-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("rebudget-smoke: OK")
+}
+
+func run(base string, epochs int, wait time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New(base)
+
+	// The daemon may still be binding its listener; poll /healthz briefly.
+	deadline := time.Now().Add(wait)
+	for {
+		h, err := c.Healthz(ctx)
+		if err == nil && h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s never became healthy: %v", base, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	v, err := c.CreateSession(ctx, server.SessionSpec{
+		ID:        "smoke",
+		Workload:  server.WorkloadSpec{Fig3: true},
+		Mechanism: "rebudget-0.05",
+	})
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	for e := 0; e < epochs; e++ {
+		if v, err = c.StepEpoch(ctx, v.ID); err != nil {
+			return fmt.Errorf("epoch %d: %w", e+1, err)
+		}
+	}
+	if v.Epochs < int64(epochs) {
+		return fmt.Errorf("session reports %d epochs, want >= %d", v.Epochs, epochs)
+	}
+	if v.Alloc == nil || len(v.Alloc.Allocations) == 0 {
+		return fmt.Errorf("session has no allocation after %d epochs", epochs)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	checks := []struct {
+		metric string
+		min    float64
+	}{
+		{"rebudgetd_up", 1},
+		{"rebudgetd_sessions_live", 1},
+		{"rebudgetd_sessions_created_total", 1},
+		{"rebudgetd_epochs_served_total", float64(epochs)},
+		{"rebudgetd_equilibrium_runs_total", float64(epochs)},
+		{"rebudgetd_request_seconds_count", float64(epochs)},
+	}
+	for _, ck := range checks {
+		got, ok := metricValue(text, ck.metric)
+		if !ok {
+			return fmt.Errorf("/metrics missing %s", ck.metric)
+		}
+		if got < ck.min {
+			return fmt.Errorf("%s = %g, want >= %g", ck.metric, got, ck.min)
+		}
+		fmt.Printf("rebudget-smoke: %s = %g (>= %g)\n", ck.metric, got, ck.min)
+	}
+
+	if err := c.DeleteSession(ctx, v.ID); err != nil {
+		return fmt.Errorf("delete session: %w", err)
+	}
+	return nil
+}
+
+// metricValue finds an unlabelled sample line ("name value") in Prometheus
+// text exposition and returns its value.
+func metricValue(text, name string) (float64, bool) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

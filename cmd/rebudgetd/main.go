@@ -1,0 +1,96 @@
+// Command rebudgetd is the allocation-as-a-service daemon: an HTTP/JSON
+// server hosting many concurrent chip sessions, each re-running its
+// market-based allocation mechanism once per epoch with warm-started
+// equilibria (§4.3's reallocation loop, lifted into a multi-tenant
+// service). See DESIGN.md, "Serving layer", and README for the API.
+//
+// Usage:
+//
+//	rebudgetd -addr :8344 -max-sessions 128 -idle-ttl 10m
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new
+// sessions are refused, in-flight requests finish, then sessions close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rebudget/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8344", "listen address")
+		maxSessions = flag.Int("max-sessions", 128, "resident session cap (LRU eviction beyond it)")
+		idleTTL     = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (0 disables)")
+		workers     = flag.Int("workers", 0, "allocation worker slots (0 = GOMAXPROCS)")
+		maxWaiting  = flag.Int("max-waiting", 0, "queued allocation requests before 429 (0 = default)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request allocation deadline")
+		drainWait   = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget")
+		logFormat   = flag.String("log", "text", "log format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "rebudgetd: unknown -log format %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		MaxSessions:    *maxSessions,
+		IdleTTL:        *idleTTL,
+		Workers:        *workers,
+		MaxWaiting:     *maxWaiting,
+		RequestTimeout: *timeout,
+		Logger:         log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	log.Info("rebudgetd listening", "addr", ln.Addr().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Info("signal received, draining", "signal", sig.String())
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Warn("shutdown incomplete", "err", err)
+		}
+		srv.Close()
+		log.Info("rebudgetd stopped")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serve failed", "err", err)
+			srv.Close()
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Daemon: the serving layer end to end, in process. An embedded rebudgetd
+// hosts two tenants — an analytic-market session re-solving a warm-started
+// equilibrium each epoch, and an execution-driven cmpsim session stepping
+// 1 ms hardware epochs — while the typed client drives epochs, injects
+// telemetry (a phase change; a context switch), and scrapes /metrics. This
+// is §4.3's per-epoch reallocation loop hosted as a multi-tenant service.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"rebudget/internal/server"
+	"rebudget/internal/server/client"
+)
+
+func main() {
+	// Silence request logs; the example narrates itself.
+	quiet := slog.New(slog.NewTextHandler(discard{}, nil))
+	srv := server.New(server.Config{Logger: quiet})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithHTTPClient(&http.Client{Timeout: time.Minute}))
+	ctx := context.Background()
+
+	fmt.Printf("daemon up at %s\n\n", ts.URL)
+
+	// --- Tenant 1: analytic market, warm-started ReBudget epochs ---
+	mkt, err := c.CreateSession(ctx, server.SessionSpec{
+		ID:        "edge-cluster",
+		Workload:  server.WorkloadSpec{Fig3: true},
+		Mechanism: "rebudget-0.05",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("market session %q: %d players, mechanism %s\n", mkt.ID, mkt.Cores, mkt.Mechanism)
+	for epoch := 1; epoch <= 3; epoch++ {
+		v, err := c.StepEpoch(ctx, mkt.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := v.Alloc
+		fmt.Printf("  epoch %d: efficiency %.3f  iterations %3d", epoch, a.Efficiency, a.Iterations)
+		if a.EnvyFreeness != nil {
+			fmt.Printf("  EF %.3f", *a.EnvyFreeness)
+		}
+		fmt.Println()
+	}
+	// A phase change: player 0's monitors report doubled demand; the next
+	// warm-started epoch re-converges from the previous bids.
+	if _, err := c.Telemetry(ctx, mkt.ID, server.TelemetrySpec{
+		Players: []server.PlayerTelemetry{{Player: 0, Demand: 2}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	v, err := c.StepEpoch(ctx, mkt.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after 2x demand on %s: efficiency %.3f  iterations %3d\n\n",
+		v.Alloc.Players[0], v.Alloc.Efficiency, v.Alloc.Iterations)
+
+	// --- Tenant 2: execution-driven chip, context switch mid-run ---
+	sim, err := c.CreateSession(ctx, server.SessionSpec{
+		ID:        "chip-0",
+		Mode:      server.ModeSim,
+		Workload:  server.WorkloadSpec{Category: "CCPP", Seed: 7},
+		Mechanism: "rebudget-0.05",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sim session %q: %d cores\n", sim.ID, sim.Cores)
+	if _, err := c.StepEpochs(ctx, sim.ID, 6); err != nil {
+		log.Fatal(err)
+	}
+	// The OS switches core 3 to a memory-bound app; the next epoch's
+	// monitoring + reallocation adapts (§4.3).
+	if _, err := c.Telemetry(ctx, sim.ID, server.TelemetrySpec{
+		Switches: []server.SwitchSpec{{Core: 3, App: "mcf"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.StepEpochs(ctx, sim.ID, 6); err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Result(ctx, sim.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after 12 epochs: weighted speedup %.2f  EF %.3f  health %s\n\n",
+		res.WeightedSpeedup, res.EnvyFreeness, res.Health.State)
+
+	// --- Observability ---
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthz: %s, %d sessions\n", h.Status, h.Sessions)
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected /metrics:")
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "rebudgetd_sessions_live") ||
+			strings.HasPrefix(line, "rebudgetd_epochs_served_total") ||
+			strings.HasPrefix(line, "rebudgetd_equilibrium_runs_total") ||
+			strings.HasPrefix(line, "rebudgetd_equilibrium_rounds_total") ||
+			strings.HasPrefix(line, "rebudgetd_sessions_by_state") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -2,6 +2,7 @@ package cmpsim
 
 import (
 	"fmt"
+	"time"
 
 	"rebudget/internal/app"
 	"rebudget/internal/cache"
@@ -56,6 +57,13 @@ type Chip struct {
 	throttles    int
 	ran          bool
 
+	// Incremental-stepping state (see step.go): the allocator installed by
+	// Begin, the count of measured epochs, and the measured epoch at which
+	// each core's current application arrived (0 unless switched in).
+	alloc   core.Allocator
+	stepped int
+	arrival []int
+
 	// Fault-injection and degraded-mode state. The injector is nil when
 	// Config.Faults is disabled, so clean runs take no fault branch.
 	injector     *fault.Injector
@@ -69,16 +77,25 @@ type Chip struct {
 	eqProfile metrics.EquilibriumProfile
 }
 
-// marketConfig is the transform RunWithSwitches threads through
+// marketConfig is the transform Begin threads through
 // core.WithMarketConfig: it sets the round parallelism from the simulation
 // config and installs the chip's equilibrium profiler. Fault-injected runs
 // force serial rounds so the injector's RNG draw order stays deterministic.
+// An observer already installed on the allocator (a server-wide profile,
+// say) is chained, not displaced, so outer telemetry keeps counting.
 func (c *Chip) marketConfig(mc market.Config) market.Config {
 	mc.Workers = c.cfg.MarketWorkers
 	if c.injector != nil {
 		mc.Workers = 1
 	}
-	mc.Observer = c.eqProfile.Observe
+	if prev := mc.Observer; prev != nil {
+		mc.Observer = func(rounds, bidSteps int, wall time.Duration) {
+			prev(rounds, bidSteps, wall)
+			c.eqProfile.Observe(rounds, bidSteps, wall)
+		}
+	} else {
+		mc.Observer = c.eqProfile.Observe
+	}
 	return mc
 }
 
@@ -128,6 +145,7 @@ func NewChip(cfg Config, b workload.Bundle) (*Chip, error) {
 		bwAlloc:      make([]float64, cfg.Cores),
 		missEst:      make([]float64, cfg.Cores),
 		instructions: make([]float64, cfg.Cores),
+		arrival:      make([]int, cfg.Cores),
 		injector:     fault.New(cfg.Faults),
 		resil:        cfg.Resilience.withDefaults(),
 	}

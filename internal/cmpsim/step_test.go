@@ -1,0 +1,108 @@
+package cmpsim
+
+import (
+	"reflect"
+	"testing"
+
+	"rebudget/internal/core"
+	"rebudget/internal/workload"
+)
+
+func testBundle(t *testing.T, cores int) workload.Bundle {
+	t.Helper()
+	b, err := workload.Figure3Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Apps) != cores {
+		t.Fatalf("figure-3 bundle has %d apps, want %d", len(b.Apps), cores)
+	}
+	return b
+}
+
+// TestStepMatchesBatchRun pins the contract step.go documents: Run is
+// implemented on top of Begin/StepEpoch/Snapshot, so driving the primitives
+// by hand must reproduce the batch result bit for bit.
+func TestStepMatchesBatchRun(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Epochs = 6
+
+	batchChip, err := NewChip(cfg, testBundle(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batchChip.Run(core.ReBudget{Step: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stepChip, err := NewChip(cfg, testBundle(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stepChip.Begin(core.ReBudget{Step: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		// Mid-run snapshots must be pure reads: taking one every epoch
+		// cannot perturb the final result.
+		if e > 0 {
+			if _, err := stepChip.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := stepChip.StepEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepped, err := stepChip.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wall time inside the equilibrium profile is the one nondeterministic
+	// field; everything else — performance, telemetry, the final outcome —
+	// must match bit for bit.
+	batch.Equilibrium.Wall = 0
+	stepped.Equilibrium.Wall = 0
+	if !reflect.DeepEqual(batch.FinalOutcome, stepped.FinalOutcome) {
+		t.Fatalf("final outcomes diverged:\nbatch   %+v\nstepped %+v",
+			batch.FinalOutcome, stepped.FinalOutcome)
+	}
+	batch.FinalOutcome, stepped.FinalOutcome = nil, nil
+	if !reflect.DeepEqual(batch, stepped) {
+		t.Fatalf("stepped run diverged from batch run:\nbatch   %+v\nstepped %+v", batch, stepped)
+	}
+}
+
+func TestStepLifecycleErrors(t *testing.T) {
+	cfg := DefaultConfig(8)
+	c, err := NewChip(cfg, testBundle(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StepEpoch(); err == nil {
+		t.Fatal("StepEpoch before Begin should fail")
+	}
+	if _, err := c.Snapshot(); err == nil {
+		t.Fatal("Snapshot with no measured epochs should fail")
+	}
+	if err := c.Begin(nil); err == nil {
+		t.Fatal("Begin(nil) should fail")
+	}
+	if err := c.Begin(core.EqualShare{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(core.EqualShare{}); err == nil {
+		t.Fatal("double Begin should fail")
+	}
+	if err := c.StepEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stepped() != 1 {
+		t.Fatalf("Stepped() = %d after one epoch", c.Stepped())
+	}
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,8 +40,10 @@ func (c *Chip) SwitchApp(coreID int, spec app.Spec) error {
 	c.floorW[coreID] = m.FloorPowerW()
 	c.missEst[coreID] = 1
 	// Throughput accounting restarts for the new process; the residual
-	// instruction count belongs to the departed application.
+	// instruction count belongs to the departed application, and normalised
+	// performance is measured from the arrival epoch.
 	c.instructions[coreID] = 0
+	c.arrival[coreID] = c.stepped
 	return nil
 }
 
@@ -49,22 +51,6 @@ func (c *Chip) SwitchApp(coreID int, spec app.Spec) error {
 // performance for a switched core is reported against the application that
 // finishes the run on it, measured from its arrival epoch.
 func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*Result, error) {
-	if alloc == nil {
-		return nil, fmt.Errorf("cmpsim: nil allocator")
-	}
-	if c.ran {
-		// A chip accumulates cache, thermal and accounting state; a second
-		// run would silently mix measurements. Build a fresh chip instead.
-		return nil, fmt.Errorf("cmpsim: chip already ran; construct a new chip per run")
-	}
-	c.ran = true
-	if hook := c.injector.SolverHook(); hook != nil {
-		// Solver-stall faults enter through the market's round hook; the
-		// allocator types themselves stay fault-agnostic.
-		alloc = core.WithRoundHook(alloc, hook)
-	}
-	// Round parallelism and convergence-cost profiling enter the same way.
-	alloc = core.WithMarketConfig(alloc, c.marketConfig)
 	evs := append([]SwitchEvent(nil), switches...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Epoch < evs[j].Epoch })
 	for _, e := range evs {
@@ -75,10 +61,8 @@ func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*R
 			return nil, err
 		}
 	}
-	arrival := make([]int, c.cfg.Cores) // measured epoch each core's final app arrived
-
-	for e := 0; e < c.cfg.WarmupEpochs; e++ {
-		c.runEpoch(false)
+	if err := c.Begin(alloc); err != nil {
+		return nil, err
 	}
 	next := 0
 	for e := 0; e < c.cfg.Epochs; e++ {
@@ -90,59 +74,11 @@ func (c *Chip) RunWithSwitches(alloc core.Allocator, switches []SwitchEvent) (*R
 			if err := c.SwitchApp(evs[next].Core, spec); err != nil {
 				return nil, err
 			}
-			arrival[evs[next].Core] = e
 			next++
 		}
-		if e%c.cfg.ReallocEvery == 0 {
-			if err := c.reallocate(alloc); err != nil {
-				return nil, err
-			}
-		}
-		c.runEpoch(true)
-	}
-
-	res := &Result{
-		Mechanism: alloc.Name(),
-		NormPerf:  make([]float64, c.cfg.Cores),
-	}
-	maxTemp, totalPower := 0.0, 0.0
-	for i := 0; i < c.cfg.Cores; i++ {
-		alone, err := alonePerfIPS(c.bundle.Apps[i], c.sys)
-		if err != nil {
+		if err := c.StepEpoch(); err != nil {
 			return nil, err
 		}
-		span := float64(c.cfg.Epochs-arrival[i]) * c.cfg.EpochSeconds
-		achieved := c.instructions[i] / span
-		res.NormPerf[i] = achieved / alone
-		res.WeightedSpeedup += res.NormPerf[i]
-		t := c.therm[i].Temp()
-		if t > maxTemp {
-			maxTemp = t
-		}
-		totalPower += c.models[i].Power.Total(c.freq[i], c.models[i].Spec.Activity, t)
 	}
-	res.MaxTempC = maxTemp
-	res.AvgPowerW = totalPower / float64(c.cfg.Cores)
-	res.ThrottleEpochs = c.throttles
-	res.Health = c.health
-	res.Faults = c.injector.Stats()
-	res.Equilibrium = c.eqProfile.Snapshot()
-	res.FinalOutcome = c.lastOutcome
-	if c.reallocs > 0 {
-		res.MeanIterations = float64(c.iterSum) / float64(c.reallocs)
-	}
-	if c.lastOutcome != nil {
-		_, utils, err := c.buildPlayers()
-		if err != nil {
-			return nil, err
-		}
-		ef, err := envyFreenessOf(utils, c.lastOutcome.Allocations)
-		if err != nil {
-			return nil, err
-		}
-		res.EnvyFreeness = ef
-	} else {
-		res.EnvyFreeness = 1
-	}
-	return res, nil
+	return c.Snapshot()
 }

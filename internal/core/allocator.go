@@ -48,8 +48,14 @@ type Outcome struct {
 	Utilities   []float64
 	Budgets     []float64 // nil for non-market mechanisms
 	Lambdas     []float64 // nil for non-market mechanisms
-	MUR         float64   // NaN when not applicable
-	MBR         float64   // NaN when not applicable
+	// Bids is the final equilibrium bid matrix (player × resource), nil
+	// for non-market mechanisms. Long-lived callers feed it back through
+	// WithWarmBids so the next epoch's equilibrium re-converges from the
+	// previous one instead of the cold §4.1.2 equal split — how the
+	// serving layer keeps steady-state epochs cheap.
+	Bids [][]float64
+	MUR  float64 // NaN when not applicable
+	MBR  float64 // NaN when not applicable
 	// Iterations counts bidding–pricing rounds summed over every
 	// equilibrium run the mechanism performed; EquilibriumRuns counts the
 	// runs themselves (ReBudget re-converges after each budget cut).
@@ -157,6 +163,36 @@ type MarketConfigurer interface {
 	WithMarketConfig(apply func(market.Config) market.Config) Allocator
 }
 
+// WithWarmBids returns a copy of alloc whose first equilibrium run is
+// warm-started from the given bid matrix (normally the Bids of the previous
+// epoch's Outcome), on mechanisms that run equilibria; any other mechanism
+// passes through unchanged. A nil matrix resets to the cold equal split.
+// Rows that do not match the market shape are ignored per player, and bids
+// are renormalised to the current budgets (see market.FindEquilibriumFrom),
+// so stale matrices are safe, merely useless.
+func WithWarmBids(a Allocator, bids [][]float64) Allocator {
+	switch m := a.(type) {
+	case ReBudget:
+		m.WarmBids = bids
+		return m
+	case EqualBudget:
+		m.WarmBids = bids
+		return m
+	case Balanced:
+		m.WarmBids = bids
+		return m
+	case WarmStarter:
+		return m.WithWarmBids(bids)
+	}
+	return a
+}
+
+// WarmStarter is the WithWarmBids analogue of RoundHooker for wrapper
+// allocators.
+type WarmStarter interface {
+	WithWarmBids(bids [][]float64) Allocator
+}
+
 func validate(capacity []float64, players []PlayerSpec) error {
 	if len(capacity) == 0 {
 		return fmt.Errorf("core: no resources")
@@ -205,9 +241,10 @@ func (EqualShare) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 
 // marketOutcome runs one equilibrium with the given budgets and wraps it.
 // Non-convergence is accepted explicitly (Settle) and reported through the
-// outcome's Converged field, matching the paper's §6.4 fail-safe.
+// outcome's Converged field, matching the paper's §6.4 fail-safe. A non-nil
+// warm matrix seeds the search from a previous equilibrium's bids.
 func marketOutcome(name string, capacity []float64, players []PlayerSpec,
-	budgets []float64, cfg market.Config) (*Outcome, error) {
+	budgets []float64, warm [][]float64, cfg market.Config) (*Outcome, error) {
 	mp := make([]*market.Player, len(players))
 	for i, p := range players {
 		mp[i] = &market.Player{Name: p.Name, Utility: p.Utility, Budget: budgets[i]}
@@ -217,7 +254,7 @@ func marketOutcome(name string, capacity []float64, players []PlayerSpec,
 		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
 	defer m.Close()
-	eq, err := market.Settle(m.FindEquilibrium())
+	eq, err := market.Settle(m.FindEquilibriumFrom(warm))
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w: %w", name, ErrBadInput, err)
 	}
@@ -235,6 +272,7 @@ func marketOutcome(name string, capacity []float64, players []PlayerSpec,
 		Utilities:       eq.Utilities,
 		Budgets:         append([]float64(nil), budgets...),
 		Lambdas:         eq.Lambdas,
+		Bids:            eq.Bids,
 		MUR:             mur,
 		MBR:             mbr,
 		Iterations:      eq.Iterations,
@@ -247,6 +285,8 @@ func marketOutcome(name string, capacity []float64, players []PlayerSpec,
 // the same budget.
 type EqualBudget struct {
 	Market market.Config
+	// WarmBids optionally seeds the equilibrium search; see WithWarmBids.
+	WarmBids [][]float64
 }
 
 // Name implements Allocator.
@@ -261,7 +301,7 @@ func (a EqualBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcom
 	for i := range budgets {
 		budgets[i] = players[i].weight() * InitialBudget
 	}
-	return marketOutcome("EqualBudget", capacity, players, budgets, a.Market)
+	return marketOutcome("EqualBudget", capacity, players, budgets, a.WarmBids, a.Market)
 }
 
 // Balanced is XChange's wealth-redistribution baseline: each player's
@@ -270,6 +310,8 @@ func (a EqualBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcom
 // former (§6).
 type Balanced struct {
 	Market market.Config
+	// WarmBids optionally seeds the equilibrium search; see WithWarmBids.
+	WarmBids [][]float64
 }
 
 // Name implements Allocator.
@@ -325,5 +367,5 @@ func (a Balanced) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 			budgets[i] = weights[i] / sum * InitialBudget * float64(n)
 		}
 	}
-	return marketOutcome("Balanced", capacity, players, budgets, a.Market)
+	return marketOutcome("Balanced", capacity, players, budgets, a.WarmBids, a.Market)
 }

@@ -41,6 +41,10 @@ type ReBudget struct {
 	NoBackoff bool
 	// Market configures the inner equilibrium runs.
 	Market market.Config
+	// WarmBids optionally seeds the first equilibrium run from a previous
+	// outcome's bid matrix (see WithWarmBids); later runs always warm-start
+	// from the preceding budget step, as in §6.4.
+	WarmBids [][]float64
 }
 
 // Name implements Allocator.
@@ -145,7 +149,7 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 	defer m.Close()
 
 	var eq *market.Equilibrium
-	var warmBids [][]float64
+	warmBids := cfg.WarmBids
 	totalIters, runs := 0, 0
 	for round := 0; round < cfg.MaxRounds; round++ {
 		// Re-converge from the previous equilibrium's bids: after a
@@ -207,6 +211,7 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 		Utilities:       eq.Utilities,
 		Budgets:         budgets,
 		Lambdas:         eq.Lambdas,
+		Bids:            eq.Bids,
 		MUR:             mur,
 		MBR:             mbr,
 		Iterations:      totalIters,

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rebudget/internal/market"
+	"rebudget/internal/metrics"
 	"rebudget/internal/numeric"
 )
 
@@ -113,6 +114,33 @@ func (r *Resilient) WithMarketConfig(apply func(market.Config) market.Config) Al
 	defer r.mu.Unlock()
 	r.inner = WithMarketConfig(r.inner, apply)
 	return r
+}
+
+// WithWarmBids implements WarmStarter; like WithRoundHook, the bids are
+// installed on the wrapped mechanism in place. Long-lived owners call this
+// once per epoch with the previous outcome's Bids.
+func (r *Resilient) WithWarmBids(bids [][]float64) Allocator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner = WithWarmBids(r.inner, bids)
+	return r
+}
+
+// HealthState maps the wrapper's backoff position onto the pipeline health
+// taxonomy: Degraded while a cooldown is being served without probing the
+// inner mechanism, Recovering on the probe right after a cooldown, Healthy
+// otherwise. The serving layer exports it per session through /metrics.
+func (r *Resilient) HealthState() metrics.HealthState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.cooldownLeft > 0:
+		return metrics.Degraded
+	case r.recovering:
+		return metrics.Recovering
+	default:
+		return metrics.Healthy
+	}
 }
 
 // Stats returns a snapshot of the fallback-chain counters.
@@ -237,6 +265,12 @@ func cloneOutcome(out *Outcome) *Outcome {
 	cp.Utilities = append([]float64(nil), out.Utilities...)
 	cp.Budgets = append([]float64(nil), out.Budgets...)
 	cp.Lambdas = append([]float64(nil), out.Lambdas...)
+	if out.Bids != nil {
+		cp.Bids = make([][]float64, len(out.Bids))
+		for i, row := range out.Bids {
+			cp.Bids[i] = append([]float64(nil), row...)
+		}
+	}
 	return &cp
 }
 

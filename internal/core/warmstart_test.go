@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// allocationsEqual does exact (bit-level) float comparison.
+func allocationsEqual(a, b [][]float64) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+func TestWithWarmBidsNilIsColdStart(t *testing.T) {
+	players := heterogeneousPlayers()
+	cold, err := EqualBudget{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed := WithWarmBids(EqualBudget{}, nil)
+	out, err := warmed.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allocationsEqual(cold.Allocations, out.Allocations) {
+		t.Fatalf("nil warm bids changed the solve:\ncold %v\nwarm %v",
+			cold.Allocations, out.Allocations)
+	}
+	if cold.Iterations != out.Iterations {
+		t.Fatalf("nil warm bids changed iteration count: %d vs %d", cold.Iterations, out.Iterations)
+	}
+}
+
+func TestWithWarmBidsReconvergesToFixedPoint(t *testing.T) {
+	players := heterogeneousPlayers()
+	first, err := EqualBudget{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Bids == nil {
+		t.Fatal("market outcome carries no final bids")
+	}
+	warmed := WithWarmBids(EqualBudget{}, first.Bids)
+	second, err := warmed.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-solving an unchanged market from its own equilibrium bids must
+	// reproduce the allocation exactly and converge at least as fast.
+	if !allocationsEqual(first.Allocations, second.Allocations) {
+		t.Fatalf("warm re-solve diverged:\nfirst  %v\nsecond %v",
+			first.Allocations, second.Allocations)
+	}
+	if second.Iterations > first.Iterations {
+		t.Fatalf("warm start took more rounds (%d) than cold (%d)",
+			second.Iterations, first.Iterations)
+	}
+}
+
+func TestWithWarmBidsThreadsThroughMechanisms(t *testing.T) {
+	bids := [][]float64{{1, 2}, {3, 4}}
+	if a := WithWarmBids(EqualBudget{}, bids).(EqualBudget); len(a.WarmBids) != 2 {
+		t.Fatal("EqualBudget warm bids not installed")
+	}
+	if a := WithWarmBids(Balanced{}, bids).(Balanced); len(a.WarmBids) != 2 {
+		t.Fatal("Balanced warm bids not installed")
+	}
+	if a := WithWarmBids(ReBudget{Step: 0.05}, bids).(ReBudget); len(a.WarmBids) != 2 {
+		t.Fatal("ReBudget warm bids not installed")
+	}
+	// Non-market mechanisms pass through untouched.
+	if _, ok := WithWarmBids(EqualShare{}, bids).(EqualShare); !ok {
+		t.Fatal("EqualShare should pass through WithWarmBids unchanged")
+	}
+}
+
+func TestWithWarmBidsOnResilientInstallsInPlace(t *testing.T) {
+	players := heterogeneousPlayers()
+	r := NewResilient(EqualBudget{}, ResilientConfig{})
+	first, err := r.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := WithWarmBids(r, first.Bids)
+	if got != Allocator(r) {
+		t.Fatal("WithWarmBids on *Resilient should return the same wrapper")
+	}
+	second, err := r.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allocationsEqual(first.Allocations, second.Allocations) {
+		t.Fatal("warm re-solve through Resilient diverged")
+	}
+	if second.Iterations > first.Iterations {
+		t.Fatalf("warm start through Resilient took more rounds (%d) than cold (%d)",
+			second.Iterations, first.Iterations)
+	}
+}
+
+func TestOutcomeBidsAreACopy(t *testing.T) {
+	players := heterogeneousPlayers()
+	out, err := EqualBudget{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := out.Bids[0][0]
+	out.Bids[0][0] = mutated + 1e9
+	again, err := EqualBudget{}.Allocate(testCapacity, players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Bids[0][0] != mutated {
+		t.Fatal("mutating a returned bid matrix leaked into later solves")
+	}
+}

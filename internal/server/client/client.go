@@ -1,0 +1,202 @@
+// Package client is the typed Go client for the rebudgetd HTTP API
+// (internal/server). It speaks the same spec/view structs the daemon
+// serves, maps error responses onto *APIError (with Retry-After surfaced
+// for 429 backpressure), and takes a context on every call.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rebudget/internal/server"
+)
+
+// Client talks to one rebudgetd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (test servers,
+// custom transports, timeouts).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New builds a client for the daemon at base (e.g. "http://127.0.0.1:8344").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // nonzero on 429 backpressure
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rebudgetd: %d %s", e.Status, e.Message)
+}
+
+// IsBusy reports whether err is daemon backpressure (HTTP 429) — the caller
+// should wait RetryAfter and retry.
+func IsBusy(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// do issues one request and decodes the JSON response into out (if non-nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{Status: resp.StatusCode}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			ae.Message = eb.Error
+		} else {
+			ae.Message = strings.TrimSpace(string(raw))
+		}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession registers a new chip session and returns its initial view.
+func (c *Client) CreateSession(ctx context.Context, spec server.SessionSpec) (server.SessionView, error) {
+	var v server.SessionView
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", spec, &v)
+	return v, err
+}
+
+// ListSessions returns every live session, most recently used first.
+func (c *Client) ListSessions(ctx context.Context) ([]server.SessionView, error) {
+	var out struct {
+		Sessions []server.SessionView `json:"sessions"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out.Sessions, err
+}
+
+// GetSession returns one session's current view.
+func (c *Client) GetSession(ctx context.Context, id string) (server.SessionView, error) {
+	var v server.SessionView
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &v)
+	return v, err
+}
+
+// DeleteSession removes a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// StepEpoch advances the session one allocation epoch.
+func (c *Client) StepEpoch(ctx context.Context, id string) (server.SessionView, error) {
+	return c.StepEpochs(ctx, id, 1)
+}
+
+// StepEpochs advances the session n epochs under one request.
+func (c *Client) StepEpochs(ctx context.Context, id string, n int) (server.SessionView, error) {
+	var v server.SessionView
+	body := map[string]int{"epochs": n}
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/epoch", body, &v)
+	return v, err
+}
+
+// Telemetry applies monitor updates (market: demand/weight; sim: context
+// switches) between epochs.
+func (c *Client) Telemetry(ctx context.Context, id string, t server.TelemetrySpec) (server.SessionView, error) {
+	var v server.SessionView
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/telemetry", t, &v)
+	return v, err
+}
+
+// Result returns a sim session's run summary so far.
+func (c *Client) Result(ctx context.Context, id string) (server.SimResultView, error) {
+	var v server.SimResultView
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/result", nil, &v)
+	return v, err
+}
+
+// Health is the /healthz response.
+type Health struct {
+	Status        string `json:"status"`
+	Sessions      int    `json:"sessions"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// Healthz probes daemon liveness. A draining daemon answers HTTP 503, which
+// surfaces here as an *APIError.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics scrapes /metrics and returns the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	return string(raw), nil
+}

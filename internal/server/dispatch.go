@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy is dispatcher backpressure: every allocation worker slot is taken
+// and the wait queue is at capacity. Surfaced as HTTP 429 + Retry-After.
+var errBusy = errors.New("allocation workers saturated")
+
+// dispatcher bounds the allocation work in flight across every session: a
+// counting semaphore of worker slots plus a bounded wait queue. Requests
+// beyond slots+maxWait are rejected immediately so load spikes turn into
+// fast 429s instead of unbounded goroutine pileups; waiters respect their
+// request deadline.
+type dispatcher struct {
+	slots   chan struct{}
+	maxWait int64
+	waiting atomic.Int64
+}
+
+func newDispatcher(workers, maxWait int) *dispatcher {
+	return &dispatcher{
+		slots:   make(chan struct{}, workers),
+		maxWait: int64(maxWait),
+	}
+}
+
+// acquire claims a worker slot, waiting (bounded) for one to free up.
+func (d *dispatcher) acquire(ctx context.Context) error {
+	select {
+	case d.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if d.waiting.Add(1) > d.maxWait {
+		d.waiting.Add(-1)
+		return errBusy
+	}
+	defer d.waiting.Add(-1)
+	select {
+	case d.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquire claims a slot only if one is free right now (ticker epochs).
+func (d *dispatcher) tryAcquire() bool {
+	select {
+	case d.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *dispatcher) release() { <-d.slots }
+
+// inFlight reports slots currently claimed (for /metrics).
+func (d *dispatcher) inFlight() int { return len(d.slots) }
+
+// queued reports requests currently waiting for a slot (for /metrics).
+func (d *dispatcher) queued() int64 { return d.waiting.Load() }

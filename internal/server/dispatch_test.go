@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDispatcherBackpressure(t *testing.T) {
+	d := newDispatcher(1, 1)
+	ctx := context.Background()
+	if err := d.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter is allowed to queue...
+	waited := make(chan error, 1)
+	go func() {
+		waited <- d.acquire(ctx)
+	}()
+	// Give the waiter time to enter the queue, then a second waiter must be
+	// rejected immediately.
+	deadline := time.After(2 * time.Second)
+	for d.queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := d.acquire(ctx); !errors.Is(err, errBusy) {
+		t.Fatalf("expected errBusy, got %v", err)
+	}
+	// Releasing the slot hands it to the queued waiter.
+	d.release()
+	if err := <-waited; err != nil {
+		t.Fatal(err)
+	}
+	d.release()
+}
+
+func TestDispatcherAcquireRespectsDeadline(t *testing.T) {
+	d := newDispatcher(1, 4)
+	if err := d.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := d.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+	d.release()
+}
+
+func TestDispatcherTryAcquire(t *testing.T) {
+	d := newDispatcher(1, 1)
+	if !d.tryAcquire() {
+		t.Fatal("tryAcquire on free dispatcher failed")
+	}
+	if d.tryAcquire() {
+		t.Fatal("tryAcquire on full dispatcher succeeded")
+	}
+	d.release()
+	if !d.tryAcquire() {
+		t.Fatal("tryAcquire after release failed")
+	}
+	d.release()
+}

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestDaemon stands up a Server plus an httptest listener and tears both
+// down with the test.
+func newTestDaemon(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// doJSON issues a request and decodes the response body into out (if any).
+func doJSON(t *testing.T, method, url string, body any, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func TestDegradedSessionReportsStateThroughMetrics(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	spec := SessionSpec{
+		ID:        "faulty-chip",
+		Mode:      ModeSim,
+		Workload:  WorkloadSpec{Fig3: true},
+		Mechanism: "rebudget-0.05",
+		Sim: &SimSpec{
+			WarmupEpochs: 1,
+			// Poisoned utility evaluations make Allocate fail outright
+			// (solver stalls alone are absorbed by the §6.4 Settle
+			// fail-safe as non-converged successes).
+			Faults: &FaultSpec{UtilityRate: 0.9, Seed: 11},
+		},
+	}
+	var created SessionView
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	// Step until the chip's FSM degrades (3 consecutive failed allocations
+	// at a 90% per-evaluation poisoning rate — a handful of epochs).
+	degraded := false
+	for i := 0; i < 60 && !degraded; i++ {
+		var v SessionView
+		if resp := doJSON(t, "POST", ts.URL+"/v1/sessions/faulty-chip/epoch", nil, &v); resp.StatusCode != http.StatusOK {
+			t.Fatalf("epoch %d: %d", i, resp.StatusCode)
+		}
+		degraded = v.Health == "degraded"
+	}
+	if !degraded {
+		t.Fatal("session never degraded under a 90% utility-poisoning rate")
+	}
+	resp := doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rebudgetd_session_health{id="faulty-chip",state="degraded"} 1`,
+		`rebudgetd_sessions_by_state{state="degraded"} 1`,
+		`rebudgetd_sessions_live 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestEpochBackpressureReturns429(t *testing.T) {
+	srv, ts := newTestDaemon(t, Config{
+		Workers:        1,
+		MaxWaiting:     1,
+		RequestTimeout: 300 * time.Millisecond,
+	})
+	spec := SessionSpec{ID: "bp", Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	// Occupy the only worker slot from the test so epoch requests queue.
+	if !srv.disp.tryAcquire() {
+		t.Fatal("could not claim the worker slot")
+	}
+	release := make(chan struct{})
+	go func() {
+		<-release
+		srv.disp.release()
+	}()
+	defer close(release)
+
+	// First request becomes the one allowed waiter...
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sessions/bp/epoch", "application/json", nil)
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	deadline := time.After(2 * time.Second)
+	for srv.disp.queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first epoch request never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// ...and the second is rejected immediately with 429 + Retry-After.
+	resp := doJSON(t, "POST", ts.URL+"/v1/sessions/bp/epoch", nil, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	// The queued waiter times out against the request deadline (503).
+	if code := <-firstDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("queued request: expected 503 after deadline, got %d", code)
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	srv, ts := newTestDaemon(t, Config{})
+	var h healthzBody
+	if resp := doJSON(t, "GET", ts.URL+"/healthz", nil, &h); resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, h.Status)
+	}
+	srv.StartDrain()
+	var hd healthzBody
+	if resp := doJSON(t, "GET", ts.URL+"/healthz", nil, &hd); resp.StatusCode != http.StatusServiceUnavailable || hd.Status != "draining" {
+		t.Fatalf("draining healthz: %d %q", resp.StatusCode, hd.Status)
+	}
+	spec := SessionSpec{Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	cases := []struct {
+		name string
+		spec SessionSpec
+	}{
+		{"bad id", SessionSpec{ID: "no spaces!", Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}},
+		{"bad mode", SessionSpec{Mode: "quantum", Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}},
+		{"bad mechanism", SessionSpec{Workload: WorkloadSpec{Fig3: true}, Mechanism: "lottery"}},
+		{"no workload", SessionSpec{Mechanism: "equalbudget"}},
+		{"rebudget without min_ef", SessionSpec{Workload: WorkloadSpec{Fig3: true}, Mechanism: "rebudget"}},
+		{"bad fault rate", SessionSpec{Mode: ModeSim, Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget",
+			Sim: &SimSpec{Faults: &FaultSpec{SolverRate: 1.5}}}},
+	}
+	for _, tc := range cases {
+		if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", tc.spec, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: expected 400, got %d", tc.name, resp.StatusCode)
+		}
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/v1/sessions/ghost", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing session: expected 404, got %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "DELETE", ts.URL+"/v1/sessions/ghost", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing delete: expected 404, got %d", resp.StatusCode)
+	}
+}
+
+func TestDuplicateSessionConflicts(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	spec := SessionSpec{ID: "twin", Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: expected 409, got %d", resp.StatusCode)
+	}
+}
+
+func TestTelemetryValidation(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	spec := SessionSpec{ID: "tele", Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	// Context switches are sim-only.
+	bad := TelemetrySpec{Switches: []SwitchSpec{{Core: 0, App: "mcf"}}}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions/tele/telemetry", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("switches on market session: expected 400, got %d", resp.StatusCode)
+	}
+	// Out-of-range player.
+	bad = TelemetrySpec{Players: []PlayerTelemetry{{Player: 99, Demand: 2}}}
+	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions/tele/telemetry", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad player index: expected 400, got %d", resp.StatusCode)
+	}
+	// Result is sim-only.
+	if resp := doJSON(t, "GET", ts.URL+"/v1/sessions/tele/result", nil, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("result on market session: expected 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":                  "/healthz",
+		"/metrics":                  "/metrics",
+		"/v1/sessions":              "/v1/sessions",
+		"/v1/sessions/abc":          "/v1/sessions/{id}",
+		"/v1/sessions/abc/epoch":    "/v1/sessions/{id}/epoch",
+		"/v1/sessions/x-1/result":   "/v1/sessions/{id}/result",
+		"/v1/sessions/q/telemetry":  "/v1/sessions/{id}/telemetry",
+		"/favicon.ico":              "other",
+		"/v2/things/whatever/else3": "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestLRUEvictionOverHTTP(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{MaxSessions: 2})
+	for i := 0; i < 3; i++ {
+		spec := SessionSpec{ID: fmt.Sprintf("lru-%d", i),
+			Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalbudget"}
+		if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: %d", i, resp.StatusCode)
+		}
+	}
+	// lru-0 was least recently used and must be gone; a request answers 404.
+	if resp := doJSON(t, "GET", ts.URL+"/v1/sessions/lru-0", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session still served: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/v1/sessions/lru-2", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh session missing: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"rebudget/internal/core"
+	"rebudget/internal/market"
+	"rebudget/internal/metrics"
+	"rebudget/internal/workload"
+)
+
+// marketEngine serves analytic-market sessions: each epoch re-runs the
+// mechanism on the current (telemetry-adjusted) players, warm-starting the
+// equilibrium from the previous epoch's final bids. It is driven only from
+// the owning session's goroutine, so it needs no locking of its own.
+type marketEngine struct {
+	names    []string
+	players  []core.PlayerSpec
+	capacity []float64
+	demand   []float64 // per-player utility multipliers, telemetry-updated
+
+	alloc core.Allocator
+	resil *core.Resilient // nil when the session opted out of hardening
+	warm  bool
+
+	warmBids [][]float64
+	last     *core.Outcome
+	lastEF   float64
+}
+
+// scaledUtility multiplies a profiled utility surface by a live demand
+// factor — the serving layer's stand-in for a phase change reported by the
+// tenant's monitors. The factor pointer is written only between epochs by
+// the session goroutine, so solves never observe a torn update; scaling by
+// the default 1.0 is bit-transparent.
+type scaledUtility struct {
+	inner market.Utility
+	scale *float64
+}
+
+// Value implements market.Utility.
+func (u scaledUtility) Value(alloc []float64) float64 {
+	return *u.scale * u.inner.Value(alloc)
+}
+
+// newMarketEngine profiles the bundle analytically and assembles the
+// session's hardened allocator. The observer receives every equilibrium's
+// convergence cost (the server-wide profile).
+func newMarketEngine(spec SessionSpec, bundle workload.Bundle,
+	observer func(rounds, bidSteps int, wall time.Duration)) (*marketEngine, error) {
+	var setup *workload.Setup
+	var err error
+	if spec.Bandwidth {
+		setup, err = workload.NewSetupWithBandwidth(bundle)
+	} else {
+		setup, err = workload.NewSetup(bundle)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mech, err := parseMechanism(spec.Mechanism, spec.MinEnvyFreeness)
+	if err != nil {
+		return nil, err
+	}
+	e := &marketEngine{
+		players:  setup.Players,
+		capacity: setup.Capacity,
+		demand:   make([]float64, len(setup.Players)),
+		warm:     spec.warmStart(),
+	}
+	for i := range e.players {
+		e.names = append(e.names, e.players[i].Name)
+		e.demand[i] = 1
+		e.players[i].Utility = scaledUtility{inner: e.players[i].Utility, scale: &e.demand[i]}
+	}
+	alloc := mech
+	if spec.resilient() {
+		e.resil = core.NewResilient(mech, core.ResilientConfig{})
+		alloc = e.resil
+	}
+	e.alloc = core.WithMarketConfig(alloc, func(mc market.Config) market.Config {
+		mc.Workers = spec.Workers
+		mc.Observer = observer
+		return mc
+	})
+	return e, nil
+}
+
+// step runs one allocation epoch.
+func (e *marketEngine) step() error {
+	a := e.alloc
+	if e.warm {
+		// Value mechanisms return a warm-seeded copy; Resilient installs
+		// the bids in place and returns itself. Either way the handle we
+		// keep is the one that allocates.
+		a = core.WithWarmBids(a, e.warmBids)
+		e.alloc = a
+	}
+	out, err := a.Allocate(e.capacity, e.players)
+	if err != nil {
+		return err
+	}
+	ef, err := out.EnvyFreeness(e.players)
+	if err != nil {
+		return err
+	}
+	e.last = out
+	e.lastEF = ef
+	if e.warm {
+		e.warmBids = out.Bids
+	}
+	return nil
+}
+
+// telemetry applies per-player monitor updates between epochs.
+func (e *marketEngine) telemetry(t TelemetrySpec) error {
+	if len(t.Switches) > 0 {
+		return fmt.Errorf("market sessions take player telemetry, not context switches")
+	}
+	for _, pt := range t.Players {
+		if pt.Player < 0 || pt.Player >= len(e.players) {
+			return fmt.Errorf("player %d out of range [0,%d)", pt.Player, len(e.players))
+		}
+		if pt.Demand < 0 || pt.Weight < 0 {
+			return fmt.Errorf("player %d: negative demand/weight", pt.Player)
+		}
+		if pt.Demand > 0 {
+			e.demand[pt.Player] = pt.Demand
+		}
+		if pt.Weight > 0 {
+			e.players[pt.Player].BudgetWeight = pt.Weight
+		}
+	}
+	return nil
+}
+
+// view renders the mode-specific part of the session view.
+func (e *marketEngine) view() SessionView {
+	v := SessionView{Mode: ModeMarket, Cores: len(e.players)}
+	if e.last != nil {
+		v.Alloc = allocationView(e.names, e.last, finitePtr(e.lastEF))
+	}
+	return v
+}
+
+// result is sim-only.
+func (e *marketEngine) result() (*SimResultView, error) {
+	return nil, fmt.Errorf("result is only available for sim sessions")
+}
+
+// healthState reports the Resilient wrapper's backoff position (always
+// Healthy for unhardened sessions, which fail loudly instead).
+func (e *marketEngine) healthState() metrics.HealthState {
+	if e.resil == nil {
+		return metrics.Healthy
+	}
+	return e.resil.HealthState()
+}
+
+// allocationView converts an outcome for JSON.
+func allocationView(names []string, out *core.Outcome, ef *float64) *AllocationView {
+	return &AllocationView{
+		Players:         names,
+		Allocations:     out.Allocations,
+		Budgets:         out.Budgets,
+		Utilities:       out.Utilities,
+		Lambdas:         out.Lambdas,
+		MUR:             finitePtr(out.MUR),
+		MBR:             finitePtr(out.MBR),
+		PoABound:        finitePtr(out.PoABound()),
+		EFBound:         finitePtr(out.EFBound()),
+		Efficiency:      out.Efficiency(),
+		EnvyFreeness:    ef,
+		Iterations:      out.Iterations,
+		EquilibriumRuns: out.EquilibriumRuns,
+		Converged:       out.Converged,
+	}
+}
+
+// healthView converts pipeline telemetry for JSON.
+func healthView(h metrics.Health) HealthView {
+	return HealthView{
+		State:           h.State.String(),
+		AllocAttempts:   h.AllocAttempts,
+		AllocFailures:   h.AllocFailures,
+		CurveRepairs:    h.CurveRepairs,
+		NonConverged:    h.NonConverged,
+		PinnedIntervals: h.PinnedIntervals,
+		Transitions:     h.Transitions,
+	}
+}
+
+// equilibriumView converts convergence-cost counters for JSON.
+func equilibriumView(s metrics.EquilibriumStats) EquilibriumView {
+	return EquilibriumView{
+		Runs:        s.Runs,
+		Rounds:      s.Rounds,
+		BidSteps:    s.BidSteps,
+		WallSeconds: s.Wall.Seconds(),
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebudget/internal/metrics"
+)
+
+// latencyBuckets are the request-latency histogram upper bounds, in seconds.
+// Allocation epochs land mid-range; reads land in the first buckets.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// srvMetrics is the daemon's observability state: lock-free counters on the
+// hot paths, a mutex-guarded label map for per-route request accounting, and
+// a renderer emitting Prometheus text exposition format. No client library —
+// the repo takes no dependencies — but the output is scrape-compatible.
+type srvMetrics struct {
+	sessionsCreated atomic.Int64
+	epochsServed    atomic.Int64
+	tickerDropped   atomic.Int64
+
+	evicted  labelCounters // reason: capacity | idle | deleted | drain
+	rejected labelCounters // reason: busy | mailbox | draining | timeout
+	requests labelCounters // route|code
+
+	latCount atomic.Int64
+	latSum   atomicFloat
+	latBkt   [13]atomic.Int64 // parallel to latencyBuckets
+
+	// eq is the server-wide equilibrium profile: the observer installed on
+	// every session's allocator, surviving session eviction so the counters
+	// stay monotonic (as Prometheus counters must).
+	eq metrics.EquilibriumProfile
+}
+
+func init() {
+	if len(latencyBuckets) != len((&srvMetrics{}).latBkt) {
+		panic("server: latBkt array out of sync with latencyBuckets")
+	}
+}
+
+// labelCounters is a small label-value → counter map.
+type labelCounters struct {
+	mu sync.Mutex
+	m  map[string]*int64
+}
+
+func (lc *labelCounters) inc(label string) {
+	lc.mu.Lock()
+	if lc.m == nil {
+		lc.m = make(map[string]*int64)
+	}
+	c, ok := lc.m[label]
+	if !ok {
+		c = new(int64)
+		lc.m[label] = c
+	}
+	*c++
+	lc.mu.Unlock()
+}
+
+// snapshot returns the labels sorted with their counts.
+func (lc *labelCounters) snapshot() ([]string, []int64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	labels := make([]string, 0, len(lc.m))
+	for l := range lc.m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	counts := make([]int64, len(labels))
+	for i, l := range labels {
+		counts[i] = *lc.m[l]
+	}
+	return labels, counts
+}
+
+// atomicFloat accumulates float64 via CAS on the bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// observeRequest records one served HTTP request.
+func (m *srvMetrics) observeRequest(route string, code int, dur time.Duration) {
+	m.requests.inc(fmt.Sprintf("route=%q,code=\"%d\"", route, code))
+	sec := dur.Seconds()
+	m.latCount.Add(1)
+	m.latSum.add(sec)
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.latBkt[i].Add(1)
+		}
+	}
+}
+
+// render writes the exposition. Per-session gauges (epochs, FSM state) come
+// from the live session list; the ISSUE's acceptance check — degraded-mode
+// sessions report their FSM state through /metrics — reads
+// rebudgetd_session_health and rebudgetd_sessions_by_state.
+func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
+	draining bool, uptime time.Duration) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	labelled := func(name, help, typ string, lc *labelCounters) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		labels, counts := lc.snapshot()
+		for i, l := range labels {
+			fmt.Fprintf(w, "%s{%s} %d\n", name, l, counts[i])
+		}
+	}
+
+	gauge("rebudgetd_up", "Daemon liveness (always 1 while serving).", 1)
+	gauge("rebudgetd_uptime_seconds", "Seconds since the daemon started.", uptime.Seconds())
+	drainVal := 0.0
+	if draining {
+		drainVal = 1
+	}
+	gauge("rebudgetd_draining", "1 while the daemon is draining for shutdown.", drainVal)
+	gauge("rebudgetd_sessions_live", "Sessions currently resident.", float64(len(sessions)))
+	counter("rebudgetd_sessions_created_total", "Sessions ever created.", float64(m.sessionsCreated.Load()))
+	labelled("rebudgetd_sessions_evicted_total", "Sessions removed, by reason.", "counter", &m.evicted)
+	counter("rebudgetd_epochs_served_total", "Allocation epochs stepped across all sessions.", float64(m.epochsServed.Load()))
+	counter("rebudgetd_ticker_epochs_dropped_total", "Ticker epochs dropped under dispatcher backpressure.", float64(m.tickerDropped.Load()))
+	labelled("rebudgetd_rejected_total", "Requests rejected, by reason.", "counter", &m.rejected)
+	gauge("rebudgetd_dispatch_in_flight", "Allocation worker slots currently claimed.", float64(disp.inFlight()))
+	gauge("rebudgetd_dispatch_queued", "Requests waiting for an allocation worker slot.", float64(disp.queued()))
+
+	// Equilibrium convergence cost (from metrics.EquilibriumProfile).
+	eq := m.eq.Snapshot()
+	counter("rebudgetd_equilibrium_runs_total", "Equilibrium computations performed.", float64(eq.Runs))
+	counter("rebudgetd_equilibrium_rounds_total", "Bidding-pricing rounds summed over all equilibria.", float64(eq.Rounds))
+	counter("rebudgetd_equilibrium_bid_steps_total", "Per-player bid updates summed over all equilibria.", float64(eq.BidSteps))
+	counter("rebudgetd_equilibrium_wall_seconds_total", "Wall time spent inside equilibrium computations.", eq.Wall.Seconds())
+
+	// Request accounting.
+	labelled("rebudgetd_requests_total", "HTTP requests served, by route and status code.", "counter", &m.requests)
+	fmt.Fprintf(w, "# HELP rebudgetd_request_seconds HTTP request latency.\n# TYPE rebudgetd_request_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "rebudgetd_request_seconds_bucket{le=%q} %d\n", fmtFloat(ub), m.latBkt[i].Load())
+	}
+	fmt.Fprintf(w, "rebudgetd_request_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
+	fmt.Fprintf(w, "rebudgetd_request_seconds_sum %s\n", fmtFloat(m.latSum.load()))
+	fmt.Fprintf(w, "rebudgetd_request_seconds_count %d\n", m.latCount.Load())
+
+	// Degradation FSM: population counts per state, plus per-session detail.
+	byState := map[metrics.HealthState]int{}
+	for _, s := range sessions {
+		byState[s.Health()]++
+	}
+	fmt.Fprintf(w, "# HELP rebudgetd_sessions_by_state Sessions per degradation-FSM state.\n# TYPE rebudgetd_sessions_by_state gauge\n")
+	for _, st := range []metrics.HealthState{metrics.Healthy, metrics.Degraded, metrics.Recovering} {
+		fmt.Fprintf(w, "rebudgetd_sessions_by_state{state=%q} %d\n", st.String(), byState[st])
+	}
+	fmt.Fprintf(w, "# HELP rebudgetd_session_epochs Epochs served, per live session.\n# TYPE rebudgetd_session_epochs gauge\n")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rebudgetd_session_epochs{id=%q} %d\n", s.id, s.Epochs())
+	}
+	fmt.Fprintf(w, "# HELP rebudgetd_session_health Degradation-FSM state, per live session (1 = current state).\n# TYPE rebudgetd_session_health gauge\n")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rebudgetd_session_health{id=%q,state=%q} 1\n", s.id, s.Health().String())
+	}
+}
+
+// routeLabel normalises a request path into a bounded label set so metric
+// cardinality cannot grow with session IDs. The outer request's mux pattern
+// is invisible to middleware (ServeMux matches on a copy), hence by hand.
+func routeLabel(path string) string {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	switch {
+	case len(parts) >= 1 && parts[0] == "healthz":
+		return "/healthz"
+	case len(parts) >= 1 && parts[0] == "metrics":
+		return "/metrics"
+	case len(parts) >= 2 && parts[0] == "v1" && parts[1] == "sessions":
+		switch len(parts) {
+		case 2:
+			return "/v1/sessions"
+		case 3:
+			return "/v1/sessions/{id}"
+		default:
+			return "/v1/sessions/{id}/" + parts[3]
+		}
+	default:
+		return "other"
+	}
+}
+
+func fmtFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

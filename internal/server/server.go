@@ -1,0 +1,463 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// MaxSessions caps resident sessions; the LRU session is evicted to
+	// admit a new one past the cap (default 128).
+	MaxSessions int
+	// IdleTTL evicts sessions untouched by any client for this long
+	// (default 10m; <0 disables).
+	IdleTTL time.Duration
+	// Workers bounds allocation work in flight across all sessions
+	// (default GOMAXPROCS).
+	Workers int
+	// MaxWaiting bounds requests queued for a worker slot; beyond it the
+	// daemon answers 429 + Retry-After (default 4×Workers, min 64).
+	MaxWaiting int
+	// RequestTimeout is the per-request deadline for allocation work
+	// (default 10s).
+	RequestTimeout time.Duration
+	// MailboxDepth is each session's queued-request bound (default 8).
+	MailboxDepth int
+	// Logger receives structured request/lifecycle logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 128
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 10 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWaiting <= 0 {
+		c.MaxWaiting = 4 * c.Workers
+		if c.MaxWaiting < 64 {
+			c.MaxWaiting = 64
+		}
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 8
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the rebudgetd daemon: session registry, dispatcher, metrics and
+// the HTTP API. Construct with New, mount Handler, Close when done.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	store *store
+	disp  *dispatcher
+	met   *srvMetrics
+	mux   *http.ServeMux
+
+	started  time.Time
+	draining atomic.Bool
+	idSeq    atomic.Int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds a server and starts its idle-TTL janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		log:         cfg.Logger,
+		store:       newStore(cfg.MaxSessions, cfg.IdleTTL),
+		disp:        newDispatcher(cfg.Workers, cfg.MaxWaiting),
+		met:         &srvMetrics{},
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.routes()
+	go s.janitor()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/epoch", s.handleEpoch)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the daemon's HTTP handler (logging + metrics wrapped).
+func (s *Server) Handler() http.Handler {
+	return s.instrument(s.mux)
+}
+
+// StartDrain flips the daemon into drain mode: /healthz reports 503 so load
+// balancers stop routing, and new sessions are refused. Existing sessions
+// keep serving until Close.
+func (s *Server) StartDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Info("draining")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the janitor and closes every session, waiting for their
+// goroutines to exit. The HTTP listener (owned by the caller) should be shut
+// down first.
+func (s *Server) Close() {
+	close(s.janitorStop)
+	<-s.janitorDone
+	for _, sess := range s.store.drain() {
+		sess.close()
+		s.met.evicted.inc(`reason="drain"`)
+	}
+}
+
+// Sessions reports the live session count.
+func (s *Server) Sessions() int { return s.store.len() }
+
+// janitor sweeps idle sessions on a fraction of the TTL.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	if s.cfg.IdleTTL <= 0 {
+		<-s.janitorStop
+		return
+	}
+	period := s.cfg.IdleTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-t.C:
+			for _, sess := range s.store.sweepIdle(now) {
+				sess.close()
+				s.met.evicted.inc(`reason="idle"`)
+				s.log.Info("session evicted", "id", sess.id, "reason", "idle")
+			}
+		}
+	}
+}
+
+// --- HTTP plumbing ---
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request logging and metrics.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		s.met.observeRequest(route, rec.code, dur)
+		s.log.Info("request",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"code", rec.code, "dur_ms", float64(dur.Microseconds())/1000)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// decodeBody decodes a bounded JSON body into v; an empty body leaves v as
+// the zero value.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
+}
+
+// replyError maps session/dispatcher errors onto HTTP statuses.
+func (s *Server) replyError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		s.met.rejected.inc(`reason="busy"`)
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errMailboxFull):
+		s.met.rejected.inc(`reason="mailbox"`)
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errSessionClosed):
+		writeErr(w, http.StatusGone, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.met.rejected.inc(`reason="timeout"`)
+		writeErr(w, http.StatusServiceUnavailable, "request deadline exceeded")
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.met.rejected.inc(`reason="draining"`)
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var spec SessionSpec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	bundle, err := buildBundle(spec.Workload)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Engine construction is allocation-grade work (sim warmup runs whole
+	// epochs), so it competes for a dispatcher slot like any epoch.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.disp.acquire(ctx); err != nil {
+		s.replyError(w, err)
+		return
+	}
+	var eng engine
+	switch spec.mode() {
+	case ModeSim:
+		eng, err = newSimEngine(spec, bundle, s.met.eq.Observe)
+	default:
+		eng, err = newMarketEngine(spec, bundle, s.met.eq.Observe)
+	}
+	s.disp.release()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := spec.ID
+	if id == "" {
+		id = fmt.Sprintf("s-%06d", s.idSeq.Add(1))
+	}
+	sess := newSession(id, spec, eng, s.disp, s.met, s.cfg.MailboxDepth, time.Now())
+	evicted, err := s.store.add(sess)
+	if err != nil {
+		sess.close()
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	}
+	if evicted != nil {
+		evicted.close()
+		s.met.evicted.inc(`reason="capacity"`)
+		s.log.Info("session evicted", "id", evicted.id, "reason", "capacity")
+	}
+	s.met.sessionsCreated.Add(1)
+	s.log.Info("session created", "id", id, "mode", spec.mode(), "mechanism", spec.Mechanism)
+	writeJSON(w, http.StatusCreated, sess.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.store.list()
+	views := make([]SessionView, len(sessions))
+	for i, sess := range sessions {
+		views[i] = sess.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
+}
+
+// lookup resolves {id}, touching the session for LRU/TTL accounting.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	sess := s.store.get(id)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return nil
+	}
+	sess.touch(time.Now())
+	return sess
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if sess := s.lookup(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, sess.View())
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.store.remove(id)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return
+	}
+	sess.close()
+	s.met.evicted.inc(`reason="deleted"`)
+	s.log.Info("session deleted", "id", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// epochBody is the optional POST body for /epoch.
+type epochBody struct {
+	Epochs int `json:"epochs,omitempty"`
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	var body epochBody
+	if err := decodeBody(w, r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := body.Epochs
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 || n > 1000 {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("epochs %d outside [1,1000]", n))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.disp.acquire(ctx); err != nil {
+		s.replyError(w, err)
+		return
+	}
+	resp := sess.enqueue(ctx, &request{kind: reqEpoch, epochs: n})
+	s.disp.release()
+	if resp.err != nil {
+		s.replyError(w, resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp.view)
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	var tele TelemetrySpec
+	if err := decodeBody(w, r, &tele); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp := sess.enqueue(ctx, &request{kind: reqTelemetry, tele: tele})
+	if resp.err != nil {
+		if errors.Is(resp.err, errSessionClosed) || errors.Is(resp.err, errMailboxFull) ||
+			errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, context.Canceled) {
+			s.replyError(w, resp.err)
+		} else {
+			writeErr(w, http.StatusBadRequest, resp.err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp.view)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp := sess.enqueue(ctx, &request{kind: reqResult})
+	if resp.err != nil {
+		if errors.Is(resp.err, errSessionClosed) || errors.Is(resp.err, errMailboxFull) ||
+			errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, context.Canceled) {
+			s.replyError(w, resp.err)
+		} else {
+			writeErr(w, http.StatusBadRequest, resp.err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp.result)
+}
+
+// healthzBody is the /healthz response.
+type healthzBody struct {
+	Status        string `json:"status"`
+	Sessions      int    `json:"sessions"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{
+		Status:        "ok",
+		Sessions:      s.store.len(),
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.store.list(), s.disp, s.draining.Load(), time.Since(s.started))
+}

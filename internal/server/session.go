@@ -1,0 +1,270 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"rebudget/internal/metrics"
+)
+
+// engine is what a session goroutine drives: one allocation step per epoch,
+// telemetry applied between epochs, and read-side summaries. Implementations
+// (marketEngine, simEngine) are single-owner — only the session loop calls
+// these methods, so they need no locking.
+type engine interface {
+	step() error
+	telemetry(TelemetrySpec) error
+	view() SessionView
+	result() (*SimResultView, error)
+	healthState() metrics.HealthState
+}
+
+// request kinds flowing through a session's mailbox.
+const (
+	reqEpoch = iota
+	reqTelemetry
+	reqResult
+)
+
+type request struct {
+	kind   int
+	epochs int           // reqEpoch: how many epochs to step under one slot
+	tele   TelemetrySpec // reqTelemetry payload
+	reply  chan response // buffered(1); the loop never blocks replying
+}
+
+type response struct {
+	view   SessionView
+	result *SimResultView
+	err    error
+}
+
+var (
+	// errSessionClosed is returned to requests caught in the mailbox when
+	// the session stops (evicted or deleted) — surfaced as HTTP 410.
+	errSessionClosed = errors.New("session closed")
+	// errMailboxFull is per-session backpressure: the session's bounded
+	// mailbox is at capacity — surfaced as HTTP 429.
+	errMailboxFull = errors.New("session mailbox full")
+)
+
+// session owns one engine behind a bounded mailbox served by a dedicated
+// goroutine — the concurrency unit of the daemon. All engine access is
+// serialised through the loop; handlers read the cached view under mu.
+type session struct {
+	id        string
+	mode      string
+	mechanism string
+	category  string
+	created   time.Time
+
+	eng  engine
+	disp *dispatcher
+	met  *srvMetrics
+
+	reqs     chan *request
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	epochs   int64
+	cached   SessionView
+	lastErr  string
+	health   metrics.HealthState
+}
+
+// newSession wraps an engine and starts its loop. tick > 0 additionally
+// drives epochs from a server-side ticker at that period.
+func newSession(id string, spec SessionSpec, eng engine, disp *dispatcher,
+	met *srvMetrics, mailbox int, now time.Time) *session {
+	s := &session{
+		id:        id,
+		mode:      spec.mode(),
+		mechanism: spec.Mechanism,
+		category:  spec.Workload.Category,
+		created:   now,
+		eng:       eng,
+		disp:      disp,
+		met:       met,
+		reqs:      make(chan *request, mailbox),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		lastUsed:  now,
+	}
+	s.refresh("")
+	go s.loop(time.Duration(spec.TickerMillis) * time.Millisecond)
+	return s
+}
+
+// loop is the session goroutine: it serves mailbox requests, runs ticker
+// epochs, and on stop drains queued requests with errSessionClosed.
+func (s *session) loop(tick time.Duration) {
+	defer close(s.done)
+	var tickC <-chan time.Time
+	if tick > 0 {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			for {
+				select {
+				case req := <-s.reqs:
+					req.reply <- response{err: errSessionClosed}
+				default:
+					return
+				}
+			}
+		case <-tickC:
+			s.tickEpoch()
+		case req := <-s.reqs:
+			s.handle(req)
+		}
+	}
+}
+
+// tickEpoch runs one ticker-driven epoch if a dispatcher slot is free right
+// now; a busy dispatcher drops the tick (and counts it) rather than queueing
+// unbounded background work behind interactive requests.
+func (s *session) tickEpoch() {
+	if !s.disp.tryAcquire() {
+		s.met.tickerDropped.Add(1)
+		return
+	}
+	defer s.disp.release()
+	s.runEpochs(1)
+}
+
+// handle serves one mailbox request on the loop goroutine.
+func (s *session) handle(req *request) {
+	var resp response
+	switch req.kind {
+	case reqEpoch:
+		resp.err = s.runEpochs(req.epochs)
+	case reqTelemetry:
+		resp.err = s.eng.telemetry(req.tele)
+		s.refresh(errString(resp.err))
+	case reqResult:
+		resp.result, resp.err = s.eng.result()
+	}
+	resp.view = s.View()
+	req.reply <- resp
+}
+
+// runEpochs steps the engine n times, refreshing the cached view once.
+func (s *session) runEpochs(n int) error {
+	var err error
+	ran := int64(0)
+	for i := 0; i < n; i++ {
+		if err = s.eng.step(); err != nil {
+			break
+		}
+		ran++
+	}
+	s.mu.Lock()
+	s.epochs += ran
+	s.mu.Unlock()
+	s.met.epochsServed.Add(ran)
+	s.refresh(errString(err))
+	return err
+}
+
+// refresh re-renders the cached view from the engine (loop goroutine only)
+// and publishes it under mu for concurrent readers.
+func (s *session) refresh(lastErr string) {
+	v := s.eng.view()
+	h := s.eng.healthState()
+	s.mu.Lock()
+	v.ID = s.id
+	v.Mechanism = s.mechanism
+	v.Category = s.category
+	v.Epochs = s.epochs
+	v.Health = h.String()
+	v.CreatedAt = s.created
+	v.LastUsed = s.lastUsed
+	if lastErr != "" {
+		s.lastErr = lastErr
+	}
+	v.LastError = s.lastErr
+	s.cached = v
+	s.health = h
+	s.mu.Unlock()
+}
+
+// enqueue submits a request to the session loop and waits for the reply,
+// respecting ctx. A full mailbox fails fast with errMailboxFull (per-session
+// backpressure) instead of queueing unboundedly. Epoch requests must already
+// hold a dispatcher slot.
+func (s *session) enqueue(ctx context.Context, req *request) response {
+	req.reply = make(chan response, 1)
+	select {
+	case s.reqs <- req:
+	case <-s.stop:
+		return response{err: errSessionClosed}
+	default:
+		return response{err: errMailboxFull}
+	}
+	select {
+	case resp := <-req.reply:
+		return resp
+	case <-ctx.Done():
+		return response{err: ctx.Err()}
+	}
+}
+
+// View returns the last published snapshot of the session.
+func (s *session) View() SessionView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.cached
+	v.LastUsed = s.lastUsed
+	return v
+}
+
+// Health returns the last published FSM state.
+func (s *session) Health() metrics.HealthState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// Epochs returns the measured epochs served so far.
+func (s *session) Epochs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs
+}
+
+// touch records client activity for idle-TTL accounting.
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastUsed = now
+	s.mu.Unlock()
+}
+
+// LastUsed returns the idle-TTL clock value.
+func (s *session) LastUsed() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed
+}
+
+// close stops the loop and waits for it to exit. Safe to call repeatedly
+// and from any goroutine.
+func (s *session) close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

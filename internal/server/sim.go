@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"rebudget/internal/app"
+	"rebudget/internal/cmpsim"
+	"rebudget/internal/core"
+	"rebudget/internal/market"
+	"rebudget/internal/metrics"
+	"rebudget/internal/workload"
+)
+
+// simEngine serves execution-driven sessions: a cmpsim chip stepped one
+// measured epoch per request (or tick), with context switches applied
+// between epochs. Like marketEngine it is single-owner: only the session
+// goroutine touches it.
+type simEngine struct {
+	chip      *cmpsim.Chip
+	names     []string
+	bandwidth bool
+}
+
+// newSimEngine builds the chip, installs the server-wide equilibrium
+// observer on the allocator (the chip chains its own profiler behind it),
+// and runs warmup via Begin so the first StepEpoch is already measured.
+func newSimEngine(spec SessionSpec, bundle workload.Bundle,
+	observer func(rounds, bidSteps int, wall time.Duration)) (*simEngine, error) {
+	mech, err := parseMechanism(spec.Mechanism, spec.MinEnvyFreeness)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cmpsim.DefaultConfig(len(bundle.Apps))
+	cfg.MarketWorkers = spec.Workers
+	cfg.BandwidthMarket = spec.Bandwidth
+	cfg.Faults = spec.faultConfig()
+	if s := spec.Sim; s != nil {
+		if s.Seed != 0 {
+			cfg.Seed = s.Seed
+		}
+		if s.WarmupEpochs != 0 {
+			cfg.WarmupEpochs = s.WarmupEpochs
+		}
+		if s.ReallocEvery != 0 {
+			cfg.ReallocEvery = s.ReallocEvery
+		}
+		if s.MaxAccessesPerCoreEpoch != 0 {
+			cfg.MaxAccessesPerCoreEpoch = s.MaxAccessesPerCoreEpoch
+		}
+		cfg.WayPartition = s.WayPartition
+	}
+	chip, err := cmpsim.NewChip(cfg, bundle)
+	if err != nil {
+		return nil, err
+	}
+	var alloc core.Allocator = mech
+	if spec.resilient() {
+		alloc = core.NewResilient(mech, core.ResilientConfig{})
+	}
+	alloc = core.WithMarketConfig(alloc, func(mc market.Config) market.Config {
+		mc.Observer = observer
+		return mc
+	})
+	if err := chip.Begin(alloc); err != nil {
+		return nil, err
+	}
+	e := &simEngine{chip: chip, bandwidth: spec.Bandwidth}
+	for i, a := range bundle.Apps {
+		e.names = append(e.names, fmt.Sprintf("%s#%d", a.Name, i))
+	}
+	return e, nil
+}
+
+// step advances one measured epoch on the chip. Allocation faults are
+// absorbed by the chip's degraded-mode state machine, so an error here is a
+// construction bug, not a runtime fault.
+func (e *simEngine) step() error {
+	return e.chip.StepEpoch()
+}
+
+// telemetry applies context switches (§4.3) between epochs.
+func (e *simEngine) telemetry(t TelemetrySpec) error {
+	if len(t.Players) > 0 {
+		return fmt.Errorf("sim sessions take context switches, not player telemetry")
+	}
+	for _, sw := range t.Switches {
+		spec, err := app.Lookup(sw.App)
+		if err != nil {
+			return err
+		}
+		if err := e.chip.SwitchApp(sw.Core, spec); err != nil {
+			return err
+		}
+		e.names[sw.Core] = fmt.Sprintf("%s#%d", spec.Name, sw.Core)
+	}
+	return nil
+}
+
+// view renders the chip's hardware-facing state plus the latest allocator
+// outcome.
+func (e *simEngine) view() SessionView {
+	v := SessionView{Mode: ModeSim, Cores: len(e.names)}
+	sv := &SimView{
+		Epochs:         e.chip.Stepped(),
+		VirtualSeconds: e.chip.Elapsed(),
+		RegionTargets:  e.chip.Regions(),
+		FrequenciesGHz: e.chip.Frequencies(),
+		PowerBudgetsW:  e.chip.PowerBudgets(),
+		Health:         healthView(e.chip.Health()),
+		Equilibrium:    equilibriumView(e.chip.Equilibrium()),
+	}
+	if e.bandwidth {
+		sv.BandwidthGBs = e.chip.BandwidthAllocations()
+	}
+	v.Sim = sv
+	if out := e.chip.LastOutcome(); out != nil {
+		v.Alloc = allocationView(e.names, out, nil)
+	}
+	return v
+}
+
+// result summarises the run so far (normalised performance, weighted
+// speedup, envy-freeness on the latest monitored utilities).
+func (e *simEngine) result() (*SimResultView, error) {
+	res, err := e.chip.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &SimResultView{
+		Mechanism:       res.Mechanism,
+		NormPerf:        res.NormPerf,
+		WeightedSpeedup: res.WeightedSpeedup,
+		EnvyFreeness:    res.EnvyFreeness,
+		MeanIterations:  res.MeanIterations,
+		AvgPowerW:       res.AvgPowerW,
+		MaxTempC:        res.MaxTempC,
+		ThrottleEpochs:  res.ThrottleEpochs,
+		Health:          healthView(res.Health),
+		Equilibrium:     equilibriumView(res.Equilibrium),
+	}, nil
+}
+
+// healthState reports the chip's degraded-mode FSM position.
+func (e *simEngine) healthState() metrics.HealthState {
+	return e.chip.Health().State
+}

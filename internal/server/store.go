@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// store is the session registry: a map for lookup plus an LRU list for
+// capacity eviction and an idle TTL swept by the server's janitor. The
+// store only tracks sessions — closing an evicted session (which blocks on
+// its loop goroutine) happens outside the lock, by the caller.
+type store struct {
+	mu   sync.Mutex
+	max  int
+	ttl  time.Duration
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+}
+
+func newStore(max int, ttl time.Duration) *store {
+	return &store{max: max, ttl: ttl, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// add registers a session, returning the LRU session evicted to make room
+// (nil when under capacity). Duplicate IDs are an error.
+func (st *store) add(s *session) (evicted *session, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[s.id]; ok {
+		return nil, fmt.Errorf("session %q already exists", s.id)
+	}
+	if st.ll.Len() >= st.max {
+		back := st.ll.Back()
+		evicted = back.Value.(*session)
+		st.ll.Remove(back)
+		delete(st.byID, evicted.id)
+	}
+	st.byID[s.id] = st.ll.PushFront(s)
+	return evicted, nil
+}
+
+// get looks a session up and marks it most recently used.
+func (st *store) get(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if !ok {
+		return nil
+	}
+	st.ll.MoveToFront(el)
+	return el.Value.(*session)
+}
+
+// remove unregisters a session (nil if absent). The caller closes it.
+func (st *store) remove(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if !ok {
+		return nil
+	}
+	st.ll.Remove(el)
+	delete(st.byID, id)
+	return el.Value.(*session)
+}
+
+// list snapshots every live session, most recently used first.
+func (st *store) list() []*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*session, 0, st.ll.Len())
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*session))
+	}
+	return out
+}
+
+func (st *store) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ll.Len()
+}
+
+// sweepIdle unregisters and returns every session idle past the TTL. The
+// caller closes them outside the lock.
+func (st *store) sweepIdle(now time.Time) []*session {
+	if st.ttl <= 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var idle []*session
+	// Walk from the LRU end; stop at the first fresh session.
+	for el := st.ll.Back(); el != nil; {
+		s := el.Value.(*session)
+		if now.Sub(s.LastUsed()) < st.ttl {
+			break
+		}
+		prev := el.Prev()
+		st.ll.Remove(el)
+		delete(st.byID, s.id)
+		idle = append(idle, s)
+		el = prev
+	}
+	return idle
+}
+
+// drain unregisters every session for shutdown. The caller closes them.
+func (st *store) drain() []*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var all []*session
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*session))
+	}
+	st.ll.Init()
+	st.byID = make(map[string]*list.Element)
+	return all
+}
