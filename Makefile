@@ -4,16 +4,18 @@
 # races are a primary failure mode of the resilience layer, the parallel
 # equilibrium engine's serial-vs-parallel determinism tests only mean
 # something under -race, and the serving layer multiplexes sessions across
-# goroutines). ci ends with two smokes: serve-smoke boots a real rebudgetd
-# and drives it through the typed client, and bench-smoke warns (but does
-# not fail, unless BENCH_STRICT=1) on a >10% regression of the market
-# equilibrium kernel against the newest BENCH_*.json snapshot.
+# goroutines). ci ends with three smokes: serve-smoke boots a real rebudgetd
+# and drives it through the typed client (including a snapshot-rehydrate
+# restart), router-smoke boots a two-shard tier behind rebudget-router and
+# kills a shard mid-traffic, and bench-smoke warns (but does not fail,
+# unless BENCH_STRICT=1) on a >10% regression of the market equilibrium
+# kernel against the newest BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server bench bench-all bench-smoke serve-smoke
+.PHONY: ci build vet vet-cmd test race race-server race-router bench bench-all bench-smoke serve-smoke router-smoke
 
-ci: build vet vet-cmd race race-server serve-smoke bench-smoke
+ci: build vet vet-cmd race race-server race-router serve-smoke router-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -37,11 +39,23 @@ race:
 race-server:
 	$(GO) test -race ./internal/server/...
 
+# The sharded serving tier on its own under the race detector: ring moves,
+# proxy failover, and the cross-shard migration churn test.
+race-router:
+	$(GO) test -race ./internal/router/...
+
 # End-to-end: start rebudgetd on a random port, drive one session through
 # 3 epochs via the client, scrape /metrics, assert the counters moved,
-# then check SIGTERM drains cleanly.
+# check SIGTERM drains cleanly, then restart against the same snapshot dir
+# and assert the session rehydrates with its progress intact.
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# End-to-end sharding: two rebudgetd shards sharing a snapshot dir behind a
+# rebudget-router; 8 sessions placed, one shard killed mid-traffic, all
+# sessions must fail over and resume warm on the survivor.
+router-smoke:
+	scripts/router_smoke.sh
 
 # Key benchmarks (equilibrium engine, ReBudget, simulation, cache substrate)
 # recorded as a dated JSON snapshot: BENCH_<yyyymmdd>.json.

@@ -1,0 +1,108 @@
+// Command rebudget-router is the sharded serving tier: a consistent-hash
+// reverse proxy that places rebudgetd sessions on N backend shards by
+// session id, probes each shard's /healthz, and fails open to the next
+// ring position when a shard dies or drains. Run the shards with a shared
+// -snapshot-dir and a ring move becomes a warm migration: the receiving
+// shard rehydrates the session from its snapshot. See DESIGN.md, "Sharded
+// serving", and the README quick-start.
+//
+// Usage:
+//
+//	rebudget-router -addr :8343 \
+//	  -backends http://127.0.0.1:9001,http://127.0.0.1:9002
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rebudget/internal/router"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8343", "listen address")
+		backends      = flag.String("backends", "", "comma-separated shard base URLs (required)")
+		vnodes        = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+		probeInterval = flag.Duration("probe-interval", time.Second, "/healthz polling period")
+		proxyTimeout  = flag.Duration("proxy-timeout", 30*time.Second, "per-proxied-request deadline")
+		logFormat     = flag.String("log", "text", "log format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "rebudget-router: unknown -log format %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	var bases []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "rebudget-router: -backends is required (comma-separated shard URLs)")
+		os.Exit(2)
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:      bases,
+		VNodes:        *vnodes,
+		ProbeInterval: *probeInterval,
+		ProxyTimeout:  *proxyTimeout,
+		Logger:        log,
+	})
+	if err != nil {
+		log.Error("router construction failed", "err", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	log.Info("rebudget-router listening", "addr", ln.Addr().String(), "shards", len(bases))
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Info("signal received, shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Warn("shutdown incomplete", "err", err)
+		}
+		rt.Close()
+		log.Info("rebudget-router stopped")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serve failed", "err", err)
+			rt.Close()
+			os.Exit(1)
+		}
+	}
+}

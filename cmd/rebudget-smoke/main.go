@@ -1,12 +1,17 @@
 // Command rebudget-smoke drives an end-to-end smoke check against a
-// running rebudgetd: create one market session, step it through a few
-// epochs with the typed client, then scrape /metrics and verify the
-// serving counters actually moved. It exits non-zero on any failure, so
-// scripts/serve_smoke.sh (and `make serve-smoke`) can gate CI on it.
+// running rebudgetd — or a rebudget-router tier, which speaks the same
+// API: create (or resume) a market session, step it through a few epochs
+// with the typed client, then scrape /metrics and verify the requested
+// counters actually moved. It exits non-zero on any failure, so
+// scripts/serve_smoke.sh and scripts/router_smoke.sh (via `make ci`) can
+// gate CI on it.
 //
 // Usage:
 //
 //	rebudget-smoke -base http://127.0.0.1:8344 [-epochs 3]
+//	rebudget-smoke -base http://127.0.0.1:8344 -id s7 -resume 3 -epochs 1 -keep -checks none
+//	rebudget-smoke -base http://127.0.0.1:8343 -metrics-only \
+//	  -checks 'rebudget_router_up>=1,rebudget_router_failovers_total>=1'
 package main
 
 import (
@@ -24,70 +29,106 @@ import (
 )
 
 func main() {
-	base := flag.String("base", "http://127.0.0.1:8344", "base URL of the rebudgetd to probe")
-	epochs := flag.Int("epochs", 3, "epochs to drive through the session")
-	wait := flag.Duration("wait", 5*time.Second, "how long to wait for the daemon to come up")
+	var o opts
+	flag.StringVar(&o.base, "base", "http://127.0.0.1:8344", "base URL of the rebudgetd or router to probe")
+	flag.StringVar(&o.id, "id", "smoke", "session id to create or resume")
+	flag.IntVar(&o.epochs, "epochs", 3, "epochs to drive through the session")
+	flag.IntVar(&o.resume, "resume", -1, "resume an existing session and require >= this many epochs already served (-1: create fresh)")
+	flag.BoolVar(&o.keep, "keep", false, "leave the session resident instead of deleting it")
+	flag.BoolVar(&o.metricsOnly, "metrics-only", false, "skip session traffic; only poll health and run -checks")
+	flag.StringVar(&o.checks, "checks", "default", `metric assertions: "default" (daemon serving counters), "none", or a comma-separated list of name>=min (labelled names allowed)`)
+	flag.DurationVar(&o.wait, "wait", 5*time.Second, "how long to wait for the endpoint to come up")
 	flag.Parse()
 
-	if err := run(*base, *epochs, *wait); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "rebudget-smoke: FAIL: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("rebudget-smoke: OK")
 }
 
-func run(base string, epochs int, wait time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	c := client.New(base)
+type opts struct {
+	base        string
+	id          string
+	epochs      int
+	resume      int
+	keep        bool
+	metricsOnly bool
+	checks      string
+	wait        time.Duration
+}
 
-	// The daemon may still be binding its listener; poll /healthz briefly.
-	deadline := time.Now().Add(wait)
+type check struct {
+	metric string
+	min    float64
+}
+
+func (o opts) checkList() ([]check, error) {
+	switch o.checks {
+	case "none":
+		return nil, nil
+	case "default":
+		return []check{
+			{"rebudgetd_up", 1},
+			{"rebudgetd_sessions_live", 1},
+			{"rebudgetd_sessions_created_total", 1},
+			{"rebudgetd_epochs_served_total", float64(o.epochs)},
+			{"rebudgetd_equilibrium_runs_total", float64(o.epochs)},
+			{"rebudgetd_request_seconds_count", float64(o.epochs)},
+		}, nil
+	default:
+		var out []check
+		for _, part := range strings.Split(o.checks, ",") {
+			name, min, ok := strings.Cut(part, ">=")
+			if !ok {
+				return nil, fmt.Errorf("bad check %q (want name>=min)", part)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(min), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad check %q: %v", part, err)
+			}
+			out = append(out, check{strings.TrimSpace(name), v})
+		}
+		return out, nil
+	}
+}
+
+func run(o opts) error {
+	checks, err := o.checkList()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := client.New(o.base)
+
+	// The endpoint may still be binding its listener; poll /healthz briefly.
+	// Any 200 counts: a degraded router (one shard down) still serves, and
+	// asserting that is exactly what the failover smoke does.
+	deadline := time.Now().Add(o.wait)
 	for {
-		h, err := c.Healthz(ctx)
-		if err == nil && h.Status == "ok" {
+		_, err := c.Healthz(ctx)
+		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("daemon at %s never became healthy: %v", base, err)
+			return fmt.Errorf("endpoint at %s never became healthy: %v", o.base, err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 
-	v, err := c.CreateSession(ctx, server.SessionSpec{
-		ID:        "smoke",
-		Workload:  server.WorkloadSpec{Fig3: true},
-		Mechanism: "rebudget-0.05",
-	})
-	if err != nil {
-		return fmt.Errorf("create session: %w", err)
-	}
-	for e := 0; e < epochs; e++ {
-		if v, err = c.StepEpoch(ctx, v.ID); err != nil {
-			return fmt.Errorf("epoch %d: %w", e+1, err)
+	if !o.metricsOnly {
+		if err := driveSession(ctx, c, o); err != nil {
+			return err
 		}
 	}
-	if v.Epochs < int64(epochs) {
-		return fmt.Errorf("session reports %d epochs, want >= %d", v.Epochs, epochs)
-	}
-	if v.Alloc == nil || len(v.Alloc.Allocations) == 0 {
-		return fmt.Errorf("session has no allocation after %d epochs", epochs)
-	}
 
+	if len(checks) == 0 {
+		return nil
+	}
 	text, err := c.Metrics(ctx)
 	if err != nil {
 		return fmt.Errorf("scrape /metrics: %w", err)
-	}
-	checks := []struct {
-		metric string
-		min    float64
-	}{
-		{"rebudgetd_up", 1},
-		{"rebudgetd_sessions_live", 1},
-		{"rebudgetd_sessions_created_total", 1},
-		{"rebudgetd_epochs_served_total", float64(epochs)},
-		{"rebudgetd_equilibrium_runs_total", float64(epochs)},
-		{"rebudgetd_request_seconds_count", float64(epochs)},
 	}
 	for _, ck := range checks {
 		got, ok := metricValue(text, ck.metric)
@@ -99,15 +140,58 @@ func run(base string, epochs int, wait time.Duration) error {
 		}
 		fmt.Printf("rebudget-smoke: %s = %g (>= %g)\n", ck.metric, got, ck.min)
 	}
+	return nil
+}
 
-	if err := c.DeleteSession(ctx, v.ID); err != nil {
-		return fmt.Errorf("delete session: %w", err)
+// driveSession creates (or resumes, asserting prior progress survived) the
+// session and steps it o.epochs times.
+func driveSession(ctx context.Context, c *client.Client, o opts) error {
+	var v server.SessionView
+	var err error
+	if o.resume >= 0 {
+		// Resume: the session must already exist — possibly rehydrated from
+		// a snapshot on first touch — with its pre-restart progress intact.
+		if v, err = c.GetSession(ctx, o.id); err != nil {
+			return fmt.Errorf("resume session %q: %w", o.id, err)
+		}
+		if v.Epochs < int64(o.resume) {
+			return fmt.Errorf("resumed session %q has %d epochs, want >= %d (snapshot lost progress?)", o.id, v.Epochs, o.resume)
+		}
+		fmt.Printf("rebudget-smoke: resumed %q at epoch %d\n", o.id, v.Epochs)
+	} else {
+		if v, err = c.CreateSession(ctx, server.SessionSpec{
+			ID:        o.id,
+			Workload:  server.WorkloadSpec{Fig3: true},
+			Mechanism: "rebudget-0.05",
+		}); err != nil {
+			return fmt.Errorf("create session: %w", err)
+		}
+	}
+	for e := 0; e < o.epochs; e++ {
+		if v, err = c.StepEpoch(ctx, v.ID); err != nil {
+			return fmt.Errorf("epoch %d: %w", e+1, err)
+		}
+	}
+	minEpochs := int64(o.epochs)
+	if o.resume > 0 {
+		minEpochs += int64(o.resume)
+	}
+	if v.Epochs < minEpochs {
+		return fmt.Errorf("session reports %d epochs, want >= %d", v.Epochs, minEpochs)
+	}
+	if o.epochs > 0 && (v.Alloc == nil || len(v.Alloc.Allocations) == 0) {
+		return fmt.Errorf("session has no allocation after %d epochs", o.epochs)
+	}
+	if !o.keep {
+		if err := c.DeleteSession(ctx, v.ID); err != nil {
+			return fmt.Errorf("delete session: %w", err)
+		}
 	}
 	return nil
 }
 
-// metricValue finds an unlabelled sample line ("name value") in Prometheus
-// text exposition and returns its value.
+// metricValue finds a sample line ("name value", where name may include a
+// label selector) in Prometheus text exposition and returns its value.
 func metricValue(text, name string) (float64, bool) {
 	sc := bufio.NewScanner(strings.NewReader(text))
 	for sc.Scan() {

@@ -37,6 +37,8 @@ func main() {
 		maxWaiting  = flag.Int("max-waiting", 0, "queued allocation requests before 429 (0 = default)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request allocation deadline")
 		drainWait   = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget")
+		snapshotDir = flag.String("snapshot-dir", "", "persist session snapshots here; evicted/drained sessions rehydrate on next touch (empty disables)")
+		sessionRPS  = flag.Float64("session-rps", 0, "per-session epoch budget, epochs/sec (0 disables rate limiting)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -53,12 +55,24 @@ func main() {
 	}
 	log := slog.New(handler)
 
+	var snaps server.SnapshotStore
+	if *snapshotDir != "" {
+		fs, err := server.NewFileSnapshotStore(*snapshotDir)
+		if err != nil {
+			log.Error("snapshot store failed", "dir", *snapshotDir, "err", err)
+			os.Exit(1)
+		}
+		snaps = fs
+	}
+
 	srv := server.New(server.Config{
 		MaxSessions:    *maxSessions,
 		IdleTTL:        *idleTTL,
 		Workers:        *workers,
 		MaxWaiting:     *maxWaiting,
 		RequestTimeout: *timeout,
+		Snapshots:      snaps,
+		SessionRPS:     *sessionRPS,
 		Logger:         log,
 	})
 

@@ -1,0 +1,91 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// backend is one rebudgetd shard behind the router: its base URL plus the
+// router's live view of it. Health flips two ways — actively, from the
+// /healthz prober, and passively, when a proxied request fails at the
+// transport level (the prober then has to see a good probe to flip it
+// back). A draining daemon answers /healthz 503, so drains look exactly
+// like deaths to the ring: traffic moves to the next position, which is
+// what lets a shared snapshot store turn a drain into a warm migration.
+type backend struct {
+	base string
+
+	healthy  atomic.Bool
+	sessions atomic.Int64 // /healthz-reported resident session count
+	probes   atomic.Int64 // completed probes (telemetry)
+}
+
+// healthzBody mirrors the daemon's /healthz response.
+type healthzBody struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+}
+
+// probe checks one backend's /healthz and updates its state, reporting
+// whether the backend is healthy.
+func (b *backend) probe(ctx context.Context, client *http.Client) bool {
+	b.probes.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		b.healthy.Store(false)
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		b.healthy.Store(false)
+		return false
+	}
+	defer resp.Body.Close()
+	var body healthzBody
+	ok := resp.StatusCode == http.StatusOK &&
+		json.NewDecoder(resp.Body).Decode(&body) == nil && body.Status == "ok"
+	if ok {
+		b.sessions.Store(int64(body.Sessions))
+	}
+	b.healthy.Store(ok)
+	return ok
+}
+
+// probeAll probes every backend concurrently (one sweep of the prober
+// loop, also called synchronously by tests and at startup).
+func (rt *Router) probeAll(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			was := b.healthy.Load()
+			now := b.probe(ctx, rt.probeClient)
+			if was != now {
+				rt.log.Info("shard health changed", "shard", b.base, "healthy", now)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// prober is the background health loop.
+func (rt *Router) prober() {
+	defer close(rt.proberDone)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.proberStop:
+			return
+		case <-t.C:
+			rt.probeAll(context.Background())
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// proxyBuckets are the proxied-request latency histogram bounds, in
+// seconds. Proxied epochs pay the shard's allocation cost plus one local
+// hop, so the range matches the daemon's own request histogram.
+var proxyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// rtrMetrics is the router's observability state, rendered in Prometheus
+// text exposition format (hand-rolled like the daemon's — the repo takes
+// no dependencies, but the output is scrape-compatible).
+type rtrMetrics struct {
+	sessionsPlaced atomic.Int64 // creates proxied successfully
+	failovers      atomic.Int64 // requests skipped past an unhealthy/unreachable shard
+	reroutedEpochs atomic.Int64 // epoch requests served by a non-primary shard
+	noShard        atomic.Int64 // requests with no healthy shard at all
+
+	requests labelCounters // route|code
+
+	latCount atomic.Int64
+	latSum   atomicFloat
+	latBkt   [13]atomic.Int64 // parallel to proxyBuckets
+}
+
+func init() {
+	if len(proxyBuckets) != len((&rtrMetrics{}).latBkt) {
+		panic("router: latBkt array out of sync with proxyBuckets")
+	}
+}
+
+// labelCounters is a small label-value → counter map (the daemon keeps an
+// identical unexported helper; the packages stay decoupled).
+type labelCounters struct {
+	mu sync.Mutex
+	m  map[string]*int64
+}
+
+func (lc *labelCounters) inc(label string) {
+	lc.mu.Lock()
+	if lc.m == nil {
+		lc.m = make(map[string]*int64)
+	}
+	c, ok := lc.m[label]
+	if !ok {
+		c = new(int64)
+		lc.m[label] = c
+	}
+	*c++
+	lc.mu.Unlock()
+}
+
+func (lc *labelCounters) snapshot() ([]string, []int64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	labels := make([]string, 0, len(lc.m))
+	for l := range lc.m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	counts := make([]int64, len(labels))
+	for i, l := range labels {
+		counts[i] = *lc.m[l]
+	}
+	return labels, counts
+}
+
+// atomicFloat accumulates float64 via CAS on the bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// observe records one routed request.
+func (m *rtrMetrics) observe(route string, code int, dur time.Duration) {
+	m.requests.inc(fmt.Sprintf("route=%q,code=\"%d\"", route, code))
+	sec := dur.Seconds()
+	m.latCount.Add(1)
+	m.latSum.add(sec)
+	for i, ub := range proxyBuckets {
+		if sec <= ub {
+			m.latBkt[i].Add(1)
+		}
+	}
+}
+
+// render writes the exposition: router counters, the proxied latency
+// histogram, and per-shard gauges (health, probed session counts).
+func (m *rtrMetrics) render(w io.Writer, backends []*backend, uptime time.Duration) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+
+	gauge("rebudget_router_up", "Router liveness (always 1 while serving).", 1)
+	gauge("rebudget_router_uptime_seconds", "Seconds since the router started.", uptime.Seconds())
+	gauge("rebudget_router_shards", "Configured shard count.", float64(len(backends)))
+	healthyN := 0
+	for _, b := range backends {
+		if b.healthy.Load() {
+			healthyN++
+		}
+	}
+	gauge("rebudget_router_shards_healthy", "Shards currently passing health probes.", float64(healthyN))
+	counter("rebudget_router_sessions_placed_total", "Sessions created through the router.", float64(m.sessionsPlaced.Load()))
+	counter("rebudget_router_failovers_total", "Requests moved past an unhealthy or unreachable shard.", float64(m.failovers.Load()))
+	counter("rebudget_router_rerouted_epochs_total", "Epoch requests served by a non-primary shard.", float64(m.reroutedEpochs.Load()))
+	counter("rebudget_router_no_shard_total", "Requests failed because no shard was healthy.", float64(m.noShard.Load()))
+
+	fmt.Fprintf(w, "# HELP rebudget_router_shard_up Shard health by probe (1 healthy).\n# TYPE rebudget_router_shard_up gauge\n")
+	for _, b := range backends {
+		up := 0
+		if b.healthy.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "rebudget_router_shard_up{shard=%q} %d\n", b.base, up)
+	}
+	fmt.Fprintf(w, "# HELP rebudget_router_shard_sessions Resident sessions per shard, from its last good /healthz.\n# TYPE rebudget_router_shard_sessions gauge\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "rebudget_router_shard_sessions{shard=%q} %d\n", b.base, b.sessions.Load())
+	}
+	fmt.Fprintf(w, "# HELP rebudget_router_shard_probes_total Health probes completed per shard.\n# TYPE rebudget_router_shard_probes_total counter\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "rebudget_router_shard_probes_total{shard=%q} %d\n", b.base, b.probes.Load())
+	}
+
+	labels, counts := m.requests.snapshot()
+	fmt.Fprintf(w, "# HELP rebudget_router_requests_total Requests routed, by route and status code.\n# TYPE rebudget_router_requests_total counter\n")
+	for i, l := range labels {
+		fmt.Fprintf(w, "rebudget_router_requests_total{%s} %d\n", l, counts[i])
+	}
+	fmt.Fprintf(w, "# HELP rebudget_router_request_seconds Proxied request latency.\n# TYPE rebudget_router_request_seconds histogram\n")
+	for i, ub := range proxyBuckets {
+		fmt.Fprintf(w, "rebudget_router_request_seconds_bucket{le=%q} %d\n", fmtFloat(ub), m.latBkt[i].Load())
+	}
+	fmt.Fprintf(w, "rebudget_router_request_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
+	fmt.Fprintf(w, "rebudget_router_request_seconds_sum %s\n", fmtFloat(m.latSum.load()))
+	fmt.Fprintf(w, "rebudget_router_request_seconds_count %d\n", m.latCount.Load())
+}
+
+func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,133 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rebudget/internal/server"
+	"rebudget/internal/server/client"
+)
+
+// Cross-shard migration under churn: sessions step continuously through the
+// router while one backend drains and dies mid-epoch. Its sessions must
+// resume on the surviving shard from their snapshots — epochs monotone, no
+// lost progress — with only transient errors during the handoff. Run with
+// -race (make race-router): the interesting failures here are concurrent.
+func TestMigrationUnderChurn(t *testing.T) {
+	st, err := server.NewFileSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{Snapshots: st}
+	shardA := newShard(t, cfg)
+	shardB := newShard(t, cfg)
+	rt, err := New(Config{
+		Backends:      []string{shardA.ts.URL, shardB.ts.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		Logger:        discardLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := newRouterServer(t, rt)
+	rc := client.New(rts)
+	ctx := context.Background()
+
+	const nSessions = 6
+	ids := make([]string, nSessions)
+	onA := 0
+	for i := range ids {
+		ids[i] = fmt.Sprintf("churn-%d", i)
+		if rt.ring.Primary(ids[i]) == shardA.ts.URL {
+			onA++
+		}
+		mustCreate(t, rc, fig3Spec(ids[i]))
+	}
+	if onA == 0 || onA == nSessions {
+		t.Fatalf("degenerate placement (%d/%d on shard A) — churn would not migrate anything", onA, nSessions)
+	}
+
+	// Steppers: step every session continuously, tolerating the transient
+	// errors of the handoff window (404 before the snapshot lands, 503
+	// while no route is up) but never an epoch regression. Each stepper
+	// runs until it has landed several epochs *after* the kill — the only
+	// way to do that for a shard-A session is to rehydrate on shard B.
+	killed := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, nSessions)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			deadline := time.Now().Add(30 * time.Second)
+			last, postKill := int64(0), 0
+			for postKill < 3 {
+				if time.Now().After(deadline) {
+					errs[i] = fmt.Errorf("session %s stuck at epoch %d after the kill", id, last)
+					return
+				}
+				v, err := rc.StepEpoch(ctx, id)
+				if err != nil {
+					time.Sleep(25 * time.Millisecond)
+					continue
+				}
+				if v.Epochs < last {
+					errs[i] = fmt.Errorf("session %s epochs regressed %d -> %d", id, last, v.Epochs)
+					return
+				}
+				last = v.Epochs
+				select {
+				case <-killed:
+					postKill++
+				default:
+				}
+			}
+		}(i, id)
+	}
+
+	// Mid-churn: drain shard A (healthz flips 503, prober sees it), then
+	// kill it — Close() writes every resident session's snapshot to the
+	// shared store, which is what shard B rehydrates from.
+	time.Sleep(150 * time.Millisecond)
+	shardA.srv.StartDrain()
+	time.Sleep(100 * time.Millisecond) // a probe period: router notices the drain
+	shardA.ts.Close()
+	shardA.srv.Close()
+	close(killed)
+
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every session — including the migrated ones — finished on shard B.
+	if got := shardB.srv.Sessions(); got != nSessions {
+		t.Fatalf("survivor holds %d sessions, want all %d", got, nSessions)
+	}
+	if rt.met.failovers.Load() == 0 {
+		t.Fatal("failover counter did not move during the churn")
+	}
+	// The survivor's metrics show actual snapshot restores.
+	metrics, err := client.New(shardB.ts.URL).Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, `rebudgetd_snapshots_total{op="restore"}`) {
+		t.Fatal("survivor shard reports no snapshot restores — sessions were recreated, not migrated")
+	}
+}
+
+// newRouterServer mounts a router on httptest and returns its base URL.
+func newRouterServer(t *testing.T, rt *Router) string {
+	t.Helper()
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return ts.URL
+}

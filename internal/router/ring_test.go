@@ -1,0 +1,127 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingStableMapping(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	// Membership order must not matter: the ring is a pure function of the
+	// member set.
+	for _, m := range []string{"s1", "s2", "s3"} {
+		a.Add(m)
+	}
+	for _, m := range []string{"s3", "s1", "s2"} {
+		b.Add(m)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if pa, pb := a.Primary(key), b.Primary(key); pa != pb {
+			t.Fatalf("key %q: primary depends on insertion order (%q vs %q)", key, pa, pb)
+		}
+		if !reflect.DeepEqual(a.Sequence(key), b.Sequence(key)) {
+			t.Fatalf("key %q: sequence depends on insertion order", key)
+		}
+	}
+	// And repeated lookups are stable.
+	if a.Primary("session-7") != a.Primary("session-7") {
+		t.Fatal("primary not stable across lookups")
+	}
+}
+
+func TestRingSequenceCoversAllMembersOnce(t *testing.T) {
+	r := NewRing(32)
+	members := []string{"s1", "s2", "s3", "s4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	seq := r.Sequence("some-session")
+	if len(seq) != len(members) {
+		t.Fatalf("sequence %v does not cover all %d members", seq, len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Fatalf("sequence %v repeats %q", seq, m)
+		}
+		seen[m] = true
+	}
+	if seq[0] != r.Primary("some-session") {
+		t.Fatal("sequence head is not the primary")
+	}
+}
+
+// Removing a member must move only the keys it owned: every other key keeps
+// its primary — the consistent-hashing property the migration story rests on.
+func TestRingRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"s1", "s2", "s3"} {
+		r.Add(m)
+	}
+	const n = 500
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		before[key] = r.Primary(key)
+	}
+	r.Remove("s2")
+	for key, owner := range before {
+		now := r.Primary(key)
+		if owner != "s2" && now != owner {
+			t.Fatalf("key %q moved %q -> %q though its owner stayed in the ring", key, owner, now)
+		}
+		if owner == "s2" && now == "s2" {
+			t.Fatalf("key %q still maps to removed member", key)
+		}
+	}
+	// Re-adding restores the original mapping exactly.
+	r.Add("s2")
+	for key, owner := range before {
+		if got := r.Primary(key); got != owner {
+			t.Fatalf("key %q: re-add did not restore mapping (%q vs %q)", key, got, owner)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"s1", "s2", "s3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Primary(fmt.Sprintf("session-%d", i))]++
+	}
+	for _, m := range members {
+		// With 64 vnodes the split is not exact, but no shard should fall
+		// below half its fair share or exceed double it.
+		if counts[m] < n/(2*len(members)) || counts[m] > 2*n/len(members) {
+			t.Fatalf("unbalanced ring: %v", counts)
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(0) // default vnodes
+	if r.Primary("x") != "" || r.Sequence("x") != nil {
+		t.Fatal("empty ring should map to nothing")
+	}
+	r.Add("s1")
+	r.Add("s1") // idempotent
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"s1"}) {
+		t.Fatalf("members = %v", got)
+	}
+	if r.Primary("x") != "s1" {
+		t.Fatal("single-member ring must own every key")
+	}
+	r.Remove("s1")
+	r.Remove("s1") // idempotent
+	if r.Primary("x") != "" {
+		t.Fatal("removal did not empty the ring")
+	}
+}

@@ -1,0 +1,465 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebudget/internal/server"
+)
+
+// Config sizes the router. Zero values select the documented defaults.
+type Config struct {
+	// Backends are the shard base URLs (e.g. "http://127.0.0.1:9001").
+	// At least one is required.
+	Backends []string
+	// VNodes is the virtual nodes per shard on the hash ring (default 64).
+	VNodes int
+	// ProbeInterval is the /healthz polling period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe sweep (default 2s).
+	ProbeTimeout time.Duration
+	// ProxyTimeout is the per-proxied-request deadline (default 30s —
+	// epoch batches on a loaded shard are allocation-grade work).
+	ProxyTimeout time.Duration
+	// MaxBody bounds buffered request bodies (default 1 MiB, matching the
+	// daemon's own limit).
+	MaxBody int64
+	// Logger receives structured routing logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 30 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Router is the sharded serving tier: it owns the hash ring, the health
+// prober and the proxy loop. Construct with New, mount Handler, Close when
+// done.
+type Router struct {
+	cfg Config
+	log *slog.Logger
+
+	ring     *Ring
+	backends map[string]*backend
+	order    []*backend // configured order, for stable /metrics rendering
+
+	met         *rtrMetrics
+	mux         *http.ServeMux
+	proxyClient *http.Client
+	probeClient *http.Client
+
+	started time.Time
+	idSalt  string
+	idSeq   atomic.Int64
+
+	proberStop chan struct{}
+	proberDone chan struct{}
+}
+
+// New builds a router over the configured backends, probes them once
+// synchronously (so routing decisions are informed from the first
+// request), and starts the background prober.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: at least one backend required")
+	}
+	rt := &Router{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		ring:     NewRing(cfg.VNodes),
+		backends: make(map[string]*backend),
+		met:      &rtrMetrics{},
+		mux:      http.NewServeMux(),
+		proxyClient: &http.Client{
+			// The per-request deadline comes from the proxied context.
+			Timeout: 0,
+		},
+		probeClient: &http.Client{Timeout: cfg.ProbeTimeout},
+		started:     time.Now(),
+		// The salt keeps generated ids from colliding across router
+		// restarts (each daemon's own "s-%06d" sequence has the same
+		// problem scoped to one process; the router outlives many).
+		idSalt:     strconv.FormatInt(time.Now().UnixNano(), 36),
+		proberStop: make(chan struct{}),
+		proberDone: make(chan struct{}),
+	}
+	for _, raw := range cfg.Backends {
+		base := strings.TrimRight(raw, "/")
+		if base == "" {
+			return nil, errors.New("router: empty backend URL")
+		}
+		if _, dup := rt.backends[base]; dup {
+			return nil, fmt.Errorf("router: duplicate backend %q", base)
+		}
+		b := &backend{base: base}
+		rt.backends[base] = b
+		rt.order = append(rt.order, b)
+		rt.ring.Add(base)
+	}
+	rt.routes()
+	rt.probeAll(context.Background())
+	go rt.prober()
+	return rt, nil
+}
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	rt.mux.HandleFunc("GET /v1/sessions", rt.handleList)
+	rt.mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
+	rt.mux.HandleFunc("/v1/sessions/{id}/{verb}", rt.handleSession)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+}
+
+// Handler returns the router's HTTP handler (logging + metrics wrapped).
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		rt.mux.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		rt.met.observe(route, rec.code, dur)
+		rt.log.Info("routed",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"code", rec.code, "dur_ms", float64(dur.Microseconds())/1000)
+	})
+}
+
+// Close stops the health prober. The HTTP listener (owned by the caller)
+// should be shut down first; the backends keep running — they are not the
+// router's to stop.
+func (rt *Router) Close() {
+	close(rt.proberStop)
+	<-rt.proberDone
+}
+
+// Healthy reports how many shards currently pass probes (for tests and
+// ops tooling).
+func (rt *Router) Healthy() int {
+	n := 0
+	for _, b := range rt.order {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// --- placement + proxy ---
+
+// sequenceFor is the ring's failover order for a session id.
+func (rt *Router) sequenceFor(id string) []*backend {
+	names := rt.ring.Sequence(id)
+	seq := make([]*backend, 0, len(names))
+	for _, n := range names {
+		seq = append(seq, rt.backends[n])
+	}
+	return seq
+}
+
+// proxy walks a session's ring sequence — healthy shards first in ring
+// order, then (fail-open) the shards whose probes looked dead, in case the
+// probe state is stale — forwarding the buffered request to the first
+// shard that answers at the transport level. HTTP statuses, including the
+// daemon's 429/Retry-After backpressure, pass through untouched: the shard
+// answered, and its answer stands. A transport failure marks the shard
+// unhealthy on the spot (passive detection) and moves on.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body []byte) {
+	seq := rt.sequenceFor(id)
+	if len(seq) == 0 {
+		rt.met.noShard.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "no shards configured")
+		return
+	}
+	isEpoch := strings.HasSuffix(r.URL.Path, "/epoch")
+	attempt := func(b *backend, idx int) bool {
+		if _, err := rt.forward(w, r, b, body); err != nil {
+			b.healthy.Store(false)
+			rt.met.failovers.Add(1)
+			rt.log.Warn("shard unreachable, failing over", "shard", b.base, "err", err)
+			return false
+		}
+		if idx > 0 {
+			if isEpoch {
+				rt.met.reroutedEpochs.Add(1)
+			}
+			rt.log.Info("request rerouted", "id", id, "shard", b.base, "ring_position", idx)
+		}
+		return true
+	}
+	var skipped []int
+	for i, b := range seq {
+		if !b.healthy.Load() {
+			rt.met.failovers.Add(1)
+			skipped = append(skipped, i)
+			continue
+		}
+		if attempt(b, i) {
+			return
+		}
+	}
+	for _, i := range skipped {
+		if attempt(seq[i], i) {
+			return
+		}
+	}
+	rt.met.noShard.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, "no healthy shard")
+}
+
+// forward sends one buffered request to a shard and streams its response
+// back. An error means the shard never answered (transport failure) and
+// nothing was written to w — safe to retry on the next ring position.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, body []byte) (int, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
+	defer cancel()
+	url := b.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.proxyClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	// Retry-After must survive the hop: the router propagates the shard's
+	// backpressure contract instead of inventing its own.
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// --- handlers ---
+
+// handleCreate places a new session: the spec's id (generated here when
+// absent — placement needs a key before the daemon ever sees the spec) is
+// hashed onto the ring and the create is forwarded to the owning shard.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var spec server.SessionSpec
+	if len(raw) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if spec.ID == "" {
+		spec.ID = fmt.Sprintf("r%s-%06d", rt.idSalt, rt.idSeq.Add(1))
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	rt.proxy(rec, r, spec.ID, body)
+	if rec.code == http.StatusCreated {
+		rt.met.sessionsPlaced.Add(1)
+	}
+}
+
+// handleSession proxies every per-session route by its {id}.
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, "missing session id")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.proxy(w, r, id, body)
+}
+
+// handleList fans a list out to every healthy shard and merges the views.
+// Shards that fail mid-list are skipped (and marked) rather than failing
+// the whole listing — a partial inventory beats none during an outage.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
+	defer cancel()
+	type shardList struct {
+		views []server.SessionView
+		err   error
+	}
+	results := make([]shardList, len(rt.order))
+	var wg sync.WaitGroup
+	for i, b := range rt.order {
+		if !b.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/sessions", nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			resp, err := rt.proxyClient.Do(req)
+			if err != nil {
+				b.healthy.Store(false)
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Sessions []server.SessionView `json:"sessions"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].views = out.Sessions
+		}(i, b)
+	}
+	wg.Wait()
+	merged := []server.SessionView{}
+	for _, res := range results {
+		merged = append(merged, res.views...)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": merged})
+}
+
+// ShardHealth is one backend's state in the router's /healthz body.
+type ShardHealth struct {
+	Shard    string `json:"shard"`
+	Healthy  bool   `json:"healthy"`
+	Sessions int64  `json:"sessions"`
+}
+
+// HealthzBody is the router's /healthz response.
+type HealthzBody struct {
+	Status        string        `json:"status"`
+	Shards        []ShardHealth `json:"shards"`
+	UptimeSeconds int64         `json:"uptime_seconds"`
+}
+
+// handleHealthz reports the router healthy while at least one shard is:
+// a degraded tier still serves (rerouted) traffic.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := HealthzBody{UptimeSeconds: int64(time.Since(rt.started).Seconds())}
+	healthyN := 0
+	for _, b := range rt.order {
+		h := b.healthy.Load()
+		if h {
+			healthyN++
+		}
+		body.Shards = append(body.Shards, ShardHealth{
+			Shard: b.base, Healthy: h, Sessions: b.sessions.Load(),
+		})
+	}
+	code := http.StatusOK
+	switch {
+	case healthyN == len(rt.order):
+		body.Status = "ok"
+	case healthyN > 0:
+		body.Status = "degraded"
+	default:
+		body.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.met.render(w, rt.order, time.Since(rt.started))
+}
+
+// --- HTTP plumbing (mirrors the daemon's) ---
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// routeLabel bounds metric cardinality exactly like the daemon's.
+func routeLabel(path string) string {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	switch {
+	case len(parts) >= 1 && parts[0] == "healthz":
+		return "/healthz"
+	case len(parts) >= 1 && parts[0] == "metrics":
+		return "/metrics"
+	case len(parts) >= 2 && parts[0] == "v1" && parts[1] == "sessions":
+		switch len(parts) {
+		case 2:
+			return "/v1/sessions"
+		case 3:
+			return "/v1/sessions/{id}"
+		default:
+			return "/v1/sessions/{id}/" + parts[3]
+		}
+	default:
+		return "other"
+	}
+}

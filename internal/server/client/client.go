@@ -13,15 +13,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rebudget/internal/server"
 )
 
-// Client talks to one rebudgetd instance.
+// Client talks to a rebudgetd instance — or, with fallback bases, to a
+// rebudget-router tier: transport-level failures rotate to the next base
+// URL, and the index that last worked is remembered so steady-state traffic
+// goes straight to a healthy endpoint.
 type Client struct {
-	base string
-	http *http.Client
+	bases []string
+	cur   atomic.Int64 // index into bases of the endpoint that last worked
+	http  *http.Client
 }
 
 // Option configures a Client.
@@ -33,11 +38,24 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// New builds a client for the daemon at base (e.g. "http://127.0.0.1:8344").
+// WithFallbackBases appends alternate base URLs (additional routers, or the
+// shards themselves) tried in order when a request cannot reach the current
+// endpoint at all. HTTP error responses — including 429 backpressure — are
+// not failover triggers: the endpoint answered, and its answer stands.
+func WithFallbackBases(bases ...string) Option {
+	return func(c *Client) {
+		for _, b := range bases {
+			c.bases = append(c.bases, strings.TrimRight(b, "/"))
+		}
+	}
+}
+
+// New builds a client for the daemon or router at base (e.g.
+// "http://127.0.0.1:8344").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+		bases: []string{strings.TrimRight(base, "/")},
+		http:  &http.Client{Timeout: 30 * time.Second},
 	}
 	for _, o := range opts {
 		o(c)
@@ -65,22 +83,14 @@ func IsBusy(err error) bool {
 
 // do issues one request and decodes the JSON response into out (if non-nil).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.roundTrip(ctx, method, path, in != nil, buf)
 	if err != nil {
 		return err
 	}
@@ -107,6 +117,37 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// roundTrip sends one request, rotating through the configured base URLs on
+// transport errors (connection refused, reset — not HTTP error statuses).
+// The index that succeeded is remembered, so after a failover subsequent
+// calls go straight to the live endpoint.
+func (c *Client) roundTrip(ctx context.Context, method, path string, hasBody bool, body []byte) (*http.Response, error) {
+	start := c.cur.Load()
+	var lastErr error
+	for i := 0; i < len(c.bases); i++ {
+		idx := (start + int64(i)) % int64(len(c.bases))
+		req, err := http.NewRequestWithContext(ctx, method, c.bases[idx]+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if hasBody {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err == nil {
+			c.cur.Store(idx)
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's deadline expired or it cancelled; trying the
+			// next base would just fail the same way.
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
 // CreateSession registers a new chip session and returns its initial view.
@@ -182,11 +223,7 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 
 // Metrics scrapes /metrics and returns the Prometheus text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/metrics", false, nil)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,96 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rebudget/internal/numeric"
+)
+
+// RetryConfig tunes Retry. Zero values select the documented defaults.
+type RetryConfig struct {
+	// MaxWall caps the total wall-clock spent across all attempts and
+	// sleeps (default 30s). When the next sleep would cross the cap, Retry
+	// gives up and returns the last backpressure error instead.
+	MaxWall time.Duration
+	// MaxAttempts caps call attempts (default 10).
+	MaxAttempts int
+	// Jitter scales the random spread added to each Retry-After sleep
+	// (default 0.5): the sleep is uniform in [d·(1−Jitter/2), d·(1+Jitter/2)]
+	// where d is the server's hint. Jitter is what keeps a fleet of
+	// synchronized controllers from re-stampeding a recovering shard the
+	// instant their identical Retry-After timers expire.
+	Jitter float64
+	// Seed drives the jitter stream (default 1). Give each controller its
+	// own seed — identical seeds re-synchronize the fleet, defeating the
+	// point.
+	Seed uint64
+	// Sleep substitutes the sleep function (tests); default waits on a
+	// timer, honouring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxWall <= 0 {
+		c.MaxWall = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 10
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry runs fn until it returns a non-backpressure result, sleeping out
+// each 429's Retry-After with jitter. Two caps bound the total cost: a
+// wall-clock budget (MaxWall) and an attempt count (MaxAttempts) — without
+// them a saturated shard would pin every controller in lockstep retry
+// forever. Non-429 errors (and success) return immediately.
+func Retry(ctx context.Context, cfg RetryConfig, fn func(context.Context) error) error {
+	cfg = cfg.withDefaults()
+	rng := numeric.NewRand(cfg.Seed)
+	deadline := time.Now().Add(cfg.MaxWall)
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = fn(ctx); !IsBusy(err) {
+			return err
+		}
+		if attempt >= cfg.MaxAttempts {
+			return fmt.Errorf("giving up after %d attempts: %w", attempt, err)
+		}
+		hint := err.(*APIError).RetryAfter
+		if hint <= 0 {
+			hint = time.Second
+		}
+		// Jittered sleep: uniform in [hint·(1−J/2), hint·(1+J/2)], so the
+		// mean honours the server's hint while the fleet spreads out.
+		scale := 1 + cfg.Jitter*(rng.Float64()-0.5)
+		sleep := time.Duration(float64(hint) * scale)
+		if remaining := time.Until(deadline); sleep > remaining {
+			return fmt.Errorf("retry wall-clock budget %s exhausted: %w", cfg.MaxWall, err)
+		}
+		if serr := cfg.Sleep(ctx, sleep); serr != nil {
+			return serr
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func busy(after time.Duration) error {
+	return &APIError{Status: http.StatusTooManyRequests, Message: "busy", RetryAfter: after}
+}
+
+// fakeSleep records requested sleeps without waiting.
+func fakeSleep(log *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*log = append(*log, d)
+		return nil
+	}
+}
+
+func TestRetrySucceedsAfterBackpressure(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Sleep: fakeSleep(&slept)}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return busy(2 * time.Second)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d slept=%v", calls, slept)
+	}
+	// Default jitter 0.5: each sleep is uniform in [1.5s, 2.5s] around the
+	// 2s hint — never the bare hint for a whole fleet at once.
+	for _, d := range slept {
+		if d < 1500*time.Millisecond || d > 2500*time.Millisecond {
+			t.Fatalf("sleep %v outside jitter envelope [1.5s, 2.5s]", d)
+		}
+	}
+	if slept[0] == slept[1] {
+		t.Fatalf("consecutive sleeps identical (%v): jitter not applied", slept[0])
+	}
+}
+
+func TestRetryNonBusyErrorsReturnImmediately(t *testing.T) {
+	var slept []time.Duration
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Sleep: fakeSleep(&slept)}, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 || len(slept) != 0 {
+		t.Fatalf("err=%v calls=%d slept=%v", err, calls, slept)
+	}
+}
+
+func TestRetryAttemptCap(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{MaxAttempts: 4, Sleep: fakeSleep(&slept)}, func(context.Context) error {
+		calls++
+		return busy(time.Millisecond)
+	})
+	if err == nil || !IsBusy(errors.Unwrap(err)) {
+		t.Fatalf("want wrapped backpressure error, got %v", err)
+	}
+	if calls != 4 || len(slept) != 3 {
+		t.Fatalf("calls=%d slept=%d, want 4 calls / 3 sleeps", calls, len(slept))
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Fatalf("unexpected message: %v", err)
+	}
+}
+
+// The wall-clock cap refuses a sleep that would cross the budget — a fleet
+// of controllers cannot be pinned in lockstep retry against a dead shard.
+func TestRetryWallClockCap(t *testing.T) {
+	var slept []time.Duration
+	err := Retry(context.Background(), RetryConfig{
+		MaxWall: 100 * time.Millisecond, Sleep: fakeSleep(&slept),
+	}, func(context.Context) error {
+		return busy(time.Hour)
+	})
+	if err == nil || !strings.Contains(err.Error(), "wall-clock budget") {
+		t.Fatalf("want wall-clock budget error, got %v", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("should refuse the over-budget sleep, slept %v", slept)
+	}
+}
+
+func TestRetryHonoursContextDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, RetryConfig{}, func(context.Context) error {
+		return busy(10 * time.Second)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from sleep, got %v", err)
+	}
+}
+
+// Distinct seeds must yield distinct sleep schedules — identical seeds would
+// re-synchronize the fleet and defeat the jitter.
+func TestRetrySeedsDecorrelate(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		var slept []time.Duration
+		calls := 0
+		_ = Retry(context.Background(), RetryConfig{Seed: seed, Sleep: fakeSleep(&slept)}, func(context.Context) error {
+			if calls++; calls > 5 {
+				return nil
+			}
+			return busy(time.Second)
+		})
+		return slept
+	}
+	a, b := schedule(2), schedule(3)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 2 and 3 produced identical schedules: %v", a)
+	}
+}
+
+// Transport-level failures rotate the client across its fallback bases; the
+// index that worked is remembered for subsequent calls.
+func TestClientFailoverAcrossBases(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","sessions":0,"uptime_seconds":1}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close() // connection refused from here on
+
+	c := New(dead.URL, WithFallbackBases(live.URL))
+	h, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("failover to live base: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+	if got := c.bases[c.cur.Load()]; got != live.URL {
+		t.Fatalf("client did not remember the live base: %q", got)
+	}
+}
+
+// HTTP error statuses are answers, not failover triggers: a 429 from the
+// first base must surface as backpressure, not get retried on the next base.
+func TestClientDoesNotFailOverOnHTTPStatus(t *testing.T) {
+	hits := 0
+	limited := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+	}))
+	defer limited.Close()
+	fallback := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("fallback base must not be consulted on an HTTP error status")
+	}))
+	defer fallback.Close()
+
+	c := New(limited.URL, WithFallbackBases(fallback.URL))
+	_, err := c.Healthz(context.Background())
+	if !IsBusy(err) {
+		t.Fatalf("want 429 surfaced, got %v", err)
+	}
+	if got := err.(*APIError).RetryAfter; got != 3*time.Second {
+		t.Fatalf("Retry-After = %v, want 3s", got)
+	}
+	if hits != 1 {
+		t.Fatalf("limited base hit %d times, want 1", hits)
+	}
+}

@@ -113,6 +113,52 @@ func (e *marketEngine) step() error {
 	return nil
 }
 
+// snapshot fills the market side of a session snapshot: the warm bid
+// matrix plus the telemetry-adjusted demand/weight vectors. Called only
+// after the owning session loop has exited, so the engine is quiescent.
+func (e *marketEngine) snapshot(snap *SessionSnapshot) {
+	m := &MarketSnapshot{
+		Demand:  append([]float64(nil), e.demand...),
+		Weights: make([]float64, len(e.players)),
+	}
+	for i := range e.players {
+		m.Weights[i] = e.players[i].BudgetWeight
+	}
+	if e.warm && e.warmBids != nil {
+		m.WarmBids = make([][]float64, len(e.warmBids))
+		for i, row := range e.warmBids {
+			m.WarmBids[i] = append([]float64(nil), row...)
+		}
+	}
+	snap.Market = m
+}
+
+// restore installs a snapshot's durable state on a freshly built engine.
+// Vectors of the wrong shape (a snapshot taken against a different bundle)
+// are rejected — the restored session must be the same problem or nothing.
+func (e *marketEngine) restore(snap *SessionSnapshot) error {
+	m := snap.Market
+	if m == nil {
+		return fmt.Errorf("snapshot for market session has no market state")
+	}
+	if len(m.Demand) != len(e.players) || len(m.Weights) != len(e.players) {
+		return fmt.Errorf("snapshot shape %d players, engine has %d", len(m.Demand), len(e.players))
+	}
+	copy(e.demand, m.Demand)
+	for i := range e.players {
+		if m.Weights[i] > 0 {
+			e.players[i].BudgetWeight = m.Weights[i]
+		}
+	}
+	if e.warm && len(m.WarmBids) == len(e.players) {
+		// The next step threads these through core.WithWarmBids, so the
+		// first post-restore equilibrium runs market.FindEquilibriumFrom —
+		// the warm resume the snapshot exists for.
+		e.warmBids = m.WarmBids
+	}
+	return nil
+}
+
 // telemetry applies per-player monitor updates between epochs.
 func (e *marketEngine) telemetry(t TelemetrySpec) error {
 	if len(t.Switches) > 0 {

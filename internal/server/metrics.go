@@ -27,9 +27,10 @@ type srvMetrics struct {
 	epochsServed    atomic.Int64
 	tickerDropped   atomic.Int64
 
-	evicted  labelCounters // reason: capacity | idle | deleted | drain
-	rejected labelCounters // reason: busy | mailbox | draining | timeout
-	requests labelCounters // route|code
+	evicted   labelCounters // reason: capacity | idle | deleted | drain
+	rejected  labelCounters // reason: busy | mailbox | draining | timeout | ratelimit
+	requests  labelCounters // route|code
+	snapshots labelCounters // op: save | restore | corrupt | save_error | load_error | restore_error
 
 	latCount atomic.Int64
 	latSum   atomicFloat
@@ -144,6 +145,7 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	counter("rebudgetd_epochs_served_total", "Allocation epochs stepped across all sessions.", float64(m.epochsServed.Load()))
 	counter("rebudgetd_ticker_epochs_dropped_total", "Ticker epochs dropped under dispatcher backpressure.", float64(m.tickerDropped.Load()))
 	labelled("rebudgetd_rejected_total", "Requests rejected, by reason.", "counter", &m.rejected)
+	labelled("rebudgetd_snapshots_total", "Session snapshot operations, by outcome.", "counter", &m.snapshots)
 	gauge("rebudgetd_dispatch_in_flight", "Allocation worker slots currently claimed.", float64(disp.inFlight()))
 	gauge("rebudgetd_dispatch_queued", "Requests waiting for an allocation worker slot.", float64(disp.queued()))
 
@@ -180,6 +182,20 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	fmt.Fprintf(w, "# HELP rebudgetd_session_health Degradation-FSM state, per live session (1 = current state).\n# TYPE rebudgetd_session_health gauge\n")
 	for _, s := range sessions {
 		fmt.Fprintf(w, "rebudgetd_session_health{id=%q,state=%q} 1\n", s.id, s.Health().String())
+	}
+	// Rate-limit bucket fill, per live session (only when buckets are armed).
+	now := time.Now()
+	wroteHeader := false
+	for _, s := range sessions {
+		level := s.tokenLevel(now)
+		if level < 0 {
+			continue
+		}
+		if !wroteHeader {
+			fmt.Fprintf(w, "# HELP rebudgetd_session_tokens Rate-limit tokens currently available, per live session.\n# TYPE rebudgetd_session_tokens gauge\n")
+			wroteHeader = true
+		}
+		fmt.Fprintf(w, "rebudgetd_session_tokens{id=%q} %s\n", s.id, fmtFloat(level))
 	}
 }
 

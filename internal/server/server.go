@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -32,6 +34,21 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MailboxDepth is each session's queued-request bound (default 8).
 	MailboxDepth int
+	// Snapshots, when non-nil, persists session state across evictions and
+	// shutdown: evicted/drained sessions are serialized to the store, and a
+	// request touching a non-resident id lazily rehydrates it (warm bids,
+	// telemetry state, sim replay) instead of answering 404. Sharing one
+	// store (e.g. a FileSnapshotStore directory) across shards is what lets
+	// the router migrate sessions between backends.
+	Snapshots SnapshotStore
+	// SessionRPS arms a per-session token bucket: each session may spend at
+	// most this many epochs per second (averaged; see SessionBurst), beyond
+	// which epoch requests answer 429 with a computed Retry-After. 0
+	// disables rate limiting.
+	SessionRPS float64
+	// SessionBurst is the bucket depth (default 2×SessionRPS, min 1): how
+	// many epochs a quiet session may burst before the average rate gates.
+	SessionBurst float64
 	// Logger receives structured request/lifecycle logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -59,6 +76,12 @@ func (c Config) withDefaults() Config {
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 8
 	}
+	if c.SessionRPS > 0 && c.SessionBurst <= 0 {
+		c.SessionBurst = 2 * c.SessionRPS
+		if c.SessionBurst < 1 {
+			c.SessionBurst = 1
+		}
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -77,6 +100,7 @@ type Server struct {
 
 	started  time.Time
 	draining atomic.Bool
+	closed   atomic.Bool
 	idSeq    atomic.Int64
 
 	janitorStop chan struct{}
@@ -132,19 +156,84 @@ func (s *Server) StartDrain() {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close stops the janitor and closes every session, waiting for their
-// goroutines to exit. The HTTP listener (owned by the caller) should be shut
-// down first.
+// goroutines to exit and snapshotting each to the configured store. The
+// HTTP listener (owned by the caller) should be shut down first. Close is
+// idempotent: a drain path racing a shutdown path must not panic.
 func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
 	close(s.janitorStop)
 	<-s.janitorDone
 	for _, sess := range s.store.drain() {
-		sess.close()
-		s.met.evicted.inc(`reason="drain"`)
+		s.retire(sess, "drain")
 	}
+}
+
+// retire closes an evicted session and, when a snapshot store is
+// configured, persists its durable state so the next touch — here or on
+// another shard sharing the store — resumes warm. Snapshot failures are
+// logged and counted, never fatal: the session is already gone.
+func (s *Server) retire(sess *session, reason string) {
+	sess.close()
+	s.met.evicted.inc(fmt.Sprintf("reason=%q", reason))
+	if s.cfg.Snapshots == nil {
+		return
+	}
+	if err := s.cfg.Snapshots.Save(sess.snapshot(time.Now())); err != nil {
+		s.met.snapshots.inc(`op="save_error"`)
+		s.log.Warn("snapshot save failed", "id", sess.id, "err", err)
+		return
+	}
+	s.met.snapshots.inc(`op="save"`)
+	s.log.Info("session snapshotted", "id", sess.id, "reason", reason)
 }
 
 // Sessions reports the live session count.
 func (s *Server) Sessions() int { return s.store.len() }
+
+// buildEngine constructs a session engine from its spec; a non-nil snap
+// additionally restores durable state (warm bids and telemetry for market
+// engines, deterministic replay for sim engines). The caller must hold a
+// dispatcher slot — construction and replay are allocation-grade work.
+func (s *Server) buildEngine(spec SessionSpec, snap *SessionSnapshot) (engine, error) {
+	bundle, err := buildBundle(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.mode() {
+	case ModeSim:
+		eng, err := newSimEngine(spec, bundle, s.met.eq.Observe)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			if err := eng.restore(snap); err != nil {
+				return nil, err
+			}
+		}
+		return eng, nil
+	default:
+		eng, err := newMarketEngine(spec, bundle, s.met.eq.Observe)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			if err := eng.restore(snap); err != nil {
+				return nil, err
+			}
+		}
+		return eng, nil
+	}
+}
+
+// newSession assembles a session around an engine with the server's
+// dispatcher, metrics and rate-limit configuration. epochs seeds the
+// served-epoch counter (nonzero only on rehydrate).
+func (s *Server) newSession(id string, spec SessionSpec, eng engine, epochs int64) *session {
+	return newSession(id, spec, eng, s.disp, s.met, s.cfg.MailboxDepth,
+		s.cfg.SessionRPS, s.cfg.SessionBurst, epochs, time.Now())
+}
 
 // janitor sweeps idle sessions on a fraction of the TTL.
 func (s *Server) janitor() {
@@ -165,8 +254,7 @@ func (s *Server) janitor() {
 			return
 		case now := <-t.C:
 			for _, sess := range s.store.sweepIdle(now) {
-				sess.close()
-				s.met.evicted.inc(`reason="idle"`)
+				s.retire(sess, "idle")
 				s.log.Info("session evicted", "id", sess.id, "reason", "idle")
 			}
 		}
@@ -219,6 +307,17 @@ func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorBody{Error: msg})
 }
 
+// writeRetryErr answers 429 with a computed Retry-After (whole seconds,
+// rounded up, min 1 — the header cannot carry fractions).
+func writeRetryErr(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: msg})
+}
+
 // decodeBody decodes a bounded JSON body into v; an empty body leaves v as
 // the zero value.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
@@ -267,11 +366,6 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	bundle, err := buildBundle(spec.Workload)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
-		return
-	}
 	// Engine construction is allocation-grade work (sim warmup runs whole
 	// epochs), so it competes for a dispatcher slot like any epoch.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -280,13 +374,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.replyError(w, err)
 		return
 	}
-	var eng engine
-	switch spec.mode() {
-	case ModeSim:
-		eng, err = newSimEngine(spec, bundle, s.met.eq.Observe)
-	default:
-		eng, err = newMarketEngine(spec, bundle, s.met.eq.Observe)
-	}
+	eng, err := s.buildEngine(spec, nil)
 	s.disp.release()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
@@ -296,7 +384,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if id == "" {
 		id = fmt.Sprintf("s-%06d", s.idSeq.Add(1))
 	}
-	sess := newSession(id, spec, eng, s.disp, s.met, s.cfg.MailboxDepth, time.Now())
+	sess := s.newSession(id, spec, eng, 0)
 	evicted, err := s.store.add(sess)
 	if err != nil {
 		sess.close()
@@ -304,9 +392,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if evicted != nil {
-		evicted.close()
-		s.met.evicted.inc(`reason="capacity"`)
+		s.retire(evicted, "capacity")
 		s.log.Info("session evicted", "id", evicted.id, "reason", "capacity")
+	}
+	// A fresh session supersedes any stale snapshot under the same id; a
+	// later touch must not resurrect the old one.
+	if s.cfg.Snapshots != nil {
+		if err := s.cfg.Snapshots.Delete(id); err != nil {
+			s.log.Warn("stale snapshot delete failed", "id", id, "err", err)
+		}
 	}
 	s.met.sessionsCreated.Add(1)
 	s.log.Info("session created", "id", id, "mode", spec.mode(), "mechanism", spec.Mechanism)
@@ -322,15 +416,85 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
 }
 
-// lookup resolves {id}, touching the session for LRU/TTL accounting.
+// lookup resolves {id}, touching the session for LRU/TTL accounting. A
+// non-resident id falls through to the snapshot store: this is the "lazily
+// rehydrate on next touch" half of durable sessions.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 	id := r.PathValue("id")
 	sess := s.store.get(id)
 	if sess == nil {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
-		return nil
+		if sess = s.rehydrate(w, r, id); sess == nil {
+			return nil // rehydrate already wrote the error
+		}
 	}
 	sess.touch(time.Now())
+	return sess
+}
+
+// rehydrate rebuilds a non-resident session from its snapshot, if the
+// configured store holds a usable one. On any failure it writes the HTTP
+// error and returns nil; an unusable (corrupt, truncated, wrong-version)
+// snapshot degrades to 404 — a cold start for the client — never a 500.
+func (s *Server) rehydrate(w http.ResponseWriter, r *http.Request, id string) *session {
+	notFound := func() { writeErr(w, http.StatusNotFound, fmt.Sprintf("no session %q", id)) }
+	if s.cfg.Snapshots == nil {
+		notFound()
+		return nil
+	}
+	snap, err := s.cfg.Snapshots.Load(id)
+	if err != nil {
+		if errors.Is(err, ErrNoSnapshot) {
+			if err != ErrNoSnapshot {
+				// A file exists but is unusable: cold start, counted.
+				s.met.snapshots.inc(`op="corrupt"`)
+				s.log.Warn("snapshot unusable, cold start", "id", id, "err", err)
+			}
+		} else {
+			s.met.snapshots.inc(`op="load_error"`)
+			s.log.Warn("snapshot load failed, cold start", "id", id, "err", err)
+		}
+		notFound()
+		return nil
+	}
+	if s.draining.Load() {
+		// Same contract as create: a draining shard takes no new residents,
+		// so the ring can move the session to a healthy one.
+		s.met.rejected.inc(`reason="draining"`)
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.disp.acquire(ctx); err != nil {
+		s.replyError(w, err)
+		return nil
+	}
+	eng, err := s.buildEngine(snap.Spec, snap)
+	s.disp.release()
+	if err != nil {
+		s.met.snapshots.inc(`op="restore_error"`)
+		s.log.Warn("snapshot restore failed, cold start", "id", id, "err", err)
+		notFound()
+		return nil
+	}
+	sess := s.newSession(id, snap.Spec, eng, snap.Epochs)
+	evicted, addErr := s.store.add(sess)
+	if addErr != nil {
+		// A concurrent touch rehydrated the same id first; serve from the
+		// now-resident copy and discard ours.
+		sess.close()
+		if resident := s.store.get(id); resident != nil {
+			return resident
+		}
+		writeErr(w, http.StatusConflict, addErr.Error())
+		return nil
+	}
+	if evicted != nil {
+		s.retire(evicted, "capacity")
+		s.log.Info("session evicted", "id", evicted.id, "reason", "capacity")
+	}
+	s.met.snapshots.inc(`op="restore"`)
+	s.log.Info("session rehydrated", "id", id, "epochs", snap.Epochs, "saved_at", snap.SavedAt)
 	return sess
 }
 
@@ -344,11 +508,27 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.store.remove(id)
 	if sess == nil {
+		// Not resident, but a snapshotted session still "exists" durably:
+		// deleting it removes the snapshot so nothing resurrects it.
+		if s.cfg.Snapshots != nil {
+			if _, err := s.cfg.Snapshots.Load(id); err == nil {
+				_ = s.cfg.Snapshots.Delete(id)
+				s.met.evicted.inc(`reason="deleted"`)
+				s.log.Info("snapshotted session deleted", "id", id)
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+		}
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 		return
 	}
 	sess.close()
 	s.met.evicted.inc(`reason="deleted"`)
+	if s.cfg.Snapshots != nil {
+		if err := s.cfg.Snapshots.Delete(id); err != nil {
+			s.log.Warn("snapshot delete failed", "id", id, "err", err)
+		}
+	}
 	s.log.Info("session deleted", "id", id)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -374,6 +554,13 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	}
 	if n < 1 || n > 1000 {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("epochs %d outside [1,1000]", n))
+		return
+	}
+	// Per-session rate limit: a batched request spends one token per epoch,
+	// so batching cannot sidestep the budget.
+	if ok, retryAfter := sess.spend(n, time.Now()); !ok {
+		s.met.rejected.inc(`reason="ratelimit"`)
+		writeRetryErr(w, retryAfter, fmt.Sprintf("session %q rate limited", sess.id))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)

@@ -19,6 +19,10 @@ type engine interface {
 	view() SessionView
 	result() (*SimResultView, error)
 	healthState() metrics.HealthState
+	// snapshot fills the engine's durable state into snap. Only called
+	// once the session loop has exited, so the single-owner invariant
+	// still holds.
+	snapshot(snap *SessionSnapshot)
 }
 
 // request kinds flowing through a session's mailbox.
@@ -59,6 +63,7 @@ type session struct {
 	mechanism string
 	category  string
 	created   time.Time
+	spec      SessionSpec // retained for snapshots
 
 	eng  engine
 	disp *dispatcher
@@ -75,18 +80,28 @@ type session struct {
 	cached   SessionView
 	lastErr  string
 	health   metrics.HealthState
+
+	// Token bucket for per-session rate limiting (nil tokensPerSec
+	// disables). Epoch requests spend one token per epoch; refill is lazy
+	// on each spend, under mu.
+	tokensPerSec float64
+	tokenBurst   float64
+	tokens       float64
+	tokenStamp   time.Time
 }
 
 // newSession wraps an engine and starts its loop. tick > 0 additionally
-// drives epochs from a server-side ticker at that period.
+// drives epochs from a server-side ticker at that period. rps > 0 arms the
+// per-session token bucket (burst tokens available immediately).
 func newSession(id string, spec SessionSpec, eng engine, disp *dispatcher,
-	met *srvMetrics, mailbox int, now time.Time) *session {
+	met *srvMetrics, mailbox int, rps, burst float64, epochs int64, now time.Time) *session {
 	s := &session{
 		id:        id,
 		mode:      spec.mode(),
 		mechanism: spec.Mechanism,
 		category:  spec.Workload.Category,
 		created:   now,
+		spec:      spec,
 		eng:       eng,
 		disp:      disp,
 		met:       met,
@@ -94,10 +109,74 @@ func newSession(id string, spec SessionSpec, eng engine, disp *dispatcher,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 		lastUsed:  now,
+		epochs:    epochs,
+
+		tokensPerSec: rps,
+		tokenBurst:   burst,
+		tokens:       burst,
+		tokenStamp:   now,
 	}
 	s.refresh("")
 	go s.loop(time.Duration(spec.TickerMillis) * time.Millisecond)
 	return s
+}
+
+// spend debits n tokens from the session's rate-limit bucket, reporting
+// whether the request may proceed and, if not, how long until the bucket
+// holds n tokens again (the Retry-After hint). Unarmed buckets admit
+// everything.
+func (s *session) spend(n int, now time.Time) (ok bool, retryAfter time.Duration) {
+	if s.tokensPerSec <= 0 {
+		return true, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dt := now.Sub(s.tokenStamp).Seconds(); dt > 0 {
+		s.tokens += dt * s.tokensPerSec
+		if s.tokens > s.tokenBurst {
+			s.tokens = s.tokenBurst
+		}
+	}
+	s.tokenStamp = now
+	need := float64(n)
+	if s.tokens >= need {
+		s.tokens -= need
+		return true, 0
+	}
+	return false, time.Duration((need - s.tokens) / s.tokensPerSec * float64(time.Second))
+}
+
+// tokenLevel reports the bucket's current fill for /metrics (-1 when the
+// bucket is unarmed).
+func (s *session) tokenLevel(now time.Time) float64 {
+	if s.tokensPerSec <= 0 {
+		return -1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	level := s.tokens + now.Sub(s.tokenStamp).Seconds()*s.tokensPerSec
+	if level > s.tokenBurst {
+		level = s.tokenBurst
+	}
+	return level
+}
+
+// snapshot captures the session's durable state. It must only be called
+// after close() — the loop has exited, so reading the engine off-loop is
+// safe.
+func (s *session) snapshot(now time.Time) *SessionSnapshot {
+	s.mu.Lock()
+	snap := &SessionSnapshot{
+		Version: SnapshotVersion,
+		ID:      s.id,
+		Spec:    s.spec,
+		Epochs:  s.epochs,
+		Health:  s.health.String(),
+		SavedAt: now,
+	}
+	s.mu.Unlock()
+	s.eng.snapshot(snap)
+	return snap
 }
 
 // loop is the session goroutine: it serves mailbox requests, runs ticker

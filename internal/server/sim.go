@@ -20,6 +20,9 @@ type simEngine struct {
 	chip      *cmpsim.Chip
 	names     []string
 	bandwidth bool
+	// journal records every applied context switch so a snapshot can
+	// replay the (deterministic, seeded) run bit-identically elsewhere.
+	journal []SwitchEvent
 }
 
 // newSimEngine builds the chip, installs the server-wide equilibrium
@@ -93,8 +96,57 @@ func (e *simEngine) telemetry(t TelemetrySpec) error {
 			return err
 		}
 		e.names[sw.Core] = fmt.Sprintf("%s#%d", spec.Name, sw.Core)
+		e.journal = append(e.journal, SwitchEvent{
+			AfterEpoch: e.chip.Stepped(), Core: sw.Core, App: sw.App,
+		})
 	}
 	return nil
+}
+
+// snapshot fills the sim side of a session snapshot: the measured epoch
+// count plus the context-switch journal. Called only after the owning
+// session loop has exited.
+func (e *simEngine) snapshot(snap *SessionSnapshot) {
+	snap.Sim = &SimSnapshot{
+		Epochs:   e.chip.Stepped(),
+		Switches: append([]SwitchEvent(nil), e.journal...),
+	}
+}
+
+// restore replays a snapshot on a freshly built (warmed-up, unstepped)
+// chip: step measured epochs in order, applying journalled context
+// switches at the exact epoch boundaries they originally landed on. The
+// chip is seeded and deterministic, so the replayed state — cache stacks,
+// thermal history, degradation FSM, warm equilibrium bids — is
+// bit-identical to the uninterrupted run's.
+func (e *simEngine) restore(snap *SessionSnapshot) error {
+	s := snap.Sim
+	if s == nil {
+		return fmt.Errorf("snapshot for sim session has no sim state")
+	}
+	if s.Epochs < 0 {
+		return fmt.Errorf("snapshot sim epochs %d < 0", s.Epochs)
+	}
+	next := 0
+	apply := func() error {
+		for next < len(s.Switches) && s.Switches[next].AfterEpoch <= e.chip.Stepped() {
+			sw := s.Switches[next]
+			if err := e.telemetry(TelemetrySpec{Switches: []SwitchSpec{{Core: sw.Core, App: sw.App}}}); err != nil {
+				return fmt.Errorf("replaying switch at epoch %d: %w", sw.AfterEpoch, err)
+			}
+			next++
+		}
+		return nil
+	}
+	for e.chip.Stepped() < s.Epochs {
+		if err := apply(); err != nil {
+			return err
+		}
+		if err := e.chip.StepEpoch(); err != nil {
+			return fmt.Errorf("replaying epoch %d: %w", e.chip.Stepped()+1, err)
+		}
+	}
+	return apply()
 }
 
 // view renders the chip's hardware-facing state plus the latest allocator

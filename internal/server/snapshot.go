@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SnapshotVersion is the wire-format version stamped into every snapshot.
+// Loaders reject other versions (treated as "no snapshot", a cold start)
+// rather than guessing at a foreign layout.
+const SnapshotVersion = 1
+
+// ErrNoSnapshot reports that a store holds no usable snapshot for an id —
+// either nothing was ever saved, or what is there is corrupt, truncated, or
+// from an incompatible version. Callers degrade to a cold start.
+var ErrNoSnapshot = errors.New("no snapshot")
+
+// SessionSnapshot is the durable state of one session: enough to rebuild
+// the engine from its spec and resume warm, not a byte image of the engine.
+// Market sessions carry their final bid matrix plus the telemetry-adjusted
+// demand/weight vectors, so the first post-restore epoch re-converges via
+// market.FindEquilibriumFrom instead of a cold solve. Sim sessions carry a
+// context-switch journal and replay their (deterministic, seeded) epochs,
+// which reconstructs chip state — including the degradation FSM — exactly.
+type SessionSnapshot struct {
+	Version int         `json:"version"`
+	ID      string      `json:"id"`
+	Spec    SessionSpec `json:"spec"`
+	Epochs  int64       `json:"epochs"`
+	Health  string      `json:"health"`
+	SavedAt time.Time   `json:"saved_at"`
+
+	Market *MarketSnapshot `json:"market,omitempty"`
+	Sim    *SimSnapshot    `json:"sim,omitempty"`
+}
+
+// MarketSnapshot is the market engine's durable state.
+type MarketSnapshot struct {
+	// WarmBids is the final equilibrium bid matrix (player × resource);
+	// nil when the session ran cold-start epochs or never stepped.
+	WarmBids [][]float64 `json:"warm_bids,omitempty"`
+	// Demand and Weights are the telemetry-adjusted per-player state.
+	Demand  []float64 `json:"demand,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// SimSnapshot is the sim engine's durable state: the measured epoch count
+// plus the context-switch journal needed to replay it bit-identically.
+type SimSnapshot struct {
+	Epochs   int           `json:"epochs"`
+	Switches []SwitchEvent `json:"switches,omitempty"`
+}
+
+// SwitchEvent records one applied context switch: which app landed on which
+// core once AfterEpoch measured epochs had been stepped.
+type SwitchEvent struct {
+	AfterEpoch int    `json:"after_epoch"`
+	Core       int    `json:"core"`
+	App        string `json:"app"`
+}
+
+func (s *SessionSnapshot) validate() error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	}
+	if s.ID == "" {
+		return errors.New("snapshot missing id")
+	}
+	if s.Epochs < 0 {
+		return fmt.Errorf("snapshot epochs %d < 0", s.Epochs)
+	}
+	return nil
+}
+
+// SnapshotStore persists session snapshots across evictions, restarts and
+// cross-shard migrations. Implementations must be safe for concurrent use;
+// Load returns ErrNoSnapshot for absent or unusable entries.
+type SnapshotStore interface {
+	Save(snap *SessionSnapshot) error
+	Load(id string) (*SessionSnapshot, error)
+	Delete(id string) error
+}
+
+// FileSnapshotStore keeps one JSON file per session under a directory —
+// the simple durable backend, and (via a shared directory) the migration
+// channel between shards. Writes are atomic (temp file + rename) so a
+// crash mid-save leaves the previous snapshot intact rather than a torn
+// file; loads treat any undecodable or wrong-version file as ErrNoSnapshot
+// so corruption degrades to a cold start instead of a serving error.
+type FileSnapshotStore struct {
+	dir string
+}
+
+// NewFileSnapshotStore creates the directory (if needed) and returns the
+// store rooted there.
+func NewFileSnapshotStore(dir string) (*FileSnapshotStore, error) {
+	if dir == "" {
+		return nil, errors.New("snapshot dir must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot dir: %w", err)
+	}
+	return &FileSnapshotStore{dir: dir}, nil
+}
+
+// path maps a session id onto its snapshot file. Session ids are already
+// constrained to [A-Za-z0-9_-] by SessionSpec validation (and the server's
+// generated ids), so they are safe as file names; anything else is refused
+// defensively.
+func (fs *FileSnapshotStore) path(id string) (string, error) {
+	if !idPattern.MatchString(id) {
+		return "", fmt.Errorf("snapshot id %q not storable", id)
+	}
+	return filepath.Join(fs.dir, id+".json"), nil
+}
+
+// Save implements SnapshotStore with an atomic temp-file + rename.
+func (fs *FileSnapshotStore) Save(snap *SessionSnapshot) error {
+	if err := snap.validate(); err != nil {
+		return err
+	}
+	path, err := fs.path(snap.ID)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(fs.dir, "."+snap.ID+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Load implements SnapshotStore. Absent, truncated, corrupt or
+// wrong-version files all come back as ErrNoSnapshot: the rehydrate path
+// must never be worse than a cold start.
+func (fs *FileSnapshotStore) Load(id string) (*SessionSnapshot, error) {
+	path, err := fs.path(id)
+	if err != nil {
+		return nil, ErrNoSnapshot
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ErrNoSnapshot
+	}
+	var snap SessionSnapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %s undecodable: %v", ErrNoSnapshot, filepath.Base(path), err)
+	}
+	if err := snap.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
+	}
+	if snap.ID != id {
+		return nil, fmt.Errorf("%w: file for %q holds snapshot of %q", ErrNoSnapshot, id, snap.ID)
+	}
+	return &snap, nil
+}
+
+// Delete implements SnapshotStore; deleting an absent snapshot is not an
+// error.
+func (fs *FileSnapshotStore) Delete(id string) error {
+	path, err := fs.path(id)
+	if err != nil {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rebudget/internal/server"
+	"rebudget/internal/server/client"
+)
+
+// startDaemonWith stands up a daemon with a snapshot store and a typed
+// client against it, returning both plus a shutdown func that drains the
+// daemon (writing snapshots) without tearing down the test.
+func startDaemonWith(t *testing.T, cfg server.Config) (*server.Server, *client.Client, func()) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	closed := false
+	shutdown := func() {
+		if !closed {
+			closed = true
+			ts.Close()
+			srv.Close()
+		}
+	}
+	t.Cleanup(shutdown)
+	return srv, client.New(ts.URL), shutdown
+}
+
+func fileStore(t *testing.T) (*server.FileSnapshotStore, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := server.NewFileSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, dir
+}
+
+func TestFileSnapshotStoreRoundTrip(t *testing.T) {
+	st, _ := fileStore(t)
+	snap := &server.SessionSnapshot{
+		Version: server.SnapshotVersion,
+		ID:      "rt-1",
+		Spec:    server.SessionSpec{Mechanism: "equalshare", Workload: server.WorkloadSpec{Fig3: true}},
+		Epochs:  7,
+		Health:  "healthy",
+		SavedAt: time.Now().UTC(),
+		Market:  &server.MarketSnapshot{WarmBids: [][]float64{{1, 2}, {3, 4}}, Demand: []float64{1, 2}, Weights: []float64{1, 1}},
+	}
+	if err := st.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("rt-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epochs != 7 || !reflect.DeepEqual(got.Market.WarmBids, snap.Market.WarmBids) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if err := st.Delete("rt-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("rt-1"); err == nil {
+		t.Fatal("load after delete should fail")
+	}
+	// Deleting twice is fine.
+	if err := st.Delete("rt-1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corrupt, truncated, wrong-version, and mismatched-id snapshot files must
+// all come back as ErrNoSnapshot — a cold start, never a serving error.
+func TestFileSnapshotStoreUnusableFiles(t *testing.T) {
+	st, dir := fileStore(t)
+	cases := map[string]string{
+		"garbage":   `{{{{not json`,
+		"truncated": `{"version":1,"id":"truncated","spec"`,
+		"wrongver":  `{"version":99,"id":"wrongver"}`,
+		"mismatch":  `{"version":1,"id":"other","epochs":1}`,
+		"empty":     ``,
+	}
+	for id, content := range cases {
+		if err := os.WriteFile(filepath.Join(dir, id+".json"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Load(id); err == nil {
+			t.Fatalf("%s: load should fail", id)
+		} else if !errors.Is(err, server.ErrNoSnapshot) {
+			t.Fatalf("%s: want ErrNoSnapshot, got %v", id, err)
+		}
+	}
+	// An id that cannot be a session id never hits the filesystem.
+	if _, err := st.Load("../escape"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("path-escape id: want ErrNoSnapshot, got %v", err)
+	}
+}
+
+// A market session evicted to a snapshot and rehydrated must continue
+// bit-identically to a session that was never interrupted — same epoch
+// allocations, same utilities — and its first post-restore equilibrium
+// must be warm (strictly fewer rounds than a cold solve).
+func TestMarketSnapshotRehydrateBitIdentical(t *testing.T) {
+	spec := server.SessionSpec{
+		ID:        "mkt",
+		Workload:  server.WorkloadSpec{Fig3: true},
+		Mechanism: "rebudget-0.05",
+	}
+	tele := server.TelemetrySpec{Players: []server.PlayerTelemetry{{Player: 0, Demand: 2}}}
+	ctx := context.Background()
+	const preEpochs, postEpochs = 3, 3
+
+	// Reference: one uninterrupted daemon run.
+	_, ref, _ := startDaemonWith(t, server.Config{})
+	if _, err := ref.CreateSession(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	var want []server.SessionView
+	for e := 0; e < preEpochs; e++ {
+		v, err := ref.StepEpoch(ctx, "mkt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+	}
+	if _, err := ref.Telemetry(ctx, "mkt", tele); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < postEpochs; e++ {
+		v, err := ref.StepEpoch(ctx, "mkt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+	}
+
+	// Interrupted: same prefix on daemon A, drain (snapshot), resume on a
+	// fresh daemon B sharing the store.
+	st, _ := fileStore(t)
+	_, a, shutdownA := startDaemonWith(t, server.Config{Snapshots: st})
+	if _, err := a.CreateSession(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	var got []server.SessionView
+	for e := 0; e < preEpochs; e++ {
+		v, err := a.StepEpoch(ctx, "mkt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	if _, err := a.Telemetry(ctx, "mkt", tele); err != nil {
+		t.Fatal(err)
+	}
+	shutdownA()
+
+	_, b, _ := startDaemonWith(t, server.Config{Snapshots: st})
+	v, err := b.GetSession(ctx, "mkt") // lazy rehydrate on first touch
+	if err != nil {
+		t.Fatalf("rehydrate: %v", err)
+	}
+	if v.Epochs != preEpochs {
+		t.Fatalf("rehydrated session reports %d epochs, want %d", v.Epochs, preEpochs)
+	}
+	for e := 0; e < postEpochs; e++ {
+		v, err := b.StepEpoch(ctx, "mkt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+
+	for i := range want {
+		wa, ga := want[i].Alloc, got[i].Alloc
+		if wa == nil || ga == nil {
+			t.Fatalf("epoch %d: missing allocation", i)
+		}
+		if !reflect.DeepEqual(wa.Allocations, ga.Allocations) {
+			t.Fatalf("epoch %d allocations diverge:\nuninterrupted %v\nrehydrated    %v",
+				i, wa.Allocations, ga.Allocations)
+		}
+		if !reflect.DeepEqual(wa.Utilities, ga.Utilities) || wa.Iterations != ga.Iterations {
+			t.Fatalf("epoch %d view diverges (iterations %d vs %d)", i, wa.Iterations, ga.Iterations)
+		}
+	}
+
+	// Warm resume: the first post-restore epoch re-converged from the
+	// snapshot's bids, so it must cost strictly fewer rounds than the same
+	// session's cold first epoch.
+	coldRounds := want[0].Alloc.Iterations
+	warmRounds := got[preEpochs].Alloc.Iterations
+	if warmRounds >= coldRounds {
+		t.Fatalf("post-restore equilibrium not warm: %d rounds, cold solve took %d", warmRounds, coldRounds)
+	}
+}
+
+// A sim session replayed from its snapshot (deterministic epochs + the
+// context-switch journal) must match the uninterrupted run bit-for-bit.
+func TestSimSnapshotRehydrateBitIdentical(t *testing.T) {
+	spec := server.SessionSpec{
+		ID:        "sim",
+		Mode:      server.ModeSim,
+		Workload:  server.WorkloadSpec{Category: "CCPP", Seed: 7},
+		Mechanism: "rebudget-0.05",
+	}
+	sw := server.TelemetrySpec{Switches: []server.SwitchSpec{{Core: 3, App: "mcf"}}}
+	ctx := context.Background()
+
+	run := func(c *client.Client, pre bool) {
+		t.Helper()
+		if pre {
+			if _, err := c.CreateSession(ctx, spec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.StepEpochs(ctx, "sim", 4); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Telemetry(ctx, "sim", sw); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.StepEpochs(ctx, "sim", 2); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := c.StepEpochs(ctx, "sim", 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	_, ref, _ := startDaemonWith(t, server.Config{})
+	run(ref, true)
+	run(ref, false)
+	want, err := ref.Result(ctx, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantView, err := ref.GetSession(ctx, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, _ := fileStore(t)
+	_, a, shutdownA := startDaemonWith(t, server.Config{Snapshots: st})
+	run(a, true)
+	shutdownA()
+
+	_, b, _ := startDaemonWith(t, server.Config{Snapshots: st})
+	v, err := b.GetSession(ctx, "sim")
+	if err != nil {
+		t.Fatalf("rehydrate: %v", err)
+	}
+	if v.Sim == nil || v.Sim.Epochs != 6 {
+		t.Fatalf("rehydrated sim session not replayed to 6 epochs: %+v", v.Sim)
+	}
+	run(b, false)
+	got, err := b.Result(ctx, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotView, err := b.GetSession(ctx, "sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want.NormPerf, got.NormPerf) ||
+		want.WeightedSpeedup != got.WeightedSpeedup ||
+		want.EnvyFreeness != got.EnvyFreeness ||
+		want.AvgPowerW != got.AvgPowerW ||
+		want.MaxTempC != got.MaxTempC {
+		t.Fatalf("sim results diverge:\nuninterrupted %+v\nrehydrated    %+v", want, got)
+	}
+	if !reflect.DeepEqual(wantView.Sim.FrequenciesGHz, gotView.Sim.FrequenciesGHz) ||
+		!reflect.DeepEqual(wantView.Sim.PowerBudgetsW, gotView.Sim.PowerBudgetsW) ||
+		!reflect.DeepEqual(wantView.Alloc.Allocations, gotView.Alloc.Allocations) {
+		t.Fatalf("sim hardware state diverges after rehydrate")
+	}
+}
+
+// A corrupt snapshot file degrades to a cold start: the touch answers 404
+// (so the client recreates) instead of erroring, and a fresh create under
+// the same id works.
+func TestCorruptSnapshotColdStart(t *testing.T) {
+	st, dir := fileStore(t)
+	_, c, _ := startDaemonWith(t, server.Config{Snapshots: st})
+	ctx := context.Background()
+
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte(`{"version":1,"id":"broken"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.GetSession(ctx, "broken")
+	ae, ok := err.(*client.APIError)
+	if !ok || ae.Status != 404 {
+		t.Fatalf("corrupt snapshot should 404 (cold start), got %v", err)
+	}
+	if _, err := c.CreateSession(ctx, server.SessionSpec{
+		ID: "broken", Workload: server.WorkloadSpec{Fig3: true}, Mechanism: "equalshare",
+	}); err != nil {
+		t.Fatalf("cold re-create after corrupt snapshot: %v", err)
+	}
+	if _, err := c.StepEpoch(ctx, "broken"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DELETE removes the durable snapshot too — nothing resurrects a deleted
+// session, whether it was resident or only on disk.
+func TestDeleteRemovesSnapshot(t *testing.T) {
+	st, _ := fileStore(t)
+	ctx := context.Background()
+	spec := server.SessionSpec{ID: "gone", Workload: server.WorkloadSpec{Fig3: true}, Mechanism: "equalshare"}
+
+	_, a, shutdownA := startDaemonWith(t, server.Config{Snapshots: st})
+	if _, err := a.CreateSession(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.StepEpoch(ctx, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	shutdownA() // drain → snapshot written
+
+	_, b, _ := startDaemonWith(t, server.Config{Snapshots: st})
+	// Delete while non-resident: the snapshot itself is the session.
+	if err := b.DeleteSession(ctx, "gone"); err != nil {
+		t.Fatalf("delete of snapshotted session: %v", err)
+	}
+	if _, err := b.GetSession(ctx, "gone"); err == nil {
+		t.Fatal("deleted session came back from the dead")
+	}
+}

@@ -3,9 +3,13 @@
 # `make serve-smoke` (and `make ci`).
 #
 # Builds rebudgetd and rebudget-smoke, starts the daemon on a random
-# loopback port, drives one session through 3 epochs with the typed client,
-# scrapes /metrics and asserts the serving counters moved, then SIGTERMs the
-# daemon and checks it drains cleanly. Any failure exits non-zero.
+# loopback port with a temp snapshot directory, drives one session through
+# 3 epochs with the typed client, scrapes /metrics and asserts the serving
+# counters moved, then SIGTERMs the daemon and checks it drains cleanly —
+# snapshotting the session on the way out. A second daemon run against the
+# same directory must rehydrate the session with its progress intact. The
+# temp snapshot dir is removed with the rest of the scratch space. Any
+# failure exits non-zero.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -25,48 +29,85 @@ echo "serve-smoke: building rebudgetd and rebudget-smoke"
 go build -o "$TMP/rebudgetd" ./cmd/rebudgetd || exit 1
 go build -o "$TMP/rebudget-smoke" ./cmd/rebudget-smoke || exit 1
 
-# Port 0 lets the kernel pick; the daemon logs the bound address.
-"$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 1m 2> "$TMP/daemon.log" &
-PID=$!
+SNAPDIR="$TMP/snapshots"
 
-ADDR=""
-i=0
-while [ $i -lt 50 ]; do
-    ADDR=$(sed -n 's/.*rebudgetd listening.*addr=//p' "$TMP/daemon.log" | head -1)
-    [ -n "$ADDR" ] && break
-    if ! kill -0 "$PID" 2>/dev/null; then
-        echo "serve-smoke: daemon died before listening:"
-        cat "$TMP/daemon.log"
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$ADDR" ]; then
-    echo "serve-smoke: daemon never reported its address:"
-    cat "$TMP/daemon.log"
-    exit 1
-fi
+# wait_addr LOGFILE: poll the daemon log (PID already set by the caller —
+# a command-substitution subshell could not set it) and echo the bound
+# address once the daemon reports it.
+wait_addr() {
+    _log=$1
+    _i=0
+    while [ $_i -lt 50 ]; do
+        _addr=$(sed -n 's/.*rebudgetd listening.*addr=//p' "$_log" | head -1)
+        if [ -n "$_addr" ]; then
+            echo "$_addr"
+            return 0
+        fi
+        if ! kill -0 "$PID" 2>/dev/null; then
+            echo "serve-smoke: daemon died before listening:" >&2
+            cat "$_log" >&2
+            return 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "serve-smoke: daemon never reported its address:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+# drain_daemon: SIGTERM must stop the daemon within its drain budget.
+drain_daemon() {
+    kill -TERM "$PID"
+    _i=0
+    while kill -0 "$PID" 2>/dev/null; do
+        if [ $_i -ge 150 ]; then
+            echo "serve-smoke: daemon did not drain within 15s"
+            return 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    wait "$PID" 2>/dev/null
+    PID=""
+    return 0
+}
+
+"$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 1m -snapshot-dir "$SNAPDIR" 2> "$TMP/daemon.log" &
+PID=$!
+ADDR=$(wait_addr "$TMP/daemon.log") || exit 1
 echo "serve-smoke: daemon up at $ADDR (pid $PID)"
 
-if ! "$TMP/rebudget-smoke" -base "http://$ADDR" -epochs 3; then
+# 3 epochs, default metric assertions; -keep leaves the session resident so
+# the drain below snapshots it.
+if ! "$TMP/rebudget-smoke" -base "http://$ADDR" -epochs 3 -keep; then
     echo "serve-smoke: client check failed; daemon log:"
     cat "$TMP/daemon.log"
     exit 1
 fi
 
-# Graceful drain: SIGTERM must stop the daemon within its drain budget.
-kill -TERM "$PID"
-i=0
-while kill -0 "$PID" 2>/dev/null; do
-    if [ $i -ge 150 ]; then
-        echo "serve-smoke: daemon did not drain within 15s"
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-wait "$PID" 2>/dev/null
-PID=""
-echo "serve-smoke: daemon drained cleanly; PASS"
+drain_daemon || exit 1
+if [ ! -f "$SNAPDIR/smoke.json" ]; then
+    echo "serve-smoke: drain did not write the session snapshot"
+    ls -la "$SNAPDIR" 2>/dev/null
+    exit 1
+fi
+echo "serve-smoke: daemon drained cleanly, session snapshotted"
+
+# Second run against the same snapshot dir: the first touch must rehydrate
+# the session with its 3 epochs intact, and one more epoch must come from a
+# warm equilibrium — not a cold recreation.
+"$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 1m -snapshot-dir "$SNAPDIR" 2> "$TMP/daemon2.log" &
+PID=$!
+ADDR=$(wait_addr "$TMP/daemon2.log") || exit 1
+echo "serve-smoke: daemon restarted at $ADDR (pid $PID)"
+if ! "$TMP/rebudget-smoke" -base "http://$ADDR" -resume 3 -epochs 1 -checks \
+    'rebudgetd_snapshots_total{op="restore"}>=1,rebudgetd_epochs_served_total>=1'; then
+    echo "serve-smoke: rehydrate check failed; daemon log:"
+    cat "$TMP/daemon2.log"
+    exit 1
+fi
+
+drain_daemon || exit 1
+echo "serve-smoke: rehydrated daemon drained cleanly; PASS"
 exit 0
