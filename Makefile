@@ -13,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server race-router bench bench-all bench-smoke serve-smoke router-smoke
+.PHONY: ci build vet vet-cmd test race race-server race-router bench bench-all bench-smoke serve-smoke router-smoke profile-sim
 
 ci: build vet vet-cmd race race-server race-router serve-smoke router-smoke bench-smoke
 
@@ -69,3 +69,9 @@ bench-all:
 
 bench-smoke:
 	scripts/bench_smoke.sh
+
+# CPU profile of the end-to-end detailed simulation — the starting point for
+# hot-path work. Leaves sim.cpu.prof and the sim.test binary behind:
+#   go tool pprof sim.test sim.cpu.prof
+profile-sim:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig5Simulation$$' -benchtime 5x -cpuprofile sim.cpu.prof -o sim.test .

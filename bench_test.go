@@ -256,6 +256,64 @@ func BenchmarkMaxEfficiency64(b *testing.B) {
 	}
 }
 
+// benchChipEpoch measures the single-chip hot path: one simulated epoch of
+// an n-core chip with reallocation suppressed, so the loop body is pure
+// runEpoch (trace generation, interleave, cache/bank simulation, metric
+// retirement). allocs/op here is the steady-state allocation gauge the
+// zero-alloc test pins — keep it at 0.
+func benchChipEpoch(b *testing.B, cores int) {
+	b.Helper()
+	cfg := cmpsim.DefaultConfig(cores)
+	cfg.ReallocEvery = 1 << 30 // one allocation up front, then pure epochs
+	bundle, err := workload.Generate(workload.CPBN, cores, numeric.NewRand(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip, err := cmpsim.NewChip(cfg, bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := chip.Begin(core.EqualShare{}); err != nil {
+		b.Fatal(err)
+	}
+	// One epoch before the timer: settles scratch buffers and the initial
+	// allocation so the measured loop is the steady state.
+	if err := chip.StepEpoch(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chip.StepEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChipEpoch8(b *testing.B)  { benchChipEpoch(b, 8) }
+func BenchmarkChipEpoch64(b *testing.B) { benchChipEpoch(b, 64) }
+
+// benchSweep runs the reduced Fig5 detailed simulation through the
+// experiment engine with an explicit worker count. Serial vs Parallel is
+// the benchstat pair for the sweep-level fan-out (identical bytes out,
+// wall-clock scales with cores).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := cmpsim.DefaultConfig(4)
+	cfg.Epochs = 4
+	cfg.WarmupEpochs = 2
+	cfg.MaxAccessesPerCoreEpoch = 2000
+	e := experiments.Engine{Workers: workers}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunFig5(cfg, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 func BenchmarkCacheAccess(b *testing.B) {
 	c, err := cache.NewPartitioned(cache.Config{CapacityBytes: 4 << 20, Ways: 16, Partitions: 16})
 	if err != nil {

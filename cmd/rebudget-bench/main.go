@@ -34,6 +34,7 @@ func main() {
 		samples = flag.Int("samples", 6000, "max simulated L2 accesses per core per epoch (fig5)")
 		csvDir  = flag.String("csv", "", "directory to also write tidy CSV datasets into (fig2/fig4/fig5)")
 		workers = flag.Int("workers", 0, "equilibrium round parallelism (0 = GOMAXPROCS, 1 = serial)")
+		sweepW  = flag.Int("sweep-workers", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		eqstats = flag.Bool("eqstats", false, "print equilibrium convergence-cost counters to stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rebudget-bench:", err)
 		os.Exit(1)
 	}
-	err = run(*exp, *cores, *bundles, *seed, *epochs, *samples, *csvDir, *workers, *eqstats)
+	err = run(*exp, *cores, *bundles, *seed, *epochs, *samples, *csvDir, *workers, *sweepW, *eqstats)
 	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rebudget-bench:", err)
@@ -90,8 +91,14 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDir string, workers int, eqstats bool) error {
+func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDir string, workers, sweepWorkers int, eqstats bool) error {
 	w := os.Stdout
+	// The experiment engine fans independent cells (chips, bundles,
+	// fault-rate points) across sweepWorkers goroutines; results are
+	// bit-identical at any worker count, so the knob only trades wall time
+	// against CPU. It composes with -workers, the within-equilibrium round
+	// parallelism — set both wide and the host oversubscribes.
+	eng := experiments.Engine{Workers: sweepWorkers}
 	// Equilibrium profiling and the worker knob thread through every
 	// analytic-market experiment; detailed simulations carry their own
 	// per-chip profile (Result.Equilibrium) and take workers via
@@ -157,7 +164,7 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 	if want("fig4") || exp == "convergence" {
 		ran = true
 		fmt.Fprintf(w, "# running phase-1 sweep: %d cores × %d bundles/category …\n", cores, bundles)
-		s, err := experiments.RunSweep(cores, bundles, seed, mechs)
+		s, err := eng.RunSweep(cores, bundles, seed, mechs)
 		if err != nil {
 			return err
 		}
@@ -191,7 +198,7 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 		cfg.MarketWorkers = workers
 		fmt.Fprintf(w, "# running detailed simulation: %d cores, %d epochs, one bundle/category …\n",
 			cores, epochs)
-		r, err := experiments.RunFig5(cfg, seed, nil)
+		r, err := eng.RunFig5(cfg, seed, nil)
 		if err != nil {
 			return err
 		}
@@ -212,7 +219,7 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 		cfg.MaxAccessesPerCoreEpoch = samples
 		cfg.Seed = seed
 		fmt.Fprintf(w, "# running resilience sweep: %d cores, %d epochs …\n", cores, epochs)
-		r, err := experiments.RunResilience(cfg, seed, nil)
+		r, err := eng.RunResilience(cfg, seed, nil)
 		if err != nil {
 			return err
 		}
@@ -236,7 +243,7 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 		cfg := cmpsim.DefaultConfig(8)
 		cfg.Epochs = epochs
 		cfg.MaxAccessesPerCoreEpoch = samples
-		rows, err := experiments.AblationGranularity(cfg)
+		rows, err := eng.AblationGranularity(cfg)
 		if err != nil {
 			return err
 		}

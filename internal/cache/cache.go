@@ -25,22 +25,25 @@ type Config struct {
 	Partitions    int // number of partition IDs (two per core when Talus is used)
 }
 
-type line struct {
-	tag   uint64
-	owner int32
-	valid bool
-	used  uint64 // global LRU timestamp
-}
-
 // PartitionedCache is a set-associative LRU cache whose replacement policy
 // biases evictions so that per-partition occupancies track per-partition
 // line-count targets, emulating Futility Scaling's fine-grained partition
 // enforcement without per-line futility counters.
+//
+// Line state is stored struct-of-arrays — parallel tags/used/owners slices
+// indexed by set*ways+way — so the hit scan touches one dense uint64 run and
+// the branchy victim scan reads each field as a contiguous stride instead of
+// hopping 24-byte structs. A line is invalid exactly when used == 0: the
+// clock pre-increments before the first access, so every resident line
+// carries a non-zero timestamp.
 type PartitionedCache struct {
-	cfg       Config
-	sets      int
-	lines     []line // sets × ways
-	clock     uint64
+	cfg      Config
+	sets     int
+	tagShift uint // log2(sets): lineAddr >> tagShift == tag
+	tags     []uint64
+	used     []uint64 // global LRU timestamps; 0 marks an invalid line
+	owners   []int32
+	clock    uint64
 	occupancy []int     // lines held per partition
 	target    []float64 // line target per partition
 	accesses  uint64
@@ -63,7 +66,10 @@ func NewPartitioned(cfg Config) (*PartitionedCache, error) {
 	c := &PartitionedCache{
 		cfg:       cfg,
 		sets:      sets,
-		lines:     make([]line, linesTotal),
+		tagShift:  uint(log2(sets)),
+		tags:      make([]uint64, linesTotal),
+		used:      make([]uint64, linesTotal),
+		owners:    make([]int32, linesTotal),
 		occupancy: make([]int, cfg.Partitions),
 		target:    make([]float64, cfg.Partitions),
 	}
@@ -87,8 +93,8 @@ func (c *PartitionedCache) SetTargets(linesPerPartition []float64) error {
 		}
 		total += t
 	}
-	if total > float64(len(c.lines))*1.0001 {
-		return fmt.Errorf("cache: targets total %.0f lines exceed capacity %d", total, len(c.lines))
+	if total > float64(len(c.tags))*1.0001 {
+		return fmt.Errorf("cache: targets total %.0f lines exceed capacity %d", total, len(c.tags))
 	}
 	copy(c.target, linesPerPartition)
 	return nil
@@ -99,32 +105,34 @@ func (c *PartitionedCache) SetTargets(linesPerPartition []float64) error {
 func (c *PartitionedCache) Access(addr uint64, owner int) bool {
 	lineAddr := addr / LineSize
 	set := int(lineAddr) & (c.sets - 1)
-	tag := lineAddr >> uint(log2(c.sets))
+	tag := lineAddr >> c.tagShift
 	base := set * c.cfg.Ways
 	c.clock++
 	c.accesses++
 
-	ways := c.lines[base : base+c.cfg.Ways]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i].used = c.clock
+	tags := c.tags[base : base+c.cfg.Ways]
+	for i := range tags {
+		if tags[i] == tag && c.used[base+i] != 0 {
+			c.used[base+i] = c.clock
 			// A hit migrates ownership: the line now serves this
 			// partition's reuse. Keeping occupancy in sync matters
 			// when targets shift between epochs.
-			if int(ways[i].owner) != owner {
-				c.occupancy[ways[i].owner]--
+			if o := c.owners[base+i]; int(o) != owner {
+				c.occupancy[o]--
 				c.occupancy[owner]++
-				ways[i].owner = int32(owner)
+				c.owners[base+i] = int32(owner)
 			}
 			return true
 		}
 	}
 	c.misses++
-	victim := c.chooseVictim(ways, owner)
-	if ways[victim].valid {
-		c.occupancy[ways[victim].owner]--
+	v := base + c.chooseVictim(base, owner)
+	if c.used[v] != 0 {
+		c.occupancy[c.owners[v]]--
 	}
-	ways[victim] = line{tag: tag, owner: int32(owner), valid: true, used: c.clock}
+	c.tags[v] = tag
+	c.owners[v] = int32(owner)
+	c.used[v] = c.clock
 	c.occupancy[owner]++
 	return false
 }
@@ -132,35 +140,40 @@ func (c *PartitionedCache) Access(addr uint64, owner int) bool {
 // chooseVictim implements the futility-scaling bias: evict the LRU line of
 // the most over-quota partition present in the set; if every partition in
 // the set is at or under quota, fall back to evicting the requester's own
-// LRU line (if present) or the set's global LRU line.
-func (c *PartitionedCache) chooseVictim(ways []line, requester int) int {
+// LRU line (if present) or the set's global LRU line. The choice reads
+// global per-partition occupancy, which is why a single chip cannot be
+// set-sharded across goroutines without changing results.
+func (c *PartitionedCache) chooseVictim(base, requester int) int {
+	used := c.used[base : base+c.cfg.Ways]
+	owners := c.owners[base : base+c.cfg.Ways]
 	bestIdx := -1
 	bestOver := 0.0
 	var bestUsed uint64
 	ownIdx, globalIdx := -1, -1
 	var ownUsed, globalUsed uint64
-	for i := range ways {
-		w := &ways[i]
-		if !w.valid {
+	for i := range used {
+		u := used[i]
+		if u == 0 {
 			return i
 		}
-		if globalIdx == -1 || w.used < globalUsed {
-			globalIdx, globalUsed = i, w.used
+		o := owners[i]
+		if globalIdx == -1 || u < globalUsed {
+			globalIdx, globalUsed = i, u
 		}
-		if int(w.owner) == requester && (ownIdx == -1 || w.used < ownUsed) {
-			ownIdx, ownUsed = i, w.used
+		if int(o) == requester && (ownIdx == -1 || u < ownUsed) {
+			ownIdx, ownUsed = i, u
 		}
-		over := float64(c.occupancy[w.owner]) - c.target[w.owner]
+		over := float64(c.occupancy[o]) - c.target[o]
 		if over > 0 {
-			if bestIdx == -1 || over > bestOver || (over == bestOver && w.used < bestUsed) {
-				bestIdx, bestOver, bestUsed = i, over, w.used
+			if bestIdx == -1 || over > bestOver || (over == bestOver && u < bestUsed) {
+				bestIdx, bestOver, bestUsed = i, over, u
 			}
 		}
 	}
 	// If the requester is over its own quota, it must feed on itself even
 	// when other partitions are also over quota but less so.
 	if float64(c.occupancy[requester]) >= c.target[requester] && ownIdx != -1 {
-		if bestIdx == -1 || int(ways[bestIdx].owner) == requester ||
+		if bestIdx == -1 || int(owners[bestIdx]) == requester ||
 			float64(c.occupancy[requester])-c.target[requester] >= bestOver {
 			return ownIdx
 		}
@@ -195,7 +208,7 @@ func (c *PartitionedCache) ResetStats() {
 func (c *PartitionedCache) Sets() int { return c.sets }
 
 // TotalLines returns the cache capacity in lines.
-func (c *PartitionedCache) TotalLines() int { return len(c.lines) }
+func (c *PartitionedCache) TotalLines() int { return len(c.tags) }
 
 func log2(n int) int {
 	k := 0

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"testing"
+
+	"rebudget/internal/numeric"
+)
+
+// refCache is the pre-SoA PartitionedCache, array-of-structs layout and
+// all, kept verbatim as a reference model. The production cache must agree
+// with it access for access: same hit/miss verdicts, same victim choices
+// (observable through occupancy), same stats. This pins the SoA rewrite —
+// including the used==0-means-invalid encoding — to the original semantics.
+type refCache struct {
+	cfg       Config
+	sets      int
+	lines     []line
+	clock     uint64
+	occupancy []int
+	target    []float64
+}
+
+func newRefCache(cfg Config) *refCache {
+	linesTotal := cfg.CapacityBytes / LineSize
+	c := &refCache{
+		cfg:       cfg,
+		sets:      linesTotal / cfg.Ways,
+		lines:     make([]line, linesTotal),
+		occupancy: make([]int, cfg.Partitions),
+		target:    make([]float64, cfg.Partitions),
+	}
+	for i := range c.target {
+		c.target[i] = float64(linesTotal) / float64(cfg.Partitions)
+	}
+	return c
+}
+
+func (c *refCache) SetTargets(t []float64) { copy(c.target, t) }
+
+func (c *refCache) Access(addr uint64, owner int) bool {
+	lineAddr := addr / LineSize
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	c.clock++
+	ways := c.lines[base : base+c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.clock
+			if int(ways[i].owner) != owner {
+				c.occupancy[ways[i].owner]--
+				c.occupancy[owner]++
+				ways[i].owner = int32(owner)
+			}
+			return true
+		}
+	}
+	victim := c.chooseVictim(ways, owner)
+	if ways[victim].valid {
+		c.occupancy[ways[victim].owner]--
+	}
+	ways[victim] = line{tag: tag, owner: int32(owner), valid: true, used: c.clock}
+	c.occupancy[owner]++
+	return false
+}
+
+func (c *refCache) chooseVictim(ways []line, requester int) int {
+	bestIdx := -1
+	bestOver := 0.0
+	var bestUsed uint64
+	ownIdx, globalIdx := -1, -1
+	var ownUsed, globalUsed uint64
+	for i := range ways {
+		w := &ways[i]
+		if !w.valid {
+			return i
+		}
+		if globalIdx == -1 || w.used < globalUsed {
+			globalIdx, globalUsed = i, w.used
+		}
+		if int(w.owner) == requester && (ownIdx == -1 || w.used < ownUsed) {
+			ownIdx, ownUsed = i, w.used
+		}
+		over := float64(c.occupancy[w.owner]) - c.target[w.owner]
+		if over > 0 {
+			if bestIdx == -1 || over > bestOver || (over == bestOver && w.used < bestUsed) {
+				bestIdx, bestOver, bestUsed = i, over, w.used
+			}
+		}
+	}
+	if float64(c.occupancy[requester]) >= c.target[requester] && ownIdx != -1 {
+		if bestIdx == -1 || int(ways[bestIdx].owner) == requester ||
+			float64(c.occupancy[requester])-c.target[requester] >= bestOver {
+			return ownIdx
+		}
+	}
+	if bestIdx != -1 {
+		return bestIdx
+	}
+	if ownIdx != -1 {
+		return ownIdx
+	}
+	return globalIdx
+}
+
+func TestSoACacheMatchesReference(t *testing.T) {
+	cfg := Config{CapacityBytes: 256 << 10, Ways: 8, Partitions: 4}
+	soa, err := NewPartitioned(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefCache(cfg)
+	rng := numeric.NewRand(42)
+	lines := cfg.CapacityBytes / LineSize
+	// Shifting targets mid-stream exercises every chooseVictim branch:
+	// over-quota eviction, the requester-feeds-on-itself rule, and both
+	// fallbacks.
+	retarget := func() {
+		w := make([]float64, cfg.Partitions)
+		totalW := 0.0
+		for i := range w {
+			w[i] = rng.Float64() + 0.05
+			totalW += w[i]
+		}
+		for i := range w {
+			w[i] = w[i] / totalW * float64(lines)
+		}
+		if err := soa.SetTargets(w); err != nil {
+			t.Fatal(err)
+		}
+		ref.SetTargets(w)
+	}
+	for step := 0; step < 300000; step++ {
+		if step%25000 == 0 {
+			retarget()
+		}
+		// Address pool ~2x the cache so hits, cold misses and capacity
+		// misses all occur; tag 0 (low addresses) included deliberately —
+		// the SoA layout must not confuse a zero tag with an empty way.
+		addr := (rng.Uint64() % uint64(2*lines)) * LineSize
+		owner := int(rng.Uint64() % uint64(cfg.Partitions))
+		if got, want := soa.Access(addr, owner), ref.Access(addr, owner); got != want {
+			t.Fatalf("step %d: Access(%#x, %d) = %v, reference %v", step, addr, owner, got, want)
+		}
+	}
+	occ := soa.Occupancy()
+	for p := range occ {
+		if occ[p] != ref.occupancy[p] {
+			t.Fatalf("occupancy[%d] = %d, reference %d (full: %v vs %v)", p, occ[p], ref.occupancy[p], occ, ref.occupancy)
+		}
+	}
+	acc, miss := soa.Stats()
+	if acc != 300000 {
+		t.Fatalf("accesses = %d, want 300000", acc)
+	}
+	if miss == 0 || miss == acc {
+		t.Fatalf("degenerate miss count %d of %d", miss, acc)
+	}
+}

@@ -12,6 +12,9 @@ type UMON struct {
 	maxRegions  int
 	sampleShift uint       // sample sets where (set % 2^shift) == 0
 	sets        int        // shadow sets modelled (full, pre-sampling)
+	setMask     uint64     // sets-1: lineAddr & setMask == set (sets is a power of two)
+	setShift    uint       // log2(sets): lineAddr >> setShift == tag
+	sampleMask  uint64     // rejects unsampled accesses with one AND on lineAddr
 	tags        [][]uint64 // per sampled set: LRU-ordered tags, MRU first
 	hits        []uint64   // hits at region stack distance d (0-based)
 	missed      uint64
@@ -34,6 +37,9 @@ func NewUMON(maxRegions int, sampleShift uint) (*UMON, error) {
 		maxRegions:  maxRegions,
 		sampleShift: sampleShift,
 		sets:        LinesPerRegion,
+		setMask:     LinesPerRegion - 1, // LinesPerRegion is a power of two
+		setShift:    uint(log2(LinesPerRegion)),
+		sampleMask:  (1 << sampleShift) - 1,
 		hits:        make([]uint64, maxRegions),
 	}
 	sampled := u.sets >> sampleShift
@@ -46,14 +52,17 @@ func NewUMON(maxRegions int, sampleShift uint) (*UMON, error) {
 
 // Observe feeds one access (full byte address) to the monitor.
 func (u *UMON) Observe(addr uint64) {
+	// Sampling rejects all but one in 2^sampleShift sets; since the set is
+	// the low setShift bits of the line address, the reject test needs only
+	// the low sample bits — the hot path is one shift and one AND.
 	lineAddr := addr / LineSize
-	set := int(lineAddr) % u.sets
-	if set&((1<<u.sampleShift)-1) != 0 {
+	if lineAddr&u.sampleMask != 0 {
 		return
 	}
+	set := int(lineAddr & u.setMask)
 	u.total++
 	idx := set >> u.sampleShift
-	tag := lineAddr / uint64(u.sets)
+	tag := lineAddr >> u.setShift
 	list := u.tags[idx]
 	for i, t := range list {
 		if t == tag {

@@ -26,6 +26,13 @@ var (
 	_ Partitioner = (*WayPartitionedCache)(nil)
 )
 
+type line struct {
+	tag   uint64
+	owner int32
+	valid bool
+	used  uint64 // global LRU timestamp
+}
+
 // WayPartitionedCache enforces strict per-set way quotas (Qureshi & Patt's
 // UCP enforcement): partition p may hold at most quota[p] lines in any set.
 // Line-count targets quantise to whole ways — with a 64-core 32 MB cache a
@@ -34,10 +41,12 @@ var (
 type WayPartitionedCache struct {
 	cfg       Config
 	sets      int
+	tagShift  uint
 	lines     []line
 	clock     uint64
 	quota     []int // ways per partition
 	occupancy []int
+	counts    []int // per-miss scratch: valid lines per partition in the set
 	accesses  uint64
 	misses    uint64
 }
@@ -51,9 +60,11 @@ func NewWayPartitioned(cfg Config) (*WayPartitionedCache, error) {
 	c := &WayPartitionedCache{
 		cfg:       cfg,
 		sets:      base.sets,
-		lines:     make([]line, len(base.lines)),
+		tagShift:  base.tagShift,
+		lines:     make([]line, base.TotalLines()),
 		quota:     make([]int, cfg.Partitions),
 		occupancy: make([]int, cfg.Partitions),
+		counts:    make([]int, cfg.Partitions),
 	}
 	if cfg.Ways < cfg.Partitions {
 		return nil, fmt.Errorf("cache: %d ways cannot host %d way-partitions", cfg.Ways, cfg.Partitions)
@@ -148,7 +159,7 @@ func (c *WayPartitionedCache) Quotas() []int {
 func (c *WayPartitionedCache) Access(addr uint64, owner int) bool {
 	lineAddr := addr / LineSize
 	set := int(lineAddr) & (c.sets - 1)
-	tag := lineAddr >> uint(log2(c.sets))
+	tag := lineAddr >> c.tagShift
 	base := set * c.cfg.Ways
 	ways := c.lines[base : base+c.cfg.Ways]
 	c.clock++
@@ -171,7 +182,10 @@ func (c *WayPartitionedCache) Access(addr uint64, owner int) bool {
 	if held < c.quota[owner] {
 		// Under quota in this set: fill an invalid way, else steal the
 		// LRU line of a partition exceeding its quota here.
-		counts := make(map[int32]int, c.cfg.Partitions)
+		counts := c.counts
+		for i := range counts {
+			counts[i] = 0
+		}
 		for i := range ways {
 			if !ways[i].valid {
 				victim = i

@@ -75,6 +75,12 @@ type Chip struct {
 	// eqProfile accumulates per-equilibrium cost counters across the run
 	// via market.Config.Observer.
 	eqProfile metrics.EquilibriumProfile
+
+	// Epoch hot-path state (see sched.go): reusable pacing/interleave
+	// scratch so steady-state epochs allocate nothing, and the scheduler
+	// override tests use to pin dense/sparse equivalence.
+	scratch epochScratch
+	sched   schedMode
 }
 
 // marketConfig is the transform Begin threads through

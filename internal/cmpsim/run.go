@@ -3,6 +3,7 @@ package cmpsim
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"rebudget/internal/app"
 	"rebudget/internal/cache"
@@ -17,14 +18,23 @@ import (
 // of L2 accesses (paced by its current throughput estimate and scaled under
 // the sampling cap), the chip measures per-core miss ratios, retires
 // instructions against the live memory latency, and advances thermals.
+//
+// The hot path works entirely out of the chip's epochScratch: pacing counts,
+// miss tallies and the per-core address buffers are reused epoch to epoch,
+// so a steady-state epoch performs no heap allocation. Each core's draws are
+// prefetched in one batch (keeping that generator's stack state hot) and
+// then interleaved in the canonical (step, core) order by whichever
+// scheduler in sched.go is cheaper for this epoch's count profile — the
+// emission sequence, and hence every downstream measurement, is identical
+// either way.
 func (c *Chip) runEpoch(measured bool) {
 	n := c.cfg.Cores
+	s := &c.scratch
+	s.ensure(n, c.cfg.MaxAccessesPerCoreEpoch)
 
 	// Trace pacing: per-core access counts proportional to instruction
 	// rate × memory intensity, jointly scaled under the sampling cap.
-	counts := make([]int, n)
-	maxCount := 0
-	rates := make([]float64, n)
+	counts, rates, misses := s.counts, s.rates, s.misses
 	for i := 0; i < n; i++ {
 		rates[i] = c.instrRate(i) * c.models[i].Spec.API * c.cfg.EpochSeconds
 		if rates[i] > float64(c.cfg.MaxAccessesPerCoreEpoch) {
@@ -36,30 +46,36 @@ func (c *Chip) runEpoch(measured bool) {
 	if top > float64(c.cfg.MaxAccessesPerCoreEpoch) {
 		scale = float64(c.cfg.MaxAccessesPerCoreEpoch) / top
 	}
+	maxCount, total := 0, 0
 	for i := 0; i < n; i++ {
 		counts[i] = int(rates[i] * scale)
 		if counts[i] > maxCount {
 			maxCount = counts[i]
 		}
+		total += counts[i]
+		misses[i] = 0
+		s.cursor[i] = 0
 	}
 
-	// Interleave the cores' streams with a Bresenham-style scheduler so
-	// cache pressure is temporally mixed rather than phase-ordered.
-	misses := make([]int, n)
-	credits := make([]int, n)
-	for step := 0; step < maxCount; step++ {
-		for i := 0; i < n; i++ {
-			credits[i] += counts[i]
-			if credits[i] < maxCount {
-				continue
-			}
-			credits[i] -= maxCount
-			addr := c.gens[i].Next()
-			c.umons[i].Observe(addr)
-			if !c.l2.Access(addr, c.shadowFor(i, addr)) {
-				misses[i]++
-				c.bankSim.Access(addr)
-			}
+	// Batched generation: prefetch each core's whole epoch of addresses.
+	// Generators are per-core, so drawing ahead of the interleave changes
+	// nothing about which addresses appear or in what per-core order.
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			c.gens[i].Fill(s.bufs[i][:counts[i]])
+		}
+	}
+
+	// Interleave the cores' streams in the canonical schedule so cache
+	// pressure is temporally mixed rather than phase-ordered. The sparse
+	// scheduler takes over when the dense O(maxCount × cores) scan would
+	// be dominated by skips (mean slot occupancy under ~1/8).
+	if maxCount > 0 {
+		dense := total*8 >= maxCount*n
+		if (dense || c.sched == schedDense) && c.sched != schedSparse {
+			c.interleaveDense(maxCount)
+		} else {
+			c.interleaveSparse(maxCount)
 		}
 	}
 
@@ -225,9 +241,22 @@ type aloneKey struct {
 	l2Ways      int
 }
 
+// aloneEntry is one singleflight slot: the first caller to reach the entry
+// runs the reference simulation inside once; every concurrent or later
+// caller for the same key blocks on that once and shares the result.
+type aloneEntry struct {
+	once sync.Once
+	perf float64
+	err  error
+}
+
 var (
 	aloneMu    sync.Mutex
-	aloneCache = map[aloneKey]float64{}
+	aloneCache = map[aloneKey]*aloneEntry{}
+	// aloneComputes counts actual reference simulations (not cache hits);
+	// the singleflight regression test asserts it stays at one per key no
+	// matter how many chips ask concurrently.
+	aloneComputes atomic.Int64
 )
 
 // alonePerfIPS simulates the application truly alone — the entire shared L2
@@ -237,6 +266,10 @@ var (
 // few measurement epochs. Results are cached per (spec fingerprint, cache
 // geometry), so custom specs that reuse a catalog name with different
 // parameters get their own reference run instead of a silently wrong one.
+// The cache is a singleflight: the mutex only guards the map, and the
+// ~400-epoch warmup runs under a per-key sync.Once, so concurrent chips
+// asking for the same reference wait for one compute instead of each
+// duplicating it (the old code released the lock during compute and raced).
 func alonePerfIPS(spec app.Spec, sys SystemConfig) (float64, error) {
 	key := aloneKey{
 		name:        spec.Name,
@@ -245,12 +278,21 @@ func alonePerfIPS(spec app.Spec, sys SystemConfig) (float64, error) {
 		l2Ways:      sys.L2Ways,
 	}
 	aloneMu.Lock()
-	if v, ok := aloneCache[key]; ok {
-		aloneMu.Unlock()
-		return v, nil
+	e := aloneCache[key]
+	if e == nil {
+		e = &aloneEntry{}
+		aloneCache[key] = e
 	}
 	aloneMu.Unlock()
+	e.once.Do(func() {
+		aloneComputes.Add(1)
+		e.perf, e.err = computeAlonePerfIPS(spec, sys)
+	})
+	return e.perf, e.err
+}
 
+// computeAlonePerfIPS is the uncached reference simulation.
+func computeAlonePerfIPS(spec app.Spec, sys SystemConfig) (float64, error) {
 	m := app.NewModel(spec)
 	l2, err := cache.NewPartitioned(cache.Config{
 		CapacityBytes: sys.L2CapacityBytes,
@@ -295,9 +337,5 @@ func alonePerfIPS(spec app.Spec, sys SystemConfig) (float64, error) {
 	for e := 0; e < measureEpochs; e++ {
 		sum += epochMiss()
 	}
-	perf := m.PerfIPS(sum/measureEpochs, power.MaxFreqGHz)
-	aloneMu.Lock()
-	aloneCache[key] = perf
-	aloneMu.Unlock()
-	return perf, nil
+	return m.PerfIPS(sum/measureEpochs, power.MaxFreqGHz), nil
 }

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"rebudget/internal/cmpsim"
 	"rebudget/internal/core"
@@ -37,6 +35,14 @@ type Fig5Result struct {
 // RunFig5 executes the detailed-simulation comparison. cfg sizes each run;
 // one bundle per category is drawn from seed.
 func RunFig5(cfg cmpsim.Config, seed uint64, mechs []core.Allocator) (*Fig5Result, error) {
+	return Engine{}.RunFig5(cfg, seed, mechs)
+}
+
+// RunFig5 is the engine-scheduled detailed simulation: one cell per
+// (bundle, mechanism) chip plus one MaxEfficiency reference per bundle.
+// Every cell writes a disjoint slot, so the fan-out needs no locking and
+// the assembled result is independent of worker count and completion order.
+func (e Engine) RunFig5(cfg cmpsim.Config, seed uint64, mechs []core.Allocator) (*Fig5Result, error) {
 	if mechs == nil {
 		mechs = DefaultMechanisms()
 	}
@@ -72,45 +78,30 @@ func RunFig5(cfg cmpsim.Config, seed uint64, mechs []core.Allocator) (*Fig5Resul
 		jobs = append(jobs, job{bi: bi, mi: -1, alloc: core.MaxEfficiency{}, bundle: b})
 	}
 
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			chip, err := cmpsim.NewChip(cfg, j.bundle)
+	err := e.forEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		chip, err := cmpsim.NewChip(cfg, j.bundle)
+		if err == nil {
+			var r *cmpsim.Result
+			r, err = chip.Run(j.alloc)
 			if err == nil {
-				var r *cmpsim.Result
-				r, err = chip.Run(j.alloc)
-				if err == nil {
-					mu.Lock()
-					if j.mi < 0 {
-						maxSpeedup[j.bi] = r.WeightedSpeedup
-						res.Bundles[j.bi].MaxEffEF = r.EnvyFreeness
-					} else {
-						res.Bundles[j.bi].Efficiency[j.mi] = r.WeightedSpeedup
-						res.Bundles[j.bi].EnvyFreeness[j.mi] = r.EnvyFreeness
-						res.Bundles[j.bi].MeanIterations[j.mi] = r.MeanIterations
-					}
-					mu.Unlock()
+				if j.mi < 0 {
+					maxSpeedup[j.bi] = r.WeightedSpeedup
+					res.Bundles[j.bi].MaxEffEF = r.EnvyFreeness
+				} else {
+					res.Bundles[j.bi].Efficiency[j.mi] = r.WeightedSpeedup
+					res.Bundles[j.bi].EnvyFreeness[j.mi] = r.EnvyFreeness
+					res.Bundles[j.bi].MeanIterations[j.mi] = r.MeanIterations
 				}
 			}
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("fig5 %s/%s: %w", j.bundle.Category, j.alloc.Name(), err)
-				}
-				mu.Unlock()
-			}
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		}
+		if err != nil {
+			return fmt.Errorf("fig5 %s/%s: %w", j.bundle.Category, j.alloc.Name(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for bi := range res.Bundles {
 		if maxSpeedup[bi] <= 0 {

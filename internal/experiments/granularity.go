@@ -32,43 +32,55 @@ type GranularityRow struct {
 // they are outright infeasible — while region-granularity targets keep
 // working unchanged up to 64 cores.
 func AblationGranularity(cfg cmpsim.Config) ([]GranularityRow, error) {
+	return Engine{}.AblationGranularity(cfg)
+}
+
+// AblationGranularity is the engine-scheduled variant: the two enforcement
+// modes are independent chips and run as parallel cells.
+func (e Engine) AblationGranularity(cfg cmpsim.Config) ([]GranularityRow, error) {
 	cfg.Cores = 16
 	bundle, err := workload.Generate(workload.CPBB, cfg.Cores, numeric.NewRand(9))
 	if err != nil {
 		return nil, err
 	}
-	var rows []GranularityRow
-	for _, mode := range []struct {
+	modes := []struct {
 		name string
 		way  bool
 	}{
 		{"regions+talus (paper)", false},
 		{"way-quotas (UCP-style)", true},
-	} {
+	}
+	rows := make([]GranularityRow, len(modes))
+	err = e.forEach(len(modes), func(i int) error {
+		mode := modes[i]
 		c := cfg
 		c.WayPartition = mode.way
 		chip, err := cmpsim.NewChip(c, bundle)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := chip.Run(core.ReBudget{Step: 20})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// The scalability check: can this enforcement host 64 cores?
 		big := cmpsim.DefaultConfig(64)
 		big.WayPartition = mode.way
 		bigBundle, err := workload.Generate(workload.CPBB, 64, numeric.NewRand(9))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, bigErr := cmpsim.NewChip(big, bigBundle)
-		rows = append(rows, GranularityRow{
+		rows[i] = GranularityRow{
 			Config:          mode.name,
 			WeightedSpeedup: res.WeightedSpeedup,
 			EnvyFreeness:    res.EnvyFreeness,
 			Feasible64:      bigErr == nil,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -114,6 +114,15 @@ func (f *floorWatch) WithRoundHook(hook func(iteration int) bool) core.Allocator
 // fault-free efficiency and fairness each rate retains. A nil rates slice
 // selects DefaultFaultRates.
 func RunResilience(cfg cmpsim.Config, seed uint64, rates []float64) (*ResilienceResult, error) {
+	return Engine{}.RunResilience(cfg, seed, rates)
+}
+
+// RunResilience is the engine-scheduled fault sweep. The fault-free
+// baseline and every fault-rate point are independent chips (each injector
+// seeds its own RNG), so they fan out as cells; Retained is normalised
+// against the baseline only after every cell has landed, which keeps the
+// rows identical to the old baseline-first serial order.
+func (e Engine) RunResilience(cfg cmpsim.Config, seed uint64, rates []float64) (*ResilienceResult, error) {
 	if rates == nil {
 		rates = DefaultFaultRates
 	}
@@ -164,17 +173,30 @@ func RunResilience(cfg cmpsim.Config, seed uint64, rates []float64) (*Resilience
 		return row, nil
 	}
 
-	base, err := runAt(0)
+	// Cell 0 is the fault-free baseline; cells 1..len(rates) are the sweep
+	// points, each writing its own row slot.
+	rows := make([]ResilienceRow, 1+len(rates))
+	err = e.forEach(1+len(rates), func(i int) error {
+		rate := 0.0
+		if i > 0 {
+			rate = rates[i-1]
+		}
+		row, err := runAt(rate)
+		if err != nil {
+			if i == 0 {
+				return fmt.Errorf("experiments: resilience baseline: %w", err)
+			}
+			return fmt.Errorf("experiments: resilience at fault rate %g: %w", rate, err)
+		}
+		rows[i] = row
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Baseline = base.WeightedSpeedup
-	res.BaselineEF = base.EnvyFreeness
-	for _, rate := range rates {
-		row, err := runAt(rate)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: resilience at fault rate %g: %w", rate, err)
-		}
+	res.Baseline = rows[0].WeightedSpeedup
+	res.BaselineEF = rows[0].EnvyFreeness
+	for _, row := range rows[1:] {
 		if res.Baseline > 0 {
 			row.Retained = row.WeightedSpeedup / res.Baseline
 		}

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"rebudget/internal/core"
 	"rebudget/internal/market"
@@ -64,8 +62,14 @@ type SweepResult struct {
 // RunSweep reproduces the §6 phase-1 sweep: perCategory bundles per
 // category at the given core count, each allocated by every mechanism and
 // normalised to MaxEfficiency. Work is spread across CPUs; results are
-// deterministic for a fixed seed.
+// deterministic for a fixed seed and independent of the worker count.
 func RunSweep(cores, perCategory int, seed uint64, mechs []core.Allocator) (*SweepResult, error) {
+	return Engine{}.RunSweep(cores, perCategory, seed, mechs)
+}
+
+// RunSweep is the engine-scheduled sweep: one cell per bundle, each writing
+// only its own result slot.
+func (e Engine) RunSweep(cores, perCategory int, seed uint64, mechs []core.Allocator) (*SweepResult, error) {
 	if mechs == nil {
 		mechs = DefaultMechanisms()
 	}
@@ -77,30 +81,16 @@ func RunSweep(cores, perCategory int, seed uint64, mechs []core.Allocator) (*Swe
 	for _, m := range mechs {
 		res.Mechanisms = append(res.Mechanisms, m.Name())
 	}
-
-	var firstErr error
-	var mu sync.Mutex
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for bi, b := range bundles {
-		wg.Add(1)
-		go func(bi int, b workload.Bundle) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			br, err := runBundle(b, mechs)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("bundle %d (%s): %w", bi, b.Category, err)
-				return
-			}
-			res.Bundles[bi] = *br
-		}(bi, b)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err = e.forEach(len(bundles), func(bi int) error {
+		br, err := runBundle(bundles[bi], mechs)
+		if err != nil {
+			return fmt.Errorf("bundle %d (%s): %w", bi, bundles[bi].Category, err)
+		}
+		res.Bundles[bi] = *br
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -60,6 +60,11 @@ type Config struct {
 // PhasedGenerator.
 type Stream interface {
 	Next() uint64
+	// Fill writes the next len(dst) addresses into dst, exactly as if
+	// Next had been called that many times. Batch consumers (the cmpsim
+	// epoch loop) use it to amortise call overhead and keep the
+	// generator's working state hot across a whole epoch's draws.
+	Fill(dst []uint64)
 	LineSize() int
 }
 
@@ -173,6 +178,13 @@ func (g *Generator) Next() uint64 {
 		st.nextBlock++
 	}
 	return block * uint64(g.cfg.LineSize)
+}
+
+// Fill writes the next len(dst) addresses into dst.
+func (g *Generator) Fill(dst []uint64) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
 }
 
 // sampleGeometric draws a stack distance with the given mean.

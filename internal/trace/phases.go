@@ -73,6 +73,24 @@ func (p *PhasedGenerator) Next() uint64 {
 	return p.gens[p.cur].Next()
 }
 
+// Fill writes the next len(dst) addresses into dst, batching draws from the
+// current phase's generator and advancing phases exactly as Next would.
+func (p *PhasedGenerator) Fill(dst []uint64) {
+	for len(dst) > 0 {
+		if p.left == 0 {
+			p.cur = (p.cur + 1) % len(p.phases)
+			p.left = p.phases[p.cur].Accesses
+		}
+		n := len(dst)
+		if n > p.left {
+			n = p.left
+		}
+		p.gens[p.cur].Fill(dst[:n])
+		p.left -= n
+		dst = dst[n:]
+	}
+}
+
 // CurrentPhase reports which phase the stream is in.
 func (p *PhasedGenerator) CurrentPhase() int { return p.cur }
 

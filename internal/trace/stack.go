@@ -9,112 +9,131 @@ package trace
 
 import "rebudget/internal/numeric"
 
-// lruStack is an order-statistic treap over block IDs ordered by recency
+// stackChunkCap sizes the contiguous runs an lruStack is stored in. Larger
+// chunks mean fewer chunk-header hops to reach a given depth but longer
+// memmoves on every front insertion; 256 (a 2 kB run) balances the two for
+// the geometric reuse distances the generators draw.
+const stackChunkCap = 256
+
+// lruStack is an order-statistic list over block IDs ordered by recency
 // (index 0 = most recently used). It supports the three operations a
-// stack-distance trace generator needs, each in O(log n): fetch the block at
-// a given depth, move it to the front, and push a brand-new block.
+// stack-distance trace generator needs: fetch the block at a given depth,
+// move it to the front, and push a brand-new block.
+//
+// The representation is a list of contiguous chunks rather than the earlier
+// order-statistic treap: reaching depth d walks ~d/chunk chunk headers and
+// then moves a couple of kilobytes at most, all over dense memory, where the
+// treap chased ~2·log2(n) pointers through split/merge recursions. The
+// logical LRU order — the only thing Touch/At/PushFront/DropBack expose — is
+// identical, so streams are bit-identical to the treap-backed generator
+// (treap priorities only ever shaped the tree, never the order). Emptied
+// chunk backings are recycled, so a warm stack performs no steady-state
+// allocation.
 type lruStack struct {
-	root *stackNode
-	rng  *numeric.Rand
+	chunks [][]uint64 // MRU order; every chunk non-empty
+	total  int
+	spare  []uint64 // one recycled chunk backing, nil when absent
 }
 
-type stackNode struct {
-	block    uint64
-	priority uint64
-	size     int
-	left     *stackNode
-	right    *stackNode
-}
-
-func newLRUStack(rng *numeric.Rand) *lruStack {
-	return &lruStack{rng: rng}
-}
-
-func size(n *stackNode) int {
-	if n == nil {
-		return 0
-	}
-	return n.size
-}
-
-func (n *stackNode) update() {
-	n.size = 1 + size(n.left) + size(n.right)
-}
-
-// split divides t into (left, right) where left holds the first k nodes.
-func split(t *stackNode, k int) (*stackNode, *stackNode) {
-	if t == nil {
-		return nil, nil
-	}
-	if size(t.left) >= k {
-		l, r := split(t.left, k)
-		t.left = r
-		t.update()
-		return l, t
-	}
-	l, r := split(t.right, k-size(t.left)-1)
-	t.right = l
-	t.update()
-	return t, r
-}
-
-func merge(a, b *stackNode) *stackNode {
-	if a == nil {
-		return b
-	}
-	if b == nil {
-		return a
-	}
-	if a.priority > b.priority {
-		a.right = merge(a.right, b)
-		a.update()
-		return a
-	}
-	b.left = merge(a, b.left)
-	b.update()
-	return b
+// newLRUStack returns an empty stack. The rng parameter is unused since the
+// treap representation was replaced, but the signature is kept so that
+// callers still consume an rng split per stack — Generator seeding depends
+// on that draw sequence for bit-identical streams.
+func newLRUStack(_ *numeric.Rand) *lruStack {
+	return &lruStack{}
 }
 
 // Len returns the number of blocks on the stack.
-func (s *lruStack) Len() int { return size(s.root) }
+func (s *lruStack) Len() int { return s.total }
 
 // At returns the block at stack depth d (0 = MRU) without reordering.
 func (s *lruStack) At(d int) uint64 {
-	n := s.root
-	for {
-		ls := size(n.left)
-		switch {
-		case d < ls:
-			n = n.left
-		case d == ls:
-			return n.block
-		default:
-			d -= ls + 1
-			n = n.right
-		}
+	ci := 0
+	for d >= len(s.chunks[ci]) {
+		d -= len(s.chunks[ci])
+		ci++
 	}
+	return s.chunks[ci][d]
 }
 
 // Touch moves the block at depth d to the front and returns it.
 func (s *lruStack) Touch(d int) uint64 {
-	left, rest := split(s.root, d)
-	node, right := split(rest, 1)
-	s.root = merge(node, merge(left, right))
-	return node.block
+	if d == 0 {
+		return s.chunks[0][0]
+	}
+	ci := 0
+	for d >= len(s.chunks[ci]) {
+		d -= len(s.chunks[ci])
+		ci++
+	}
+	c := s.chunks[ci]
+	block := c[d]
+	copy(c[d:], c[d+1:])
+	s.chunks[ci] = c[:len(c)-1]
+	if len(s.chunks[ci]) == 0 {
+		s.dropChunk(ci)
+	}
+	s.total--
+	s.PushFront(block)
+	return block
 }
 
 // PushFront inserts a new block at depth 0.
 func (s *lruStack) PushFront(block uint64) {
-	n := &stackNode{block: block, priority: s.rng.Uint64(), size: 1}
-	s.root = merge(n, s.root)
+	s.total++
+	if len(s.chunks) == 0 {
+		c := s.grabChunk()
+		s.chunks = append(s.chunks, append(c, block))
+		return
+	}
+	front := s.chunks[0]
+	if len(front) == cap(front) {
+		// Split the full front chunk: its colder half moves to a fresh
+		// chunk inserted right behind, keeping insertions cheap.
+		half := len(front) / 2
+		cold := append(s.grabChunk(), front[half:]...)
+		s.chunks = append(s.chunks, nil)
+		copy(s.chunks[2:], s.chunks[1:])
+		s.chunks[1] = cold
+		front = front[:half]
+	}
+	front = front[:len(front)+1]
+	copy(front[1:], front)
+	front[0] = block
+	s.chunks[0] = front
 }
 
 // DropBack removes the least-recently-used block (used to bound memory for
 // streaming components whose footprint would otherwise grow without limit).
 func (s *lruStack) DropBack() {
-	if s.root == nil {
+	if s.total == 0 {
 		return
 	}
-	l, _ := split(s.root, size(s.root)-1)
-	s.root = l
+	last := len(s.chunks) - 1
+	c := s.chunks[last]
+	s.chunks[last] = c[:len(c)-1]
+	if len(s.chunks[last]) == 0 {
+		s.dropChunk(last)
+	}
+	s.total--
+}
+
+// grabChunk returns an empty chunk backing, reusing a recycled one if held.
+func (s *lruStack) grabChunk() []uint64 {
+	if s.spare != nil {
+		c := s.spare[:0]
+		s.spare = nil
+		return c
+	}
+	return make([]uint64, 0, stackChunkCap)
+}
+
+// dropChunk removes the (empty) chunk at index ci, recycling its backing.
+func (s *lruStack) dropChunk(ci int) {
+	if s.spare == nil {
+		s.spare = s.chunks[ci][:0]
+	}
+	copy(s.chunks[ci:], s.chunks[ci+1:])
+	s.chunks[len(s.chunks)-1] = nil
+	s.chunks = s.chunks[:len(s.chunks)-1]
 }

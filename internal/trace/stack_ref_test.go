@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"testing"
+
+	"rebudget/internal/numeric"
+)
+
+// refStack is the obviously-correct reference model: a plain slice in MRU
+// order. The chunked lruStack must match it operation for operation — this
+// is what guarantees the treap→chunked-list swap left every generated
+// stream bit-identical.
+type refStack struct{ s []uint64 }
+
+func (r *refStack) Len() int        { return len(r.s) }
+func (r *refStack) At(d int) uint64 { return r.s[d] }
+func (r *refStack) Touch(d int) uint64 {
+	b := r.s[d]
+	copy(r.s[1:d+1], r.s[:d])
+	r.s[0] = b
+	return b
+}
+func (r *refStack) PushFront(b uint64) { r.s = append([]uint64{b}, r.s...) }
+func (r *refStack) DropBack() {
+	if len(r.s) > 0 {
+		r.s = r.s[:len(r.s)-1]
+	}
+}
+
+func TestChunkedStackMatchesReference(t *testing.T) {
+	rng := numeric.NewRand(99)
+	s := newLRUStack(numeric.NewRand(1))
+	ref := &refStack{}
+	next := uint64(0)
+	for op := 0; op < 200000; op++ {
+		switch {
+		case ref.Len() == 0 || rng.Float64() < 0.15:
+			s.PushFront(next)
+			ref.PushFront(next)
+			next++
+		case rng.Float64() < 0.05:
+			s.DropBack()
+			ref.DropBack()
+		default:
+			// Bias towards shallow depths like a geometric draw would,
+			// but hit deep ones too.
+			d := int(rng.Uint64() % uint64(ref.Len()))
+			if rng.Float64() < 0.7 {
+				d /= 16
+			}
+			got, want := s.Touch(d), ref.Touch(d)
+			if got != want {
+				t.Fatalf("op %d: Touch(%d) = %d, reference %d", op, d, got, want)
+			}
+		}
+		if s.Len() != ref.Len() {
+			t.Fatalf("op %d: Len = %d, reference %d", op, s.Len(), ref.Len())
+		}
+	}
+	// Full-order check at the end: every depth must agree.
+	for d := 0; d < ref.Len(); d++ {
+		if s.At(d) != ref.At(d) {
+			t.Fatalf("final order diverges at depth %d: %d vs %d", d, s.At(d), ref.At(d))
+		}
+	}
+}
+
+func TestFillMatchesNext(t *testing.T) {
+	cfg := Config{LineSize: 64, Seed: 7, Namespace: 3, Mix: []Component{
+		{Kind: Geometric, Weight: 0.5, Param: 512},
+		{Kind: Cyclic, Weight: 0.3, Param: 9000},
+		{Kind: Streaming, Weight: 0.2},
+	}}
+	a, b := MustNew(cfg), MustNew(cfg)
+	buf := make([]uint64, 0, 4096)
+	// Uneven batch sizes so chunk boundaries land everywhere.
+	for _, n := range []int{1, 7, 64, 1000, 4096, 3, 333} {
+		buf = buf[:n]
+		a.Fill(buf)
+		for i := 0; i < n; i++ {
+			if want := b.Next(); buf[i] != want {
+				t.Fatalf("Fill diverges from Next at draw %d of batch %d: %d vs %d", i, n, buf[i], want)
+			}
+		}
+	}
+}
+
+func TestPhasedFillMatchesNext(t *testing.T) {
+	phases := []Phase{
+		{Mix: []Component{{Kind: Geometric, Weight: 1, Param: 256}}, Accesses: 100},
+		{Mix: []Component{{Kind: Streaming, Weight: 1}}, Accesses: 37},
+	}
+	a, err := NewPhased(64, phases, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPhased(64, phases, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches straddle phase boundaries (phase cycle is 137 accesses).
+	buf := make([]uint64, 0, 500)
+	for _, n := range []int{50, 120, 1, 500, 137} {
+		buf = buf[:n]
+		a.Fill(buf)
+		for i := 0; i < n; i++ {
+			if want := b.Next(); buf[i] != want {
+				t.Fatalf("phased Fill diverges at draw %d of batch %d: %d vs %d", i, n, buf[i], want)
+			}
+		}
+	}
+	if a.CurrentPhase() != b.CurrentPhase() {
+		t.Fatalf("phase diverged: %d vs %d", a.CurrentPhase(), b.CurrentPhase())
+	}
+}

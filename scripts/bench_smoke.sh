@@ -1,11 +1,14 @@
 #!/bin/sh
 # bench_smoke.sh — perf smoke test for `make ci`.
 #
-# Runs BenchmarkMarketEquilibrium64 (the hot allocation kernel) and compares
-# it against the most recent recorded snapshot — the newest BENCH_*.json
-# written by scripts/bench_record.sh — falling back to .bench/baseline.txt
-# when no snapshot exists (the first snapshot then gets recorded from this
-# run's numbers).
+# Runs the three load-bearing kernels — BenchmarkMarketEquilibrium64 (the
+# hot allocation solver), BenchmarkFig5Simulation (the end-to-end detailed
+# simulation), and BenchmarkChipEpoch64 (the single-chip epoch hot path) —
+# and compares each against the most recent recorded snapshot: the newest
+# BENCH_*.json written by scripts/bench_record.sh, falling back to
+# .bench/baseline.txt when no snapshot exists (the first snapshot then gets
+# recorded from this run's numbers). A benchmark missing from the snapshot
+# is skipped, so older snapshots stay usable after new benches are added.
 #
 # A >10% ns/op regression prints a loud warning. By default that never fails
 # the build: benchmarks on shared/loaded CI hosts are too noisy to gate on,
@@ -20,8 +23,8 @@
 set -u
 
 cd "$(dirname "$0")/.."
-BENCH='^BenchmarkMarketEquilibrium64$'
-NAME=BenchmarkMarketEquilibrium64
+NAMES='BenchmarkMarketEquilibrium64 BenchmarkFig5Simulation BenchmarkChipEpoch64'
+BENCH='^(BenchmarkMarketEquilibrium64|BenchmarkFig5Simulation|BenchmarkChipEpoch64)$'
 DIR=.bench
 BASE="$DIR/baseline.txt"
 CUR="$DIR/current.txt"
@@ -35,30 +38,9 @@ if ! go test -run '^$' -bench "$BENCH" -benchtime 5x -count 3 . > "$CUR" 2>&1; t
     exit 0
 fi
 
-# Mean ns/op of the fresh run.
-# Note: go omits the -N procs suffix from the name when GOMAXPROCS is 1.
-new=$(awk -v name="$NAME" '$1 ~ "^" name "(-[0-9]+)?$" { s += $3; n++ } END { if (n) printf "%.0f", s / n }' "$CUR")
-if [ -z "$new" ]; then
-    echo "bench-smoke: could not parse ns/op from this run"
-    [ "$STRICT" = "1" ] && exit 1
-    exit 0
-fi
-
-# Reference: the newest dated snapshot, else the legacy text baseline.
+# Reference source: the newest dated snapshot, else the legacy text baseline.
 latest=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
-old=""
-src=""
-if [ -n "$latest" ]; then
-    old=$(tr ',' '\n' < "$latest" | awk -v name="$NAME" '
-        $0 ~ "\"name\": \"" name "\"" { found = 1 }
-        found && /"ns_per_op"/ { gsub(/[^0-9.]/, "", $0); print; exit }')
-    src="$latest"
-elif [ -f "$BASE" ]; then
-    old=$(awk -v name="$NAME" '$1 ~ "^" name "(-[0-9]+)?$" { s += $3; n++ } END { if (n) printf "%.0f", s / n }' "$BASE")
-    src="$BASE"
-fi
-
-if [ -z "$old" ]; then
+if [ -z "$latest" ] && [ ! -f "$BASE" ]; then
     cp "$CUR" "$BASE"
     echo "bench-smoke: no prior snapshot; recorded baseline in $BASE (run scripts/bench_record.sh for a dated one)"
     exit 0
@@ -69,18 +51,48 @@ if command -v benchstat >/dev/null 2>&1 && [ -f "$BASE" ]; then
     benchstat "$BASE" "$CUR" || true
 fi
 
-echo "bench-smoke: $NAME mean ns/op: reference $old ($src), current $new"
-regressed=$(awk -v old="$old" -v new="$new" 'BEGIN { print (new > old * 1.10) ? 1 : 0 }')
-if [ "$regressed" = "1" ]; then
-    awk -v old="$old" -v new="$new" 'BEGIN {
-        printf "bench-smoke: WARNING: MarketEquilibrium64 regressed %.1f%% (>10%%); re-measure on quiet hardware\n",
-            (new / old - 1) * 100
-    }'
-    if [ "$STRICT" = "1" ]; then
-        echo "bench-smoke: BENCH_STRICT=1 set; failing"
-        exit 1
+fail=0
+for NAME in $NAMES; do
+    # Mean ns/op of the fresh run.
+    # Note: go omits the -N procs suffix from the name when GOMAXPROCS is 1.
+    new=$(awk -v name="$NAME" '$1 ~ "^" name "(-[0-9]+)?$" { s += $3; n++ } END { if (n) printf "%.0f", s / n }' "$CUR")
+    if [ -z "$new" ]; then
+        echo "bench-smoke: $NAME: could not parse ns/op from this run"
+        fail=1
+        continue
     fi
-else
-    echo "bench-smoke: within 10% of reference"
+
+    old=""
+    src=""
+    if [ -n "$latest" ]; then
+        old=$(tr ',' '\n' < "$latest" | awk -v name="$NAME" '
+            $0 ~ "\"name\": \"" name "\"" { found = 1 }
+            found && /"ns_per_op"/ { gsub(/[^0-9.]/, "", $0); print; exit }')
+        src="$latest"
+    elif [ -f "$BASE" ]; then
+        old=$(awk -v name="$NAME" '$1 ~ "^" name "(-[0-9]+)?$" { s += $3; n++ } END { if (n) printf "%.0f", s / n }' "$BASE")
+        src="$BASE"
+    fi
+    if [ -z "$old" ]; then
+        echo "bench-smoke: $NAME: not in $src; skipping (re-run scripts/bench_record.sh to include it)"
+        continue
+    fi
+
+    echo "bench-smoke: $NAME mean ns/op: reference $old ($src), current $new"
+    regressed=$(awk -v old="$old" -v new="$new" 'BEGIN { print (new > old * 1.10) ? 1 : 0 }')
+    if [ "$regressed" = "1" ]; then
+        awk -v name="$NAME" -v old="$old" -v new="$new" 'BEGIN {
+            printf "bench-smoke: WARNING: %s regressed %.1f%% (>10%%); re-measure on quiet hardware\n",
+                name, (new / old - 1) * 100
+        }'
+        fail=1
+    else
+        echo "bench-smoke: $NAME within 10% of reference"
+    fi
+done
+
+if [ "$fail" = "1" ] && [ "$STRICT" = "1" ]; then
+    echo "bench-smoke: BENCH_STRICT=1 set; failing"
+    exit 1
 fi
 exit 0
