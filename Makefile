@@ -7,15 +7,18 @@
 # goroutines). ci ends with three smokes: serve-smoke boots a real rebudgetd
 # and drives it through the typed client (including a snapshot-rehydrate
 # restart), router-smoke boots a two-shard tier behind rebudget-router and
-# kills a shard mid-traffic, and bench-smoke warns (but does not fail,
-# unless BENCH_STRICT=1) on a >10% regression of the market equilibrium
-# kernel against the newest BENCH_*.json snapshot.
+# kills a shard mid-traffic, chaos-smoke runs the seeded rebudget-chaos soak
+# (partitions, a kill/restart, a latency spike and snapshot corruption
+# against a live two-shard tier, asserting zero lost sessions and
+# bit-identity to an undisturbed baseline), and bench-smoke warns (but does
+# not fail, unless BENCH_STRICT=1) on a >10% regression of the market
+# equilibrium kernel against the newest BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server race-router bench bench-all bench-smoke serve-smoke router-smoke profile-sim
+.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke profile-sim
 
-ci: build vet vet-cmd race race-server race-router serve-smoke router-smoke bench-smoke
+ci: build vet vet-cmd race race-server race-router race-chaos serve-smoke router-smoke chaos-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -51,11 +54,25 @@ race-router:
 serve-smoke:
 	scripts/serve_smoke.sh
 
+# The chaos layer on its own under the race detector: the injector's
+# per-target streams, the chaos transport and the faulty snapshot store
+# are all shared across goroutines in the soak.
+race-chaos:
+	$(GO) test -race ./internal/chaos/...
+
 # End-to-end sharding: two rebudgetd shards sharing a snapshot dir behind a
 # rebudget-router; 8 sessions placed, one shard killed mid-traffic, all
 # sessions must fail over and resume warm on the survivor.
 router-smoke:
 	scripts/router_smoke.sh
+
+# End-to-end chaos: schedule-determinism check, then the full rebudget-chaos
+# soak — scripted partitions, a shard kill/restart, a latency spike and
+# snapshot corruption against a live two-shard tier, asserting zero lost
+# sessions, bit-identity to an undisturbed baseline, a bounded error rate
+# and breaker/checksum activity in /metrics. CHAOS_SEED overrides the seed.
+chaos-smoke:
+	scripts/chaos_smoke.sh
 
 # Key benchmarks (equilibrium engine, ReBudget, simulation, cache substrate)
 # recorded as a dated JSON snapshot: BENCH_<yyyymmdd>.json.

@@ -3,8 +3,11 @@
 // session id, probes each shard's /healthz, and fails open to the next
 // ring position when a shard dies or drains. Run the shards with a shared
 // -snapshot-dir and a ring move becomes a warm migration: the receiving
-// shard rehydrates the session from its snapshot. See DESIGN.md, "Sharded
-// serving", and the README quick-start.
+// shard rehydrates the session from its snapshot. Per-shard circuit
+// breakers (-breaker-failures, -breaker-open-timeout) catch gray failures
+// the probes miss, and retry budgets (-retry-budget, -retry-rate) bound
+// failover amplification during brownouts. See DESIGN.md, "Sharded
+// serving" and "Failure model & chaos", and the README quick-start.
 //
 // Usage:
 //
@@ -35,7 +38,13 @@ func main() {
 		backends      = flag.String("backends", "", "comma-separated shard base URLs (required)")
 		vnodes        = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
 		probeInterval = flag.Duration("probe-interval", time.Second, "/healthz polling period")
+		probeJitter   = flag.Float64("probe-jitter", 0.2, "probe-period jitter fraction (decorrelates router replicas)")
 		proxyTimeout  = flag.Duration("proxy-timeout", 30*time.Second, "per-proxied-request deadline")
+		breakerFails  = flag.Int("breaker-failures", 3, "consecutive shard failures that open its circuit breaker")
+		breakerOpen   = flag.Duration("breaker-open-timeout", 5*time.Second, "how long an open breaker rejects before a half-open trial")
+		retryBudget   = flag.Int("retry-budget", 2, "failover retries allowed per request after the first attempt")
+		retryRate     = flag.Float64("retry-rate", 16, "router-wide retry tokens per second (bounds retry amplification)")
+		retryBurst    = flag.Float64("retry-burst", 0, "retry token bucket burst (default 2x -retry-rate)")
 		logFormat     = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -67,8 +76,16 @@ func main() {
 		Backends:      bases,
 		VNodes:        *vnodes,
 		ProbeInterval: *probeInterval,
+		ProbeJitter:   *probeJitter,
 		ProxyTimeout:  *proxyTimeout,
-		Logger:        log,
+		Breaker: router.BreakerConfig{
+			FailureThreshold: *breakerFails,
+			OpenTimeout:      *breakerOpen,
+		},
+		RetryBudget: *retryBudget,
+		RetryRate:   *retryRate,
+		RetryBurst:  *retryBurst,
+		Logger:      log,
 	})
 	if err != nil {
 		log.Error("router construction failed", "err", err)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rebudget/internal/numeric"
 )
 
 // backend is one rebudgetd shard behind the router: its base URL plus the
@@ -18,6 +20,7 @@ import (
 // what lets a shared snapshot store turn a drain into a warm migration.
 type backend struct {
 	base string
+	br   *breaker // data-path circuit breaker (see breaker.go)
 
 	healthy  atomic.Bool
 	sessions atomic.Int64 // /healthz-reported resident session count
@@ -67,6 +70,15 @@ func (rt *Router) probeAll(ctx context.Context) {
 			defer wg.Done()
 			was := b.healthy.Load()
 			now := b.probe(ctx, rt.probeClient)
+			// Probe outcomes feed the breaker: a good probe lets an open
+			// breaker try the data path again (half-open); a bad one can
+			// open the breaker before any request has to discover the
+			// death for itself.
+			if now {
+				b.br.onProbeSuccess()
+			} else {
+				b.br.onProbeFailure()
+			}
 			if was != now {
 				rt.log.Info("shard health changed", "shard", b.base, "healthy", now)
 			}
@@ -75,10 +87,26 @@ func (rt *Router) probeAll(ctx context.Context) {
 	wg.Wait()
 }
 
-// prober is the background health loop.
+// prober is the background health loop. Each sleep is jittered over
+// [1-j/2, 1+j/2]×ProbeInterval so a fleet of router replicas watching
+// the same shards drifts apart instead of probing in lockstep — N
+// replicas × M shards of synchronized /healthz traffic is a self-made
+// thundering herd on exactly the shards one is worried about. The jitter
+// source is deliberately wall-clock seeded: decorrelating replicas is
+// the whole point, so this is the one place the router wants real
+// nondeterminism.
 func (rt *Router) prober() {
 	defer close(rt.proberDone)
-	t := time.NewTicker(rt.cfg.ProbeInterval)
+	rng := numeric.NewRand(uint64(time.Now().UnixNano()) | 1)
+	next := func() time.Duration {
+		j := rt.cfg.ProbeJitter
+		if j <= 0 {
+			return rt.cfg.ProbeInterval
+		}
+		scale := 1 - j/2 + j*rng.Float64()
+		return time.Duration(float64(rt.cfg.ProbeInterval) * scale)
+	}
+	t := time.NewTimer(next())
 	defer t.Stop()
 	for {
 		select {
@@ -86,6 +114,7 @@ func (rt *Router) prober() {
 			return
 		case <-t.C:
 			rt.probeAll(context.Background())
+			t.Reset(next())
 		}
 	}
 }

@@ -24,6 +24,9 @@ type rtrMetrics struct {
 	failovers      atomic.Int64 // requests skipped past an unhealthy/unreachable shard
 	reroutedEpochs atomic.Int64 // epoch requests served by a non-primary shard
 	noShard        atomic.Int64 // requests with no healthy shard at all
+	breakerRejects atomic.Int64 // first-pass skips because a breaker was open
+	retries        atomic.Int64 // failover attempts beyond a request's first
+	retryExhausted atomic.Int64 // retries refused by the router-wide token bucket
 
 	requests labelCounters // route|code
 
@@ -126,6 +129,9 @@ func (m *rtrMetrics) render(w io.Writer, backends []*backend, uptime time.Durati
 	counter("rebudget_router_failovers_total", "Requests moved past an unhealthy or unreachable shard.", float64(m.failovers.Load()))
 	counter("rebudget_router_rerouted_epochs_total", "Epoch requests served by a non-primary shard.", float64(m.reroutedEpochs.Load()))
 	counter("rebudget_router_no_shard_total", "Requests failed because no shard was healthy.", float64(m.noShard.Load()))
+	counter("rebudget_router_breaker_rejections_total", "Shards skipped on the first pass because their circuit breaker was open.", float64(m.breakerRejects.Load()))
+	counter("rebudget_router_retries_total", "Failover attempts beyond a request's first.", float64(m.retries.Load()))
+	counter("rebudget_router_retry_budget_exhausted_total", "Retries refused by the router-wide retry token bucket.", float64(m.retryExhausted.Load()))
 
 	fmt.Fprintf(w, "# HELP rebudget_router_shard_up Shard health by probe (1 healthy).\n# TYPE rebudget_router_shard_up gauge\n")
 	for _, b := range backends {
@@ -142,6 +148,24 @@ func (m *rtrMetrics) render(w io.Writer, backends []*backend, uptime time.Durati
 	fmt.Fprintf(w, "# HELP rebudget_router_shard_probes_total Health probes completed per shard.\n# TYPE rebudget_router_shard_probes_total counter\n")
 	for _, b := range backends {
 		fmt.Fprintf(w, "rebudget_router_shard_probes_total{shard=%q} %d\n", b.base, b.probes.Load())
+	}
+	fmt.Fprintf(w, "# HELP rebudget_router_breaker_state Circuit breaker position per shard (one-hot over states).\n# TYPE rebudget_router_breaker_state gauge\n")
+	for _, b := range backends {
+		cur := b.br.currentState()
+		for _, s := range breakerStates {
+			v := 0
+			if s == cur {
+				v = 1
+			}
+			fmt.Fprintf(w, "rebudget_router_breaker_state{shard=%q,state=%q} %d\n", b.base, s.String(), v)
+		}
+	}
+	fmt.Fprintf(w, "# HELP rebudget_router_breaker_transitions_total Circuit breaker entries into each state per shard.\n# TYPE rebudget_router_breaker_transitions_total counter\n")
+	for _, b := range backends {
+		tc := b.br.transitionCounts()
+		for _, s := range breakerStates {
+			fmt.Fprintf(w, "rebudget_router_breaker_transitions_total{shard=%q,to=%q} %d\n", b.base, s.String(), tc[s])
+		}
 	}
 
 	labels, counts := m.requests.snapshot()

@@ -37,6 +37,30 @@ type Config struct {
 	MaxBody int64
 	// Logger receives structured routing logs (default slog.Default()).
 	Logger *slog.Logger
+	// Transport overrides the proxy client's RoundTripper (default
+	// http.DefaultTransport). This is the data-path seam chaos testing
+	// plugs a fault-injecting transport into; the health prober keeps its
+	// own client so active probes stay on a clean path — gray failures
+	// (probe green, data path red) are then reproducible, which is the
+	// scenario the circuit breakers exist for.
+	Transport http.RoundTripper
+	// Breaker sizes the per-shard circuit breakers.
+	Breaker BreakerConfig
+	// RetryBudget is the failover attempts allowed per proxied request
+	// beyond the first (default 2; set negative to disable retries).
+	RetryBudget int
+	// RetryRate is the router-wide failover token-bucket refill, in
+	// retries per second across all requests (default 16). The shared
+	// bucket is what keeps failover from amplifying a brownout: per-request
+	// caps bound one request's cost, the bucket bounds the tier's.
+	RetryRate float64
+	// RetryBurst is the bucket depth (default 2×RetryRate).
+	RetryBurst float64
+	// ProbeJitter spreads each prober sleep uniformly over
+	// [1-j/2, 1+j/2]×ProbeInterval (default 0.2, i.e. ±10%), so N router
+	// replicas pointed at the same shards don't synchronize their sweeps
+	// into a thundering probe herd. Set negative for none.
+	ProbeJitter float64
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +82,25 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	} else if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryRate <= 0 {
+		c.RetryRate = 16
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 2 * c.RetryRate
+	}
+	if c.ProbeJitter == 0 {
+		c.ProbeJitter = 0.2
+	} else if c.ProbeJitter < 0 {
+		c.ProbeJitter = 0
+	}
 	return c
 }
 
@@ -76,6 +119,7 @@ type Router struct {
 	mux         *http.ServeMux
 	proxyClient *http.Client
 	probeClient *http.Client
+	retry       *retryBudget
 
 	started time.Time
 	idSalt  string
@@ -102,7 +146,8 @@ func New(cfg Config) (*Router, error) {
 		mux:      http.NewServeMux(),
 		proxyClient: &http.Client{
 			// The per-request deadline comes from the proxied context.
-			Timeout: 0,
+			Timeout:   0,
+			Transport: cfg.Transport,
 		},
 		probeClient: &http.Client{Timeout: cfg.ProbeTimeout},
 		started:     time.Now(),
@@ -113,6 +158,7 @@ func New(cfg Config) (*Router, error) {
 		proberStop: make(chan struct{}),
 		proberDone: make(chan struct{}),
 	}
+	rt.retry = newRetryBudget(cfg.RetryRate, cfg.RetryBurst, time.Now)
 	for _, raw := range cfg.Backends {
 		base := strings.TrimRight(raw, "/")
 		if base == "" {
@@ -121,7 +167,7 @@ func New(cfg Config) (*Router, error) {
 		if _, dup := rt.backends[base]; dup {
 			return nil, fmt.Errorf("router: duplicate backend %q", base)
 		}
-		b := &backend{base: base}
+		b := &backend{base: base, br: newBreaker(cfg.Breaker)}
 		rt.backends[base] = b
 		rt.order = append(rt.order, b)
 		rt.ring.Add(base)
@@ -188,13 +234,19 @@ func (rt *Router) sequenceFor(id string) []*backend {
 	return seq
 }
 
-// proxy walks a session's ring sequence — healthy shards first in ring
-// order, then (fail-open) the shards whose probes looked dead, in case the
-// probe state is stale — forwarding the buffered request to the first
-// shard that answers at the transport level. HTTP statuses, including the
-// daemon's 429/Retry-After backpressure, pass through untouched: the shard
-// answered, and its answer stands. A transport failure marks the shard
-// unhealthy on the spot (passive detection) and moves on.
+// proxy walks a session's ring sequence — healthy shards with a willing
+// breaker first in ring order, then (fail-open) the shards that were
+// skipped, in case probe or breaker state is stale — forwarding the
+// buffered request to the first shard that answers at the transport
+// level. HTTP statuses, including the daemon's 429/Retry-After
+// backpressure, pass through untouched: the shard answered, and its
+// answer stands. A transport failure marks the shard unhealthy on the
+// spot and feeds its circuit breaker (passive detection), then moves on.
+//
+// Failover is budgeted two ways: each request gets RetryBudget attempts
+// beyond its first, and every retry also spends a token from the
+// router-wide bucket — an outage can't turn N incoming requests into
+// N×ring-length attempts against shards that are already browning out.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body []byte) {
 	seq := rt.sequenceFor(id)
 	if len(seq) == 0 {
@@ -203,20 +255,40 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 		return
 	}
 	isEpoch := strings.HasSuffix(r.URL.Path, "/epoch")
-	attempt := func(b *backend, idx int) bool {
+	attempts := 0
+	outOfBudget := false
+	// attempt forwards to b; every attempt after the first is a retry and
+	// must be paid for. served means the response was written; stop means
+	// the retry budget is gone and the walk must end.
+	attempt := func(b *backend, idx int) (served, stop bool) {
+		if attempts > 0 {
+			if attempts > rt.cfg.RetryBudget {
+				outOfBudget = true
+				return false, true
+			}
+			if !rt.retry.take() {
+				rt.met.retryExhausted.Add(1)
+				outOfBudget = true
+				return false, true
+			}
+			rt.met.retries.Add(1)
+		}
+		attempts++
 		if _, err := rt.forward(w, r, b, body); err != nil {
+			b.br.onFailure()
 			b.healthy.Store(false)
 			rt.met.failovers.Add(1)
 			rt.log.Warn("shard unreachable, failing over", "shard", b.base, "err", err)
-			return false
+			return false, false
 		}
+		b.br.onSuccess()
 		if idx > 0 {
 			if isEpoch {
 				rt.met.reroutedEpochs.Add(1)
 			}
 			rt.log.Info("request rerouted", "id", id, "shard", b.base, "ring_position", idx)
 		}
-		return true
+		return true, false
 	}
 	var skipped []int
 	for i, b := range seq {
@@ -225,18 +297,44 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 			skipped = append(skipped, i)
 			continue
 		}
-		if attempt(b, i) {
+		if !b.br.allow() {
+			rt.met.breakerRejects.Add(1)
+			skipped = append(skipped, i)
+			continue
+		}
+		served, stop := attempt(b, i)
+		if served {
 			return
 		}
+		if stop {
+			// The budget stopped the attempt after allow() may have
+			// claimed a half-open trial; give the slot back.
+			b.br.unclaim()
+			break
+		}
 	}
-	for _, i := range skipped {
-		if attempt(seq[i], i) {
-			return
+	// Fail-open last resort: probe state and breakers can both be stale
+	// (a shard back up before its next probe, a breaker still open after
+	// a partition healed). These attempts bypass the breaker gate — their
+	// outcomes still feed it — and stay bounded by the retry budget.
+	if !outOfBudget {
+		for _, i := range skipped {
+			served, stop := attempt(seq[i], i)
+			if served {
+				return
+			}
+			if stop {
+				break
+			}
 		}
 	}
 	rt.met.noShard.Add(1)
 	w.Header().Set("Retry-After", "1")
-	writeErr(w, http.StatusServiceUnavailable, "no healthy shard")
+	msg := "no healthy shard"
+	if outOfBudget {
+		msg = "no healthy shard (retry budget exhausted)"
+	}
+	writeErr(w, http.StatusServiceUnavailable, msg)
 }
 
 // forward sends one buffered request to a shard and streams its response

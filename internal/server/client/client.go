@@ -29,6 +29,16 @@ type Client struct {
 	http  *http.Client
 }
 
+// DefaultTimeout is the client's per-attempt HTTP timeout when
+// WithTimeout is not given. It deliberately matches the router's default
+// ProxyTimeout (30s) and sits above the daemon's RequestTimeout (10s):
+// every server-side deadline fires first and yields a typed 503, so the
+// client's timeout is the backstop for a hung transport, not the normal
+// failure path. A client timeout below the server's turns every
+// slow-but-succeeding epoch batch into wasted work — lower it only
+// alongside the server's own deadline.
+const DefaultTimeout = 30 * time.Second
+
 // Option configures a Client.
 type Option func(*Client)
 
@@ -36,6 +46,20 @@ type Option func(*Client)
 // custom transports, timeouts).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithTimeout sets the per-attempt HTTP timeout (default DefaultTimeout;
+// d <= 0 means no timeout, deadlines then come only from the caller's
+// context). Per-attempt is the operative word: this bounds one request on
+// one base URL, while the fallback-base rotation multiplies it by the
+// number of bases in the worst case, and client.Retry's MaxWall caps the
+// whole backpressure loop above both. It mutates the client's current
+// *http.Client, so order it after WithHTTPClient when combining the two.
+func WithTimeout(d time.Duration) Option {
+	if d < 0 {
+		d = 0
+	}
+	return func(c *Client) { c.http.Timeout = d }
 }
 
 // WithFallbackBases appends alternate base URLs (additional routers, or the
@@ -55,7 +79,7 @@ func WithFallbackBases(bases ...string) Option {
 func New(base string, opts ...Option) *Client {
 	c := &Client{
 		bases: []string{strings.TrimRight(base, "/")},
-		http:  &http.Client{Timeout: 30 * time.Second},
+		http:  &http.Client{Timeout: DefaultTimeout},
 	}
 	for _, o := range opts {
 		o(c)

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Retry-After parsing is table-driven over what real proxies and daemons
+// actually emit: integer seconds parse into RetryAfter, anything else
+// (absent, HTTP-date, garbage) degrades to zero rather than an error —
+// the status code is the contract, the hint is advisory.
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string
+		status int
+		want   time.Duration
+	}{
+		{"integer seconds", "2", http.StatusTooManyRequests, 2 * time.Second},
+		{"zero seconds", "0", http.StatusTooManyRequests, 0},
+		{"absent", "", http.StatusTooManyRequests, 0},
+		{"http date form ignored", "Fri, 07 Aug 2026 00:00:00 GMT", http.StatusTooManyRequests, 0},
+		{"garbage ignored", "soon", http.StatusTooManyRequests, 0},
+		{"negative accepted verbatim", "-3", http.StatusTooManyRequests, -3 * time.Second},
+		{"on 503 too", "1", http.StatusServiceUnavailable, time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.header != "" {
+					w.Header().Set("Retry-After", tc.header)
+				}
+				http.Error(w, `{"error":"busy"}`, tc.status)
+			}))
+			defer ts.Close()
+			_, err := New(ts.URL).GetSession(context.Background(), "x")
+			ae, ok := err.(*APIError)
+			if !ok {
+				t.Fatalf("want *APIError, got %v", err)
+			}
+			if ae.Status != tc.status {
+				t.Fatalf("status = %d, want %d", ae.Status, tc.status)
+			}
+			if ae.RetryAfter != tc.want {
+				t.Fatalf("RetryAfter = %v, want %v", ae.RetryAfter, tc.want)
+			}
+		})
+	}
+}
+
+// WithTimeout bounds one attempt; the default matches DefaultTimeout; a
+// non-positive value disables the client-side timeout entirely.
+func TestWithTimeout(t *testing.T) {
+	t.Run("default", func(t *testing.T) {
+		if got := New("http://example.invalid").http.Timeout; got != DefaultTimeout {
+			t.Fatalf("default timeout = %v, want %v", got, DefaultTimeout)
+		}
+	})
+	t.Run("disable", func(t *testing.T) {
+		if got := New("http://example.invalid", WithTimeout(-1)).http.Timeout; got != 0 {
+			t.Fatalf("WithTimeout(-1) = %v, want 0 (disabled)", got)
+		}
+	})
+	t.Run("bounds a slow server", func(t *testing.T) {
+		release := make(chan struct{})
+		defer close(release)
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+		}))
+		defer ts.Close()
+		c := New(ts.URL, WithTimeout(50*time.Millisecond))
+		start := time.Now()
+		_, err := c.GetSession(context.Background(), "slow")
+		if err == nil {
+			t.Fatal("want timeout error")
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("timeout not applied: attempt took %v", el)
+		}
+	})
+	t.Run("applies after WithHTTPClient", func(t *testing.T) {
+		h := &http.Client{Timeout: time.Hour}
+		c := New("http://example.invalid", WithHTTPClient(h), WithTimeout(time.Second))
+		if c.http.Timeout != time.Second {
+			t.Fatalf("timeout = %v, want 1s", c.http.Timeout)
+		}
+	})
+}

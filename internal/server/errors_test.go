@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+)
+
+func errMapServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func decodeErrBody(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("error body not JSON: %v", err)
+	}
+	return body.Error
+}
+
+// replyError's status mapping, table-driven — in particular the
+// context.DeadlineExceeded/Canceled chain: a request that timed out
+// waiting for a dispatcher slot is overload (503, retryable), not an
+// internal error, even when the sentinel arrives wrapped.
+func TestReplyErrorStatusMapping(t *testing.T) {
+	s := errMapServer(t)
+	cases := []struct {
+		name     string
+		err      error
+		wantCode int
+	}{
+		{"busy", errBusy, 429},
+		{"wrapped busy", fmt.Errorf("acquiring slot: %w", errBusy), 429},
+		{"mailbox full", errMailboxFull, 429},
+		{"session closed", errSessionClosed, 410},
+		{"deadline exceeded", context.DeadlineExceeded, 503},
+		{"wrapped deadline", fmt.Errorf("epoch batch: %w", context.DeadlineExceeded), 503},
+		{"canceled", context.Canceled, 503},
+		{"wrapped canceled", fmt.Errorf("caller went away: %w", context.Canceled), 503},
+		{"unknown error", errors.New("exploded"), 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			s.replyError(rec, tc.err)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("replyError(%v) = %d, want %d", tc.err, rec.Code, tc.wantCode)
+			}
+			if msg := decodeErrBody(t, rec); msg == "" {
+				t.Fatal("error body empty")
+			}
+		})
+	}
+	// The timeout mapping hides the raw error text behind a stable
+	// message (clients should match on the 503, not on Go's sentinel
+	// strings).
+	rec := httptest.NewRecorder()
+	s.replyError(rec, context.DeadlineExceeded)
+	if got := decodeErrBody(t, rec); got != "request deadline exceeded" {
+		t.Fatalf("timeout body = %q, want %q", got, "request deadline exceeded")
+	}
+}
+
+// replyEngineError forwards infrastructure failures to replyError's
+// mapping and treats everything else as the caller's bad input (400) —
+// the shared path behind the telemetry and result handlers.
+func TestReplyEngineErrorStatusMapping(t *testing.T) {
+	s := errMapServer(t)
+	cases := []struct {
+		name     string
+		err      error
+		wantCode int
+	}{
+		{"session closed", errSessionClosed, 410},
+		{"mailbox full", errMailboxFull, 429},
+		{"deadline exceeded", context.DeadlineExceeded, 503},
+		{"canceled", context.Canceled, 503},
+		{"wrapped deadline", fmt.Errorf("enqueue: %w", context.DeadlineExceeded), 503},
+		{"engine rejection", errors.New("telemetry arity mismatch"), 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			s.replyEngineError(rec, tc.err)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("replyEngineError(%v) = %d, want %d", tc.err, rec.Code, tc.wantCode)
+			}
+		})
+	}
+}

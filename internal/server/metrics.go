@@ -30,7 +30,7 @@ type srvMetrics struct {
 	evicted   labelCounters // reason: capacity | idle | deleted | drain
 	rejected  labelCounters // reason: busy | mailbox | draining | timeout | ratelimit
 	requests  labelCounters // route|code
-	snapshots labelCounters // op: save | restore | corrupt | save_error | load_error | restore_error
+	snapshots labelCounters // op: save | restore | verified | corrupt | save_error | load_error | restore_error
 
 	latCount atomic.Int64
 	latSum   atomicFloat

@@ -349,6 +349,19 @@ func (s *Server) replyError(w http.ResponseWriter, err error) {
 	}
 }
 
+// replyEngineError maps an engine-mediated failure: infrastructure
+// errors (closed session, full mailbox, expired deadline) go through
+// replyError's status mapping, while anything else is the engine
+// rejecting the request's content — the caller's fault, a 400.
+func (s *Server) replyEngineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errSessionClosed) || errors.Is(err, errMailboxFull) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.replyError(w, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err.Error())
+}
+
 // --- handlers ---
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -494,6 +507,11 @@ func (s *Server) rehydrate(w http.ResponseWriter, r *http.Request, id string) *s
 		s.log.Info("session evicted", "id", evicted.id, "reason", "capacity")
 	}
 	s.met.snapshots.inc(`op="restore"`)
+	if snap.Checksum != "" {
+		// The store verified this snapshot's integrity checksum on load
+		// (version 2 format); v1 files restore without one.
+		s.met.snapshots.inc(`op="verified"`)
+	}
 	s.log.Info("session rehydrated", "id", id, "epochs", snap.Epochs, "saved_at", snap.SavedAt)
 	return sess
 }
@@ -592,12 +610,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp := sess.enqueue(ctx, &request{kind: reqTelemetry, tele: tele})
 	if resp.err != nil {
-		if errors.Is(resp.err, errSessionClosed) || errors.Is(resp.err, errMailboxFull) ||
-			errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, context.Canceled) {
-			s.replyError(w, resp.err)
-		} else {
-			writeErr(w, http.StatusBadRequest, resp.err.Error())
-		}
+		s.replyEngineError(w, resp.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp.view)
@@ -612,12 +625,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp := sess.enqueue(ctx, &request{kind: reqResult})
 	if resp.err != nil {
-		if errors.Is(resp.err, errSessionClosed) || errors.Is(resp.err, errMailboxFull) ||
-			errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, context.Canceled) {
-			s.replyError(w, resp.err)
-		} else {
-			writeErr(w, http.StatusBadRequest, resp.err.Error())
-		}
+		s.replyEngineError(w, resp.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp.result)

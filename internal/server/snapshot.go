@@ -4,15 +4,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"time"
 )
 
-// SnapshotVersion is the wire-format version stamped into every snapshot.
-// Loaders reject other versions (treated as "no snapshot", a cold start)
-// rather than guessing at a foreign layout.
-const SnapshotVersion = 1
+// SnapshotVersion is the wire-format version stamped into every snapshot
+// written from now on. Version 2 adds an integrity checksum over the
+// snapshot body; version 1 files (no checksum) remain readable, so a tier
+// can be upgraded shard by shard against a shared snapshot directory.
+// Unknown versions are rejected (treated as "no snapshot", a cold start)
+// rather than guessed at.
+const SnapshotVersion = 2
+
+// snapshotVersionV1 is the pre-checksum format still accepted on load.
+const snapshotVersionV1 = 1
 
 // ErrNoSnapshot reports that a store holds no usable snapshot for an id —
 // either nothing was ever saved, or what is there is corrupt, truncated, or
@@ -33,6 +40,13 @@ type SessionSnapshot struct {
 	Epochs  int64       `json:"epochs"`
 	Health  string      `json:"health"`
 	SavedAt time.Time   `json:"saved_at"`
+
+	// Checksum is a CRC32 (IEEE) over the snapshot's canonical JSON with
+	// this field empty, formatted "crc32:%08x". Version 2 snapshots carry
+	// it; loads verify it when present, so a bit-flipped or hand-edited
+	// file that still parses as JSON deterministically lands on
+	// ErrNoSnapshot (a cold start) instead of resurrecting damaged state.
+	Checksum string `json:"checksum,omitempty"`
 
 	Market *MarketSnapshot `json:"market,omitempty"`
 	Sim    *SimSnapshot    `json:"sim,omitempty"`
@@ -64,8 +78,9 @@ type SwitchEvent struct {
 }
 
 func (s *SessionSnapshot) validate() error {
-	if s.Version != SnapshotVersion {
-		return fmt.Errorf("snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	if s.Version != SnapshotVersion && s.Version != snapshotVersionV1 {
+		return fmt.Errorf("snapshot version %d (want %d or %d)",
+			s.Version, snapshotVersionV1, SnapshotVersion)
 	}
 	if s.ID == "" {
 		return errors.New("snapshot missing id")
@@ -74,6 +89,37 @@ func (s *SessionSnapshot) validate() error {
 		return fmt.Errorf("snapshot epochs %d < 0", s.Epochs)
 	}
 	return nil
+}
+
+// checksum computes the snapshot's integrity sum: CRC32 (IEEE) over the
+// canonical indented JSON with the Checksum field cleared. The encoding is
+// deterministic (struct-ordered fields, fixed indentation), so the sum
+// computed at save time reproduces exactly at load time.
+func (s *SessionSnapshot) checksum() (string, error) {
+	c := *s
+	c.Checksum = ""
+	buf, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(buf)), nil
+}
+
+// verifyChecksum recomputes the sum and compares. Snapshots without a
+// checksum (version 1 files) pass vacuously; Verified reports whether a
+// checksum was actually checked.
+func (s *SessionSnapshot) verifyChecksum() (verified bool, err error) {
+	if s.Checksum == "" {
+		return false, nil
+	}
+	want, err := s.checksum()
+	if err != nil {
+		return false, err
+	}
+	if s.Checksum != want {
+		return false, fmt.Errorf("checksum %s, recomputed %s", s.Checksum, want)
+	}
+	return true, nil
 }
 
 // SnapshotStore persists session snapshots across evictions, restarts and
@@ -85,12 +131,27 @@ type SnapshotStore interface {
 	Delete(id string) error
 }
 
+// RawSnapshotStore is the byte-level seam under a SnapshotStore: direct
+// access to a snapshot's stored representation, bypassing validation and
+// checksumming. It exists for the chaos layer (internal/chaos), which uses
+// it to model torn writes and storage bit rot against the real durable
+// medium, and for forensics tooling. FileSnapshotStore implements it.
+type RawSnapshotStore interface {
+	SnapshotStore
+	// SaveRaw stores data verbatim as id's snapshot (atomically, like Save).
+	SaveRaw(id string, data []byte) error
+	// LoadRaw returns id's stored bytes verbatim; os.ErrNotExist when absent.
+	LoadRaw(id string) ([]byte, error)
+}
+
 // FileSnapshotStore keeps one JSON file per session under a directory —
 // the simple durable backend, and (via a shared directory) the migration
-// channel between shards. Writes are atomic (temp file + rename) so a
-// crash mid-save leaves the previous snapshot intact rather than a torn
-// file; loads treat any undecodable or wrong-version file as ErrNoSnapshot
-// so corruption degrades to a cold start instead of a serving error.
+// channel between shards. Writes are atomic and durable (temp file, fsync,
+// rename, best-effort directory fsync) so a crash — or a power loss — mid-
+// save leaves the previous snapshot intact rather than a torn file; loads
+// treat any undecodable, checksum-failing or wrong-version file as
+// ErrNoSnapshot so corruption degrades to a cold start instead of a
+// serving error.
 type FileSnapshotStore struct {
 	dir string
 }
@@ -118,25 +179,45 @@ func (fs *FileSnapshotStore) path(id string) (string, error) {
 	return filepath.Join(fs.dir, id+".json"), nil
 }
 
-// Save implements SnapshotStore with an atomic temp-file + rename.
+// Save implements SnapshotStore: the snapshot is checksummed and written
+// with an atomic, durable temp-file + fsync + rename.
 func (fs *FileSnapshotStore) Save(snap *SessionSnapshot) error {
 	if err := snap.validate(); err != nil {
 		return err
 	}
-	path, err := fs.path(snap.ID)
+	c := *snap
+	sum, err := c.checksum()
 	if err != nil {
 		return err
 	}
-	buf, err := json.MarshalIndent(snap, "", "  ")
+	c.Checksum = sum
+	buf, err := json.MarshalIndent(&c, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(fs.dir, "."+snap.ID+".tmp-")
+	return fs.writeAtomic(snap.ID, buf)
+}
+
+// writeAtomic lands data under id's path via temp file + fsync + rename,
+// then best-effort fsyncs the directory so the rename itself survives power
+// loss. The "atomic" half (rename) protects against a crashed process; the
+// fsyncs protect against the machine dying with the page cache unflushed.
+func (fs *FileSnapshotStore) writeAtomic(id string, data []byte) error {
+	path, err := fs.path(id)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(fs.dir, "."+id+".tmp-")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -149,12 +230,34 @@ func (fs *FileSnapshotStore) Save(snap *SessionSnapshot) error {
 		os.Remove(tmpName)
 		return err
 	}
+	if dir, err := os.Open(fs.dir); err == nil {
+		// Directory fsync is what makes the rename durable; not every
+		// filesystem supports it, so failure is ignored, not fatal.
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
 	return nil
 }
 
-// Load implements SnapshotStore. Absent, truncated, corrupt or
-// wrong-version files all come back as ErrNoSnapshot: the rehydrate path
-// must never be worse than a cold start.
+// SaveRaw implements RawSnapshotStore: data lands verbatim (atomically and
+// durably) as id's snapshot file, with no validation or checksumming — the
+// chaos layer's torn-write and bit-rot channel.
+func (fs *FileSnapshotStore) SaveRaw(id string, data []byte) error {
+	return fs.writeAtomic(id, data)
+}
+
+// LoadRaw implements RawSnapshotStore.
+func (fs *FileSnapshotStore) LoadRaw(id string) ([]byte, error) {
+	path, err := fs.path(id)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// Load implements SnapshotStore. Absent, truncated, corrupt, checksum-
+// failing or wrong-version files all come back as ErrNoSnapshot: the
+// rehydrate path must never be worse than a cold start.
 func (fs *FileSnapshotStore) Load(id string) (*SessionSnapshot, error) {
 	path, err := fs.path(id)
 	if err != nil {
@@ -170,6 +273,9 @@ func (fs *FileSnapshotStore) Load(id string) (*SessionSnapshot, error) {
 	}
 	if err := snap.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
+	}
+	if _, err := snap.verifyChecksum(); err != nil {
+		return nil, fmt.Errorf("%w: %s corrupt: %v", ErrNoSnapshot, filepath.Base(path), err)
 	}
 	if snap.ID != id {
 		return nil, fmt.Errorf("%w: file for %q holds snapshot of %q", ErrNoSnapshot, id, snap.ID)

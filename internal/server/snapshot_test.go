@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -240,7 +241,12 @@ func TestSimSnapshotRehydrateBitIdentical(t *testing.T) {
 		}
 	}
 
-	_, ref, _ := startDaemonWith(t, server.Config{})
+	// The rehydrate on first touch replays every sim epoch inside one
+	// request; under -race on a slow host that can outrun the default
+	// 10s request deadline, so give these daemons a generous one — this
+	// test pins bit-identity, not latency.
+	slow := server.Config{RequestTimeout: 2 * time.Minute}
+	_, ref, _ := startDaemonWith(t, slow)
 	run(ref, true)
 	run(ref, false)
 	want, err := ref.Result(ctx, "sim")
@@ -253,11 +259,13 @@ func TestSimSnapshotRehydrateBitIdentical(t *testing.T) {
 	}
 
 	st, _ := fileStore(t)
-	_, a, shutdownA := startDaemonWith(t, server.Config{Snapshots: st})
+	slowSnap := slow
+	slowSnap.Snapshots = st
+	_, a, shutdownA := startDaemonWith(t, slowSnap)
 	run(a, true)
 	shutdownA()
 
-	_, b, _ := startDaemonWith(t, server.Config{Snapshots: st})
+	_, b, _ := startDaemonWith(t, slowSnap)
 	v, err := b.GetSession(ctx, "sim")
 	if err != nil {
 		t.Fatalf("rehydrate: %v", err)
@@ -338,5 +346,83 @@ func TestDeleteRemovesSnapshot(t *testing.T) {
 	}
 	if _, err := b.GetSession(ctx, "gone"); err == nil {
 		t.Fatal("deleted session came back from the dead")
+	}
+}
+
+// Version-1 files (no checksum) must stay loadable: a mixed-version tier
+// shares one snapshot directory during a rolling upgrade.
+func TestFileSnapshotStoreReadsV1(t *testing.T) {
+	st, dir := fileStore(t)
+	v1 := `{"version":1,"id":"old","spec":{"workload":{"fig3":true},"mechanism":"equalshare"},"epochs":4,"health":"healthy","saved_at":"2026-01-01T00:00:00Z"}`
+	if err := os.WriteFile(filepath.Join(dir, "old.json"), []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("old")
+	if err != nil {
+		t.Fatalf("v1 snapshot should load: %v", err)
+	}
+	if got.Epochs != 4 || got.Checksum != "" {
+		t.Fatalf("v1 load mismatch: %+v", got)
+	}
+}
+
+// A saved v2 snapshot carries a checksum, and any single flipped bit in the
+// stored bytes — even one that keeps the JSON parseable — lands on
+// ErrNoSnapshot, deterministically a cold start.
+func TestFileSnapshotStoreChecksumCatchesBitFlips(t *testing.T) {
+	st, _ := fileStore(t)
+	snap := &server.SessionSnapshot{
+		Version: server.SnapshotVersion,
+		ID:      "bits",
+		Spec:    server.SessionSpec{Mechanism: "equalshare", Workload: server.WorkloadSpec{Fig3: true}},
+		Epochs:  9,
+		Health:  "healthy",
+		SavedAt: time.Now().UTC(),
+		Market:  &server.MarketSnapshot{Demand: []float64{1.5, 2.5}},
+	}
+	if err := st.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := st.Load("bits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Checksum == "" {
+		t.Fatal("v2 snapshot saved without a checksum")
+	}
+	raw, err := st.LoadRaw("bits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the demand vector: still valid JSON, wrong data.
+	tampered := []byte(strings.Replace(string(raw), "1.5", "1.6", 1))
+	if string(tampered) == string(raw) {
+		t.Fatal("tamper target not found in raw snapshot")
+	}
+	if err := st.SaveRaw("bits", tampered); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("bits"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("tampered snapshot: want ErrNoSnapshot, got %v", err)
+	}
+}
+
+// SaveRaw/LoadRaw round-trip bytes verbatim — the chaos layer depends on
+// this seam to model torn writes against the real file.
+func TestFileSnapshotStoreRawRoundTrip(t *testing.T) {
+	st, _ := fileStore(t)
+	data := []byte(`{"version":2,"id":"raw","half`)
+	if err := st.SaveRaw("raw", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadRaw("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("raw round-trip mismatch: %q", got)
+	}
+	if _, err := st.Load("raw"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("torn raw file: want ErrNoSnapshot, got %v", err)
 	}
 }

@@ -1,0 +1,49 @@
+#!/bin/sh
+# chaos_smoke.sh — chaos soak of the sharded serving tier, run by
+# `make chaos-smoke` (and `make ci`).
+#
+# First proves the chaos layer's determinism contract: the same seed must
+# print the same fault schedule twice, and a different seed must print a
+# different one. Then runs the full rebudget-chaos soak — two shards and a
+# router under scripted partitions, a shard kill/restart, a latency spike
+# and snapshot corruption — which asserts zero lost sessions, bit-identity
+# to an undisturbed baseline, a bounded client error rate, breaker
+# transitions in the router's /metrics and the snapshot checksum catching
+# scripted corruption. Any failure exits non-zero.
+set -u
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+
+cleanup() {
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+SEED=${CHAOS_SEED:-7}
+
+echo "chaos-smoke: building rebudget-chaos"
+go build -o "$TMP/rebudget-chaos" ./cmd/rebudget-chaos || exit 1
+
+echo "chaos-smoke: checking schedule determinism (seed $SEED)"
+"$TMP/rebudget-chaos" -print-schedule -seed "$SEED" > "$TMP/sched_a" || exit 1
+"$TMP/rebudget-chaos" -print-schedule -seed "$SEED" > "$TMP/sched_b" || exit 1
+if ! cmp -s "$TMP/sched_a" "$TMP/sched_b"; then
+    echo "chaos-smoke: FAIL: same seed produced different schedules" >&2
+    diff "$TMP/sched_a" "$TMP/sched_b" >&2
+    exit 1
+fi
+if [ ! -s "$TMP/sched_a" ]; then
+    echo "chaos-smoke: FAIL: schedule for seed $SEED is empty" >&2
+    exit 1
+fi
+"$TMP/rebudget-chaos" -print-schedule -seed $((SEED + 1)) > "$TMP/sched_c" || exit 1
+if cmp -s "$TMP/sched_a" "$TMP/sched_c"; then
+    echo "chaos-smoke: FAIL: different seeds produced the same schedule" >&2
+    exit 1
+fi
+
+echo "chaos-smoke: running the soak (seed $SEED)"
+"$TMP/rebudget-chaos" -seed "$SEED" || exit 1
+
+echo "chaos-smoke: OK"
