@@ -10,15 +10,17 @@
 # kills a shard mid-traffic, chaos-smoke runs the seeded rebudget-chaos soak
 # (partitions, a kill/restart, a latency spike and snapshot corruption
 # against a live two-shard tier, asserting zero lost sessions and
-# bit-identity to an undisturbed baseline), and bench-smoke warns (but does
-# not fail, unless BENCH_STRICT=1) on a >10% regression of the market
-# equilibrium kernel against the newest BENCH_*.json snapshot.
+# bit-identity to an undisturbed baseline), load-smoke drives a two-shard
+# tier with rebudget-loadgen and asserts throughput, a bounded 429 rate and
+# the weighted admission gauges, and bench-smoke warns (but does not fail,
+# unless BENCH_STRICT=1) on a >10% regression of the market equilibrium
+# kernel against the newest BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke profile-sim
+.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke load-ab profile-sim
 
-ci: build vet vet-cmd race race-server race-router race-chaos serve-smoke router-smoke chaos-smoke bench-smoke
+ci: build vet vet-cmd race race-server race-router race-chaos serve-smoke router-smoke chaos-smoke load-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -86,6 +88,20 @@ bench-all:
 
 bench-smoke:
 	scripts/bench_smoke.sh
+
+# Scaled-down load-harness smoke: two shards behind a router driven by
+# rebudget-loadgen (~30s total), asserting nonzero throughput, a bounded
+# 429 rate, and the weighted admission gauges in /metrics. LOAD_DURATION
+# overrides the measured window (default 15s).
+load-smoke:
+	scripts/load_smoke.sh
+
+# The cost-vs-count admission A/B (90/10 cheap/expensive mix at
+# saturation): runs rebudget-loadgen against both admission modes and
+# reports the cheap class's p99 improvement. Reports land in .bench/ and
+# are folded into the next dated BENCH_*.json by scripts/bench_record.sh.
+load-ab:
+	scripts/load_ab.sh
 
 # CPU profile of the end-to-end detailed simulation — the starting point for
 # hot-path work. Leaves sim.cpu.prof and the sim.test binary behind:

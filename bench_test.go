@@ -6,6 +6,12 @@
 package rebudget_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"rebudget"
@@ -15,6 +21,7 @@ import (
 	"rebudget/internal/experiments"
 	"rebudget/internal/market"
 	"rebudget/internal/numeric"
+	"rebudget/internal/server"
 	"rebudget/internal/trace"
 	"rebudget/internal/workload"
 )
@@ -412,6 +419,48 @@ func BenchmarkThreeResourceEquilibrium(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := (core.EqualBudget{}).Allocate(setup.Capacity, setup.Players); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Serving tier: the request hot path ---
+
+// BenchmarkServeEpoch measures one epoch request through the daemon's full
+// HTTP path — routing, admission, session mailbox, engine step, JSON
+// response — for a cheap (8-core equal-share) session, the dominant request
+// class under mixed load. allocs/op here is the serving tier's per-request
+// allocation budget; scripts/bench_record.sh tracks it alongside the
+// kernel benchmarks.
+func BenchmarkServeEpoch(b *testing.B) {
+	srv := server.New(server.Config{
+		Workers: 4,
+		IdleTTL: -1,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer srv.Close()
+	h := srv.Handler()
+	resilient := false
+	spec, err := json.Marshal(server.SessionSpec{
+		ID:        "bench",
+		Workload:  server.WorkloadSpec{Fig3: true},
+		Mechanism: "equalshare",
+		Resilient: &resilient,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sessions", bytes.NewReader(spec)))
+	if rec.Code != 201 {
+		b.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sessions/bench/epoch", http.NoBody))
+		if rec.Code != 200 {
+			b.Fatalf("epoch: %d %s", rec.Code, rec.Body)
 		}
 	}
 }

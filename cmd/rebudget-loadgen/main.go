@@ -1,0 +1,395 @@
+// Command rebudget-loadgen drives a rebudgetd deployment (one daemon or a
+// sharded tier behind rebudget-router) with a configurable mix of cheap and
+// expensive allocation sessions, and reports epoch-latency percentiles,
+// throughput, and 429 rate as JSON. It is the measurement harness behind
+// the cost-based-admission A/B: run it twice — against -admission cost and
+// -admission count daemons — and compare the cheap class's p99.
+//
+// Usage (closed loop, 90/10 cheap/expensive, 30 s):
+//
+//	rebudget-loadgen -target http://127.0.0.1:8360 \
+//	    -sessions 40 -cheap-frac 0.9 -concurrency 16 -duration 30s
+//
+// Open loop (Poisson arrivals at 200 epoch requests/sec):
+//
+//	rebudget-loadgen -mode open -rate 200 -arrival poisson ...
+//
+// The cheap class is an 8-core equal-share market session (no equilibrium
+// search — the floor of the cost scale). The expensive class defaults to a
+// 64-core cold-start equilibrium mechanism: warm_start=false forces a full
+// solve every epoch, the worst realistic per-epoch cost.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rebudget/internal/server"
+	"rebudget/internal/server/client"
+)
+
+type class struct {
+	name string
+	spec server.SessionSpec
+	ids  []string
+}
+
+// classStats accumulates one class's outcomes. Latencies are recorded only
+// for successful epoch requests: the A/B question is what service the
+// admitted requests got, while rejections are reported separately as a rate.
+type classStats struct {
+	mu    sync.Mutex
+	lat   []float64 // seconds, successes only
+	ok    atomic.Int64
+	busy  atomic.Int64 // 429s
+	errs  atomic.Int64 // transport / 5xx / timeout
+	total atomic.Int64
+}
+
+func (cs *classStats) record(d time.Duration, err error) {
+	cs.total.Add(1)
+	switch {
+	case err == nil:
+		cs.ok.Add(1)
+		cs.mu.Lock()
+		cs.lat = append(cs.lat, d.Seconds())
+		cs.mu.Unlock()
+	case client.IsBusy(err):
+		cs.busy.Add(1)
+	default:
+		cs.errs.Add(1)
+	}
+}
+
+// percentile returns the p-quantile (0..1) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ClassReport is one traffic class's slice of the run report.
+type ClassReport struct {
+	Sessions   int     `json:"sessions"`
+	Requests   int64   `json:"requests"`
+	OK         int64   `json:"ok"`
+	Busy429    int64   `json:"busy_429"`
+	Errors     int64   `json:"errors"`
+	Rate429    float64 `json:"rate_429"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// Report is the loadgen's JSON output, one object per run.
+type Report struct {
+	Label       string                 `json:"label"`
+	Target      string                 `json:"target"`
+	Mode        string                 `json:"mode"`
+	Arrival     string                 `json:"arrival,omitempty"`
+	RatePerSec  float64                `json:"rate_per_sec,omitempty"`
+	Concurrency int                    `json:"concurrency,omitempty"`
+	DurationSec float64                `json:"duration_sec"`
+	Sessions    int                    `json:"sessions"`
+	Requests    int64                  `json:"requests"`
+	OK          int64                  `json:"ok"`
+	Busy429     int64                  `json:"busy_429"`
+	Errors      int64                  `json:"errors"`
+	Rate429     float64                `json:"rate_429"`
+	Throughput  float64                `json:"throughput_rps"`
+	Classes     map[string]ClassReport `json:"classes"`
+}
+
+func main() {
+	var (
+		target      = flag.String("target", "http://127.0.0.1:8344", "rebudgetd or rebudget-router base URL")
+		label       = flag.String("label", "run", "run label recorded in the JSON report")
+		sessions    = flag.Int("sessions", 40, "sessions to create before the measured run")
+		cheapFrac   = flag.Float64("cheap-frac", 0.9, "fraction of sessions in the cheap class")
+		cheapCores  = flag.Int("cheap-cores", 8, "cheap-class bundle size")
+		cheapMech   = flag.String("cheap-mech", "equalshare", "cheap-class mechanism")
+		expCores    = flag.Int("expensive-cores", 64, "expensive-class bundle size")
+		expMech     = flag.String("expensive-mech", "equalbudget", "expensive-class mechanism")
+		expWarm     = flag.Bool("expensive-warm", false, "warm-start the expensive class (false = full cold solve per epoch)")
+		expSim      = flag.Bool("expensive-sim", false, "run the expensive class on the cmpsim engine instead of the analytic market")
+		mode        = flag.String("mode", "closed", "load model: closed (fixed concurrency) or open (timed arrivals)")
+		concurrency = flag.Int("concurrency", 16, "closed loop: concurrent workers")
+		rate        = flag.Float64("rate", 100, "open loop: mean epoch-request arrivals per second")
+		arrival     = flag.String("arrival", "poisson", "open loop: arrival process, poisson or uniform")
+		duration    = flag.Duration("duration", 30*time.Second, "measured run length")
+		epochBatch  = flag.Int("epoch-batch", 1, "epochs stepped per request")
+		prime       = flag.Int("prime", 1, "unmeasured epochs stepped per session, sequentially, before the run (0 disables)")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		seed        = flag.Int64("seed", 1, "mix/arrival RNG seed (runs are reproducible given a seed)")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+		keep        = flag.Bool("keep-sessions", false, "leave sessions resident after the run")
+	)
+	flag.Parse()
+
+	if *cheapFrac < 0 || *cheapFrac > 1 {
+		fatal("cheap-frac must be in [0,1]")
+	}
+	if *mode != "closed" && *mode != "open" {
+		fatal("mode must be closed or open")
+	}
+	if *arrival != "poisson" && *arrival != "uniform" {
+		fatal("arrival must be poisson or uniform")
+	}
+
+	cl := client.New(*target, client.WithTimeout(*timeout))
+	rng := rand.New(rand.NewSource(*seed))
+
+	f := false
+	tr := true
+	cheap := &class{name: "cheap", spec: server.SessionSpec{
+		Workload:  server.WorkloadSpec{Category: "CPBN", Cores: *cheapCores},
+		Mechanism: *cheapMech,
+	}}
+	expensive := &class{name: "expensive", spec: server.SessionSpec{
+		Workload:  server.WorkloadSpec{Category: "CPBN", Cores: *expCores},
+		Mechanism: *expMech,
+	}}
+	if *expWarm {
+		expensive.spec.WarmStart = &tr
+	} else {
+		expensive.spec.WarmStart = &f
+	}
+	if *expSim {
+		expensive.spec.Mode = "sim"
+		expensive.spec.Sim = &server.SimSpec{ReallocEvery: 1}
+	}
+
+	// Build the deterministic class assignment, then create the sessions.
+	nCheap := int(math.Round(*cheapFrac * float64(*sessions)))
+	assignment := make([]*class, 0, *sessions)
+	for i := 0; i < *sessions; i++ {
+		if i < nCheap {
+			assignment = append(assignment, cheap)
+		} else {
+			assignment = append(assignment, expensive)
+		}
+	}
+	rng.Shuffle(len(assignment), func(i, j int) {
+		assignment[i], assignment[j] = assignment[j], assignment[i]
+	})
+	createCtx, cancelCreate := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelCreate()
+	for i, c := range assignment {
+		spec := c.spec
+		spec.ID = fmt.Sprintf("lg-%s-%04d", c.name[:1], i)
+		spec.Workload.Seed = uint64(*seed)*1_000_003 + uint64(i)
+		view, err := createWithRetry(createCtx, cl, spec)
+		if err != nil {
+			fatal("create %s: %v", spec.ID, err)
+		}
+		c.ids = append(c.ids, view.ID)
+	}
+	// Prime each session with a few sequential, unmeasured epochs. This
+	// seeds the daemon's per-session cost EWMAs with real measurements
+	// (an unmeasured session is admitted on its analytic prior, which for
+	// big bundles is deliberately pessimistic) and keeps cold-start
+	// transients out of the measured window.
+	if *prime > 0 {
+		for _, c := range []*class{cheap, expensive} {
+			for _, id := range c.ids {
+				for i := 0; i < *prime; i++ {
+					if _, err := cl.StepEpoch(createCtx, id); err != nil && !client.IsBusy(err) {
+						fatal("prime %s: %v", id, err)
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d sessions created (%d cheap, %d expensive), running %s %s for %s\n",
+		*sessions, len(cheap.ids), len(expensive.ids), *mode, "loop", *duration)
+
+	// The measured run. pick() chooses a session uniformly from the mix so
+	// offered load per class is proportional to the session mix.
+	all := make([]struct {
+		id string
+		c  *class
+	}, 0, *sessions)
+	stats := map[*class]*classStats{cheap: {}, expensive: {}}
+	for _, c := range []*class{cheap, expensive} {
+		for _, id := range c.ids {
+			all = append(all, struct {
+				id string
+				c  *class
+			}{id, c})
+		}
+	}
+
+	runCtx, cancelRun := context.WithTimeout(context.Background(), *duration)
+	defer cancelRun()
+	start := time.Now()
+	var wg sync.WaitGroup
+	hit := func(id string, c *class) {
+		t0 := time.Now()
+		var err error
+		if *epochBatch == 1 {
+			_, err = cl.StepEpoch(runCtx, id)
+		} else {
+			_, err = cl.StepEpochs(runCtx, id, *epochBatch)
+		}
+		if runCtx.Err() != nil && err != nil {
+			return // shutdown race, not a measurement
+		}
+		stats[c].record(time.Since(t0), err)
+	}
+
+	switch *mode {
+	case "closed":
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			// Per-worker RNG: no lock contention on the shared source.
+			wrng := rand.New(rand.NewSource(*seed ^ int64(w*7919+1)))
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					pick := all[wrng.Intn(len(all))]
+					hit(pick.id, pick.c)
+				}
+			}()
+		}
+	case "open":
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mean := time.Duration(float64(time.Second) / *rate)
+			for runCtx.Err() == nil {
+				gap := mean
+				if *arrival == "poisson" {
+					gap = time.Duration(rng.ExpFloat64() * float64(mean))
+				}
+				select {
+				case <-runCtx.Done():
+					return
+				case <-time.After(gap):
+				}
+				pick := all[rng.Intn(len(all))]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					hit(pick.id, pick.c)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if !*keep {
+		cleanCtx, cancelClean := context.WithTimeout(context.Background(), time.Minute)
+		defer cancelClean()
+		for _, e := range all {
+			_ = cl.DeleteSession(cleanCtx, e.id)
+		}
+	}
+
+	rep := Report{
+		Label:       *label,
+		Target:      *target,
+		Mode:        *mode,
+		Concurrency: *concurrency,
+		DurationSec: elapsed.Seconds(),
+		Sessions:    *sessions,
+		Classes:     map[string]ClassReport{},
+	}
+	if *mode == "open" {
+		rep.Arrival = *arrival
+		rep.RatePerSec = *rate
+	}
+	for _, c := range []*class{cheap, expensive} {
+		cs := stats[c]
+		cs.mu.Lock()
+		sort.Float64s(cs.lat)
+		cr := ClassReport{
+			Sessions:   len(c.ids),
+			Requests:   cs.total.Load(),
+			OK:         cs.ok.Load(),
+			Busy429:    cs.busy.Load(),
+			Errors:     cs.errs.Load(),
+			P50Ms:      percentile(cs.lat, 0.50) * 1000,
+			P99Ms:      percentile(cs.lat, 0.99) * 1000,
+			P999Ms:     percentile(cs.lat, 0.999) * 1000,
+			Throughput: float64(cs.ok.Load()) / elapsed.Seconds(),
+		}
+		if n := len(cs.lat); n > 0 {
+			sum := 0.0
+			for _, v := range cs.lat {
+				sum += v
+			}
+			cr.MeanMs = sum / float64(n) * 1000
+		}
+		if cr.Requests > 0 {
+			cr.Rate429 = float64(cr.Busy429) / float64(cr.Requests)
+		}
+		cs.mu.Unlock()
+		rep.Classes[c.name] = cr
+		rep.Requests += cr.Requests
+		rep.OK += cr.OK
+		rep.Busy429 += cr.Busy429
+		rep.Errors += cr.Errors
+	}
+	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	if rep.Requests > 0 {
+		rep.Rate429 = float64(rep.Busy429) / float64(rep.Requests)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("encode report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+}
+
+// createWithRetry rides out transient 429s during the setup burst: session
+// creation also passes admission, and a saturated daemon may push back.
+func createWithRetry(ctx context.Context, cl *client.Client, spec server.SessionSpec) (server.SessionView, error) {
+	for {
+		view, err := cl.CreateSession(ctx, spec)
+		if err == nil || !client.IsBusy(err) {
+			return view, err
+		}
+		wait := 100 * time.Millisecond
+		if ae, ok := err.(*client.APIError); ok && ae.RetryAfter > 0 {
+			wait = ae.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return server.SessionView{}, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rebudget-loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

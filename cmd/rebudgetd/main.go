@@ -35,6 +35,9 @@ func main() {
 		idleTTL     = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (0 disables)")
 		workers     = flag.Int("workers", 0, "allocation worker slots (0 = GOMAXPROCS)")
 		maxWaiting  = flag.Int("max-waiting", 0, "queued allocation requests before 429 (0 = default)")
+		admission   = flag.String("admission", server.AdmissionCost, "dispatcher admission pricing: cost (weighted units from per-session estimates) or count (one unit per request, the pre-cost contract)")
+		costCap     = flag.Float64("cost-capacity", 0, "dispatcher budget in cost units under -admission cost (0 = 8x workers)")
+		maxQueued   = flag.Float64("max-queued-cost", 0, "queued cost units before 429 under -admission cost (0 = 4x capacity)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request allocation deadline")
 		drainWait   = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget")
 		snapshotDir = flag.String("snapshot-dir", "", "persist session snapshots here; evicted/drained sessions rehydrate on next touch (empty disables)")
@@ -70,6 +73,9 @@ func main() {
 		IdleTTL:        *idleTTL,
 		Workers:        *workers,
 		MaxWaiting:     *maxWaiting,
+		Admission:      *admission,
+		CostCapacity:   *costCap,
+		MaxQueuedCost:  *maxQueued,
 		RequestTimeout: *timeout,
 		Snapshots:      snaps,
 		SessionRPS:     *sessionRPS,

@@ -229,12 +229,16 @@ func (EqualShare) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 		MBR:         math.NaN(),
 		Converged:   true,
 	}
+	// One backing array for all rows: EqualShare runs every epoch of every
+	// market-free session, so per-player row allocations dominate its cost.
+	flat := make([]float64, n*len(capacity))
 	for i, p := range players {
-		out.Allocations[i] = make([]float64, len(capacity))
+		row := flat[i*len(capacity) : (i+1)*len(capacity) : (i+1)*len(capacity)]
 		for j, c := range capacity {
-			out.Allocations[i][j] = c / float64(n)
+			row[j] = c / float64(n)
 		}
-		out.Utilities[i] = p.Utility.Value(out.Allocations[i])
+		out.Allocations[i] = row
+		out.Utilities[i] = p.Utility.Value(row)
 	}
 	return out, nil
 }

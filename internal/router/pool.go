@@ -1,0 +1,72 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// The proxy must buffer every request body (it may replay it across ring
+// positions on failover), which made body reads a malloc per request.
+// Pooled buffers amortise that across the 100k-session load the tier is
+// sized for.
+var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// poolBufCap bounds what a pooled buffer retains, so one giant body does
+// not pin its high-water mark in the pool forever.
+const poolBufCap = 64 << 10
+
+// readBody buffers r's body (bounded by max) into a pooled buffer. The
+// caller owns the buffer until it calls putBodyBuf — the returned bytes
+// alias the buffer and must not outlive it.
+func readBody(w http.ResponseWriter, r *http.Request, max int64) (*bytes.Buffer, error) {
+	buf := bodyBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, max)); err != nil {
+		putBodyBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() > poolBufCap {
+		return
+	}
+	bodyBufs.Put(buf)
+}
+
+// jsonWriter pools a response buffer with an encoder bound to it, mirroring
+// the daemon's hot-path encoder pool.
+type jsonWriter struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonWriters = sync.Pool{New: func() any {
+	jw := &jsonWriter{}
+	jw.enc = json.NewEncoder(&jw.buf)
+	jw.enc.SetIndent("", "  ")
+	return jw
+}}
+
+func encodeJSON(w io.Writer, v any) error {
+	jw := jsonWriters.Get().(*jsonWriter)
+	jw.buf.Reset()
+	if err := jw.enc.Encode(v); err != nil {
+		putJSONWriter(jw)
+		return err
+	}
+	_, err := w.Write(jw.buf.Bytes())
+	putJSONWriter(jw)
+	return err
+}
+
+func putJSONWriter(jw *jsonWriter) {
+	if jw.buf.Cap() > poolBufCap {
+		return
+	}
+	jsonWriters.Put(jw)
+}

@@ -247,12 +247,18 @@ func (rt *Router) sequenceFor(id string) []*backend {
 // beyond its first, and every retry also spends a token from the
 // router-wide bucket — an outage can't turn N incoming requests into
 // N×ring-length attempts against shards that are already browning out.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body []byte) {
+//
+// The returned flag reports whether body is safe to recycle: after a
+// transport-level failure the http.Transport's write goroutine may still
+// be reading the body briefly, so callers must not return a pooled buffer
+// to its pool on that path.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body []byte) (bodySafe bool) {
+	bodySafe = true
 	seq := rt.sequenceFor(id)
 	if len(seq) == 0 {
 		rt.met.noShard.Add(1)
 		writeErr(w, http.StatusServiceUnavailable, "no shards configured")
-		return
+		return bodySafe
 	}
 	isEpoch := strings.HasSuffix(r.URL.Path, "/epoch")
 	attempts := 0
@@ -275,6 +281,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 		}
 		attempts++
 		if _, err := rt.forward(w, r, b, body); err != nil {
+			bodySafe = false
 			b.br.onFailure()
 			b.healthy.Store(false)
 			rt.met.failovers.Add(1)
@@ -335,6 +342,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 		msg = "no healthy shard (retry budget exhausted)"
 	}
 	writeErr(w, http.StatusServiceUnavailable, msg)
+	return bodySafe
 }
 
 // forward sends one buffered request to a shard and streams its response
@@ -377,20 +385,22 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, bo
 // absent — placement needs a key before the daemon ever sees the spec) is
 // hashed onto the ring and the create is forwarded to the owning shard.
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	raw, err := readBody(w, r, rt.cfg.MaxBody)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	var spec server.SessionSpec
-	if len(raw) > 0 {
-		dec := json.NewDecoder(bytes.NewReader(raw))
+	if raw.Len() > 0 {
+		dec := json.NewDecoder(bytes.NewReader(raw.Bytes()))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
+			putBodyBuf(raw)
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
+	putBodyBuf(raw) // decoded (or empty): the raw bytes are done
 	if spec.ID == "" {
 		spec.ID = fmt.Sprintf("r%s-%06d", rt.idSalt, rt.idSeq.Add(1))
 	}
@@ -413,12 +423,14 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing session id")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	buf, err := readBody(w, r, rt.cfg.MaxBody)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	rt.proxy(w, r, id, body)
+	if rt.proxy(w, r, id, buf.Bytes()) {
+		putBodyBuf(buf)
+	}
 }
 
 // handleList fans a list out to every healthy shard and merges the views.
@@ -531,9 +543,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = encodeJSON(w, v)
 }
 
 func writeErr(w http.ResponseWriter, code int, msg string) {

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestAdmissionModesAreBitIdentical pins the A/B contract behind
+// rebudget-loadgen: admission pricing only decides *when* work is admitted,
+// never *what* it computes. The same seeded session stepped under cost and
+// count admission must produce byte-for-byte identical allocations.
+func TestAdmissionModesAreBitIdentical(t *testing.T) {
+	run := func(admission string) json.RawMessage {
+		_, ts := newTestDaemon(t, Config{Admission: admission, IdleTTL: -1})
+		spec := SessionSpec{
+			ID:        "ab",
+			Workload:  WorkloadSpec{Category: "CPBN", Cores: 8, Seed: 42},
+			Mechanism: "equalbudget",
+		}
+		if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create under %s: %d", admission, resp.StatusCode)
+		}
+		for i := 0; i < 5; i++ {
+			if resp := doJSON(t, "POST", ts.URL+"/v1/sessions/ab/epoch", nil, nil); resp.StatusCode != http.StatusOK {
+				t.Fatalf("epoch under %s: %d", admission, resp.StatusCode)
+			}
+		}
+		var view struct {
+			Allocation json.RawMessage `json:"allocation"`
+			Epochs     int64           `json:"epochs"`
+		}
+		doJSON(t, "GET", ts.URL+"/v1/sessions/ab", nil, &view)
+		if view.Epochs != 5 {
+			t.Fatalf("epochs under %s: %d", admission, view.Epochs)
+		}
+		return view.Allocation
+	}
+	cost := run(AdmissionCost)
+	count := run(AdmissionCount)
+	if !reflect.DeepEqual(cost, count) {
+		t.Fatalf("admission mode changed the allocation:\ncost:  %s\ncount: %s", cost, count)
+	}
+}
+
+// TestAdmissionDefaults pins the config surface: cost is the default mode,
+// with capacity 8× workers and queue depth 4× capacity; count mode maps the
+// dispatcher back onto the request-count contract.
+func TestAdmissionDefaults(t *testing.T) {
+	srv, _ := newTestDaemon(t, Config{Workers: 2, MaxWaiting: 5})
+	if srv.cfg.Admission != AdmissionCost {
+		t.Fatalf("default admission = %q, want %q", srv.cfg.Admission, AdmissionCost)
+	}
+	if srv.disp.capacity != 16 {
+		t.Fatalf("cost capacity = %g, want 8×workers = 16", srv.disp.capacity)
+	}
+	if srv.disp.maxQueuedCost != 64 {
+		t.Fatalf("max queued cost = %g, want 4×capacity = 64", srv.disp.maxQueuedCost)
+	}
+
+	srv, _ = newTestDaemon(t, Config{Workers: 2, MaxWaiting: 5, Admission: AdmissionCount})
+	if srv.disp.capacity != 2 {
+		t.Fatalf("count capacity = %g, want workers = 2", srv.disp.capacity)
+	}
+	if srv.disp.maxQueuedCost != 5 {
+		t.Fatalf("count queued bound = %g, want maxWaiting = 5", srv.disp.maxQueuedCost)
+	}
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cost units normalize allocation work across sessions so admission can be
+// priced: one unit is the analytic prior for a cheap reference epoch — an
+// 8-core session converging in costPriorRounds bidding rounds. Equilibrium
+// wall cost scales with rounds × players per round (each round re-optimises
+// every player's bid) × the per-step cost of evaluating a bid over an
+// N-core allocation — so the measured unit is *step-cores*, bid-steps
+// weighted by core count. A 64-core ReBudget cold solve converging in a
+// handful of rounds still lands at several units (each of its steps is 8×
+// an 8-core step), while a closed-form equal-share touch sits at the floor.
+const (
+	// costPriorRounds is the assumed convergence length for an unmeasured
+	// session (warm-started steady-state epochs re-converge in tens of
+	// rounds; the first measurement corrects either way).
+	costPriorRounds = 64.0
+	// costRefStepCores is one cost unit, in step-cores: the reference
+	// 8-core epoch performs 8 players × costPriorRounds bid-steps, each
+	// over an 8-core allocation.
+	costRefStepCores = 8 * costPriorRounds * 8
+	// costAlpha is the EWMA weight per measured epoch batch — heavy enough
+	// that an app switch re-converges in a handful of epochs, light enough
+	// that one outlier solve doesn't whipsaw admission.
+	costAlpha = 0.35
+	// minEpochCost floors the estimate: even a session doing no
+	// equilibrium work (equal-share) spends a little of the dispatcher.
+	minEpochCost = 0.25
+)
+
+// costEstimator tracks one session's expected allocation cost per epoch, in
+// cost units. It is seeded from an analytic prior on core count N (cost ≈
+// N × expected rounds), then updated from the measured equilibrium work the
+// session's allocator reports through the market observer chain — the same
+// rounds/bid-steps stream metrics.EquilibriumProfile aggregates for
+// /metrics, finally spent at the admission door instead of thrown away.
+//
+// observe is called from inside equilibrium solves (any goroutine); update
+// folds the accumulated work into the EWMA from the owning session's loop.
+type costEstimator struct {
+	// pendingSteps accumulates bid-steps observed since the last update.
+	pendingSteps atomic.Int64
+
+	mu       sync.Mutex
+	cores    int // problem size, weights each bid-step's cost
+	perEpoch float64
+	measured bool // a real measurement has landed (prior no longer rules)
+}
+
+// costPrior is the analytic seed for an N-core session, in cost units:
+// N players × the prior round count, each step over an N-core allocation.
+// Quadratic in N — deliberately conservative for big unmeasured sessions;
+// the first measured epoch corrects it (and the dispatcher clamps oversize
+// requests to its capacity regardless).
+func costPrior(cores int) float64 {
+	if cores <= 0 {
+		cores = 8
+	}
+	prior := float64(cores) * costPriorRounds * float64(cores) / costRefStepCores
+	if prior < 1 {
+		prior = 1
+	}
+	return prior
+}
+
+func newCostEstimator(cores int) *costEstimator {
+	if cores <= 0 {
+		cores = 8
+	}
+	return &costEstimator{cores: cores, perEpoch: costPrior(cores)}
+}
+
+// observe chains behind market.Config.Observer: it banks one equilibrium
+// search's bid-steps for the next update. Matching signature with
+// metrics.EquilibriumProfile.Observe keeps the chain uniform.
+func (c *costEstimator) observe(rounds, bidSteps int, wall time.Duration) {
+	c.pendingSteps.Add(int64(bidSteps))
+}
+
+// update folds the equilibrium work banked since the last call into the
+// per-epoch EWMA. epochs is how many engine epochs that work covered (a
+// batched request updates once for the whole batch).
+func (c *costEstimator) update(epochs int64) {
+	if epochs <= 0 {
+		return
+	}
+	steps := c.pendingSteps.Swap(0)
+	c.mu.Lock()
+	sample := float64(steps) * float64(c.cores) / float64(epochs) / costRefStepCores
+	if sample < minEpochCost {
+		sample = minEpochCost
+	}
+	c.perEpoch += costAlpha * (sample - c.perEpoch)
+	c.measured = true
+	c.mu.Unlock()
+}
+
+// resetPending drops banked work that predates serving (sim warmup,
+// snapshot replay) so the first served epoch's sample isn't inflated by
+// construction-time solves.
+func (c *costEstimator) resetPending() { c.pendingSteps.Store(0) }
+
+// epochCost is the current expected cost of one epoch, in cost units.
+func (c *costEstimator) epochCost() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perEpoch
+}
+
+// recalibrate replaces a spec-guessed prior with the engine's actual core
+// count, but never overrides a landed measurement — the engine knows the
+// problem size, the measurements know the problem.
+func (c *costEstimator) recalibrate(cores int) {
+	c.mu.Lock()
+	if cores > 0 {
+		c.cores = cores
+	}
+	if !c.measured {
+		c.perEpoch = costPrior(cores)
+	}
+	c.mu.Unlock()
+}
+
+// restore installs a persisted estimate (a rehydrated session resumes with
+// the cost knowledge it was evicted with). Non-positive values are ignored
+// (old snapshots carry none).
+func (c *costEstimator) restore(perEpoch float64) {
+	if perEpoch <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.perEpoch = perEpoch
+	c.measured = true
+	c.mu.Unlock()
+}

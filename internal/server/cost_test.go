@@ -1,0 +1,116 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// stepsPerUnit is how many bid-steps an N-core session must report for its
+// banked work to equal one cost unit (steps × cores = costRefStepCores).
+func stepsPerUnit(cores int) int {
+	return int(costRefStepCores) / cores
+}
+
+func TestCostPriorScalesWithCores(t *testing.T) {
+	// The reference workload (8 cores × the prior round count, each step
+	// over 8 cores) defines one cost unit; the prior is quadratic in core
+	// count, so a 64-core session is priced 64× before any measurement
+	// (the dispatcher clamps that to capacity — it admits alone).
+	if got := costPrior(8); got != 1 {
+		t.Fatalf("costPrior(8) = %g, want 1", got)
+	}
+	if got := costPrior(64); got != 64 {
+		t.Fatalf("costPrior(64) = %g, want 64", got)
+	}
+	// Tiny problems floor at one unit — admission is never free.
+	if got := costPrior(1); got != 1 {
+		t.Fatalf("costPrior(1) = %g, want floor 1", got)
+	}
+}
+
+func TestCostEstimatorConvergesAfterAppSwitch(t *testing.T) {
+	// A session's workload can change mid-life (telemetry switches the app
+	// bundle). The EWMA must track the new regime: start at the 8-core
+	// prior (1 unit), then feed epochs that each burn 4 units of step-cores
+	// — the estimate should close most of the gap within ~10 epochs.
+	est := newCostEstimator(8)
+	if got := est.epochCost(); got != 1 {
+		t.Fatalf("seed estimate = %g, want prior 1", got)
+	}
+	perEpoch := 4 * stepsPerUnit(8)
+	for i := 0; i < 10; i++ {
+		est.observe(64, perEpoch, time.Millisecond)
+		est.update(1)
+	}
+	got := est.epochCost()
+	if math.Abs(got-4) > 0.1 {
+		t.Fatalf("after 10 heavy epochs estimate = %g, want ≈4", got)
+	}
+	// Switch back to a light app: the estimate must come down again, and
+	// bottom out at the minimum epoch cost rather than zero.
+	for i := 0; i < 40; i++ {
+		est.observe(1, 0, 0)
+		est.update(1)
+	}
+	got = est.epochCost()
+	if math.Abs(got-minEpochCost) > 0.05 {
+		t.Fatalf("after light epochs estimate = %g, want ≈%g", got, minEpochCost)
+	}
+}
+
+func TestCostEstimatorBatchedEpochsAveragePerEpoch(t *testing.T) {
+	// A 10-epoch batch banking 10 units of work is 1 unit/epoch, not 10.
+	est := newCostEstimator(8)
+	est.observe(640, 10*stepsPerUnit(8), time.Millisecond)
+	est.update(10)
+	if got := est.epochCost(); math.Abs(got-1) > 0.01 {
+		t.Fatalf("batched estimate = %g, want ≈1 per epoch", got)
+	}
+}
+
+func TestCostEstimatorRecalibrateOnlyBeforeMeasurement(t *testing.T) {
+	// Engine construction refines the prior (spec guess → real core count)
+	// — but never clobbers a measured estimate on snapshot rehydrate.
+	est := newCostEstimator(8)
+	est.recalibrate(64)
+	if got := est.epochCost(); got != 64 {
+		t.Fatalf("recalibrated prior = %g, want 64", got)
+	}
+	est.observe(64, stepsPerUnit(64), time.Millisecond)
+	est.update(1)
+	measured := est.epochCost()
+	est.recalibrate(8)
+	if got := est.epochCost(); got != measured {
+		t.Fatalf("recalibrate after measurement moved estimate %g → %g", measured, got)
+	}
+}
+
+func TestCostEstimatorRestore(t *testing.T) {
+	// Snapshot rehydrate carries the learned estimate across restarts;
+	// absent or nonsense values fall back to the prior.
+	est := newCostEstimator(64)
+	est.restore(2.5)
+	if got := est.epochCost(); got != 2.5 {
+		t.Fatalf("restored estimate = %g, want 2.5", got)
+	}
+	est = newCostEstimator(64)
+	est.restore(0) // old snapshot without epoch_cost
+	if got := est.epochCost(); got != 64 {
+		t.Fatalf("restore(0) estimate = %g, want prior 64", got)
+	}
+}
+
+func TestCostEstimatorResetPendingDropsConstructionWork(t *testing.T) {
+	// Engine construction (sim warm-up, snapshot replay) runs equilibria
+	// through the same observer; resetPending keeps that work out of the
+	// first epoch's sample.
+	est := newCostEstimator(8)
+	est.observe(1000, 50*stepsPerUnit(8), time.Second)
+	est.resetPending()
+	est.observe(64, stepsPerUnit(8), time.Millisecond)
+	est.update(1)
+	if got := est.epochCost(); got > 1.01 {
+		t.Fatalf("construction work leaked into estimate: %g", got)
+	}
+}

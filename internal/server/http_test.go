@@ -119,14 +119,16 @@ func TestEpochBackpressureReturns429(t *testing.T) {
 	if resp := doJSON(t, "POST", ts.URL+"/v1/sessions", spec, nil); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create: %d", resp.StatusCode)
 	}
-	// Occupy the only worker slot from the test so epoch requests queue.
-	if !srv.disp.tryAcquire() {
-		t.Fatal("could not claim the worker slot")
+	// Occupy the whole dispatcher budget from the test so epoch requests
+	// queue.
+	blocker, ok := srv.disp.tryAcquire(srv.disp.capacity)
+	if !ok {
+		t.Fatal("could not claim the dispatcher capacity")
 	}
 	release := make(chan struct{})
 	go func() {
 		<-release
-		srv.disp.release()
+		blocker.release()
 	}()
 	defer close(release)
 

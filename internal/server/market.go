@@ -195,6 +195,10 @@ func (e *marketEngine) result() (*SimResultView, error) {
 	return nil, fmt.Errorf("result is only available for sim sessions")
 }
 
+// cores reports the market's player count — the N in the admission-cost
+// prior (equilibrium cost scales with N × rounds).
+func (e *marketEngine) cores() int { return len(e.players) }
+
 // healthState reports the Resilient wrapper's backoff position (always
 // Healthy for unhardened sessions, which fail loudly instead).
 func (e *marketEngine) healthState() metrics.HealthState {

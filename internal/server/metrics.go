@@ -27,10 +27,10 @@ type srvMetrics struct {
 	epochsServed    atomic.Int64
 	tickerDropped   atomic.Int64
 
-	evicted   labelCounters // reason: capacity | idle | deleted | drain
-	rejected  labelCounters // reason: busy | mailbox | draining | timeout | ratelimit
-	requests  labelCounters // route|code
-	snapshots labelCounters // op: save | restore | verified | corrupt | save_error | load_error | restore_error
+	evicted   labelCounters     // reason: capacity | idle | deleted | drain
+	rejected  labelCounters     // reason: busy | mailbox | draining | timeout | ratelimit
+	requests  routeCodeCounters // route × status code
+	snapshots labelCounters     // op: save | restore | verified | corrupt | save_error | load_error | restore_error
 
 	latCount atomic.Int64
 	latSum   atomicFloat
@@ -84,6 +84,55 @@ func (lc *labelCounters) snapshot() ([]string, []int64) {
 	return labels, counts
 }
 
+// routeCodeCounters counts requests by (route, status code) under a struct
+// key: the per-request path must not format a label string (the Sprintf it
+// replaced showed up in the epoch hot-path allocation profile). Labels are
+// rendered at scrape time instead.
+type routeCodeCounters struct {
+	mu sync.Mutex
+	m  map[reqKey]*int64
+}
+
+type reqKey struct {
+	route string
+	code  int
+}
+
+func (rc *routeCodeCounters) inc(route string, code int) {
+	rc.mu.Lock()
+	if rc.m == nil {
+		rc.m = make(map[reqKey]*int64)
+	}
+	k := reqKey{route: route, code: code}
+	c, ok := rc.m[k]
+	if !ok {
+		c = new(int64)
+		rc.m[k] = c
+	}
+	*c++
+	rc.mu.Unlock()
+}
+
+// snapshot renders the labels in the exposition's historical format and
+// order (sorted by formatted label).
+func (rc *routeCodeCounters) snapshot() ([]string, []int64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	labels := make([]string, 0, len(rc.m))
+	byLabel := make(map[string]int64, len(rc.m))
+	for k, c := range rc.m {
+		l := fmt.Sprintf("route=%q,code=\"%d\"", k.route, k.code)
+		labels = append(labels, l)
+		byLabel[l] = *c
+	}
+	sort.Strings(labels)
+	counts := make([]int64, len(labels))
+	for i, l := range labels {
+		counts[i] = byLabel[l]
+	}
+	return labels, counts
+}
+
 // atomicFloat accumulates float64 via CAS on the bit pattern.
 type atomicFloat struct{ bits atomic.Uint64 }
 
@@ -101,7 +150,7 @@ func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()
 
 // observeRequest records one served HTTP request.
 func (m *srvMetrics) observeRequest(route string, code int, dur time.Duration) {
-	m.requests.inc(fmt.Sprintf("route=%q,code=\"%d\"", route, code))
+	m.requests.inc(route, code)
 	sec := dur.Seconds()
 	m.latCount.Add(1)
 	m.latSum.add(sec)
@@ -146,8 +195,15 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	counter("rebudgetd_ticker_epochs_dropped_total", "Ticker epochs dropped under dispatcher backpressure.", float64(m.tickerDropped.Load()))
 	labelled("rebudgetd_rejected_total", "Requests rejected, by reason.", "counter", &m.rejected)
 	labelled("rebudgetd_snapshots_total", "Session snapshot operations, by outcome.", "counter", &m.snapshots)
-	gauge("rebudgetd_dispatch_in_flight", "Allocation worker slots currently claimed.", float64(disp.inFlight()))
-	gauge("rebudgetd_dispatch_queued", "Requests waiting for an allocation worker slot.", float64(disp.queued()))
+	// Dispatcher admission state, in cost units — the canonical series
+	// since cost-based admission landed.
+	gauge("rebudgetd_dispatch_in_flight_cost", "Cost units currently claimed by admitted requests.", disp.inFlightCost())
+	gauge("rebudgetd_dispatch_queued_cost", "Cost units waiting for dispatcher capacity.", disp.queuedCostUnits())
+	gauge("rebudgetd_dispatch_capacity_cost", "Dispatcher concurrent budget, in cost units.", disp.capacity)
+	// Request-count aliases of the same state, kept one release for
+	// dashboard continuity (see DESIGN.md, "Metrics migration").
+	gauge("rebudgetd_dispatch_in_flight", "DEPRECATED: requests holding dispatcher capacity; use rebudgetd_dispatch_in_flight_cost.", float64(disp.inFlight()))
+	gauge("rebudgetd_dispatch_queued", "DEPRECATED: requests waiting for dispatcher capacity; use rebudgetd_dispatch_queued_cost.", float64(disp.queued()))
 
 	// Equilibrium convergence cost (from metrics.EquilibriumProfile).
 	eq := m.eq.Snapshot()
@@ -157,7 +213,11 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	counter("rebudgetd_equilibrium_wall_seconds_total", "Wall time spent inside equilibrium computations.", eq.Wall.Seconds())
 
 	// Request accounting.
-	labelled("rebudgetd_requests_total", "HTTP requests served, by route and status code.", "counter", &m.requests)
+	fmt.Fprintf(w, "# HELP rebudgetd_requests_total HTTP requests served, by route and status code.\n# TYPE rebudgetd_requests_total counter\n")
+	reqLabels, reqCounts := m.requests.snapshot()
+	for i, l := range reqLabels {
+		fmt.Fprintf(w, "rebudgetd_requests_total{%s} %d\n", l, reqCounts[i])
+	}
 	fmt.Fprintf(w, "# HELP rebudgetd_request_seconds HTTP request latency.\n# TYPE rebudgetd_request_seconds histogram\n")
 	for i, ub := range latencyBuckets {
 		fmt.Fprintf(w, "rebudgetd_request_seconds_bucket{le=%q} %d\n", fmtFloat(ub), m.latBkt[i].Load())
@@ -183,6 +243,10 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	for _, s := range sessions {
 		fmt.Fprintf(w, "rebudgetd_session_health{id=%q,state=%q} 1\n", s.id, s.Health().String())
 	}
+	fmt.Fprintf(w, "# HELP rebudgetd_session_epoch_cost EWMA admission-cost estimate (cost units per epoch), per live session.\n# TYPE rebudgetd_session_epoch_cost gauge\n")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rebudgetd_session_epoch_cost{id=%q} %s\n", s.id, fmtFloat(s.costEstimate()))
+	}
 	// Rate-limit bucket fill, per live session (only when buckets are armed).
 	now := time.Now()
 	wroteHeader := false
@@ -202,25 +266,50 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 // routeLabel normalises a request path into a bounded label set so metric
 // cardinality cannot grow with session IDs. The outer request's mux pattern
 // is invisible to middleware (ServeMux matches on a copy), hence by hand.
+// Known routes return constant strings — this runs per request, and the
+// strings.Split version it replaced was a visible slice allocation in the
+// epoch hot-path profile.
 func routeLabel(path string) string {
-	parts := strings.Split(strings.Trim(path, "/"), "/")
-	switch {
-	case len(parts) >= 1 && parts[0] == "healthz":
+	p := strings.Trim(path, "/")
+	seg, rest := cutSeg(p)
+	switch seg {
+	case "healthz":
 		return "/healthz"
-	case len(parts) >= 1 && parts[0] == "metrics":
+	case "metrics":
 		return "/metrics"
-	case len(parts) >= 2 && parts[0] == "v1" && parts[1] == "sessions":
-		switch len(parts) {
-		case 2:
-			return "/v1/sessions"
-		case 3:
-			return "/v1/sessions/{id}"
-		default:
-			return "/v1/sessions/{id}/" + parts[3]
+	case "v1":
+		seg, rest = cutSeg(rest)
+		if seg != "sessions" {
+			return "other"
 		}
+		if rest == "" {
+			return "/v1/sessions"
+		}
+		_, rest = cutSeg(rest) // the session id
+		if rest == "" {
+			return "/v1/sessions/{id}"
+		}
+		action, _ := cutSeg(rest)
+		switch action {
+		case "epoch":
+			return "/v1/sessions/{id}/epoch"
+		case "telemetry":
+			return "/v1/sessions/{id}/telemetry"
+		case "result":
+			return "/v1/sessions/{id}/result"
+		}
+		return "/v1/sessions/{id}/" + action
 	default:
 		return "other"
 	}
+}
+
+// cutSeg splits the first path segment off a pre-trimmed path.
+func cutSeg(p string) (seg, rest string) {
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return p, ""
 }
 
 func fmtFloat(v float64) string {

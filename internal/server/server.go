@@ -29,6 +29,23 @@ type Config struct {
 	// MaxWaiting bounds requests queued for a worker slot; beyond it the
 	// daemon answers 429 + Retry-After (default 4×Workers, min 64).
 	MaxWaiting int
+	// Admission selects how the dispatcher prices requests: AdmissionCost
+	// (the default) spends weighted cost units from each session's EWMA
+	// estimate, AdmissionCount spends one unit per request regardless of
+	// measured cost — the pre-cost contract, kept runnable for A/B
+	// comparison (rebudget-loadgen drives both).
+	Admission string
+	// CostCapacity is the dispatcher's concurrent budget in cost units
+	// under AdmissionCost (default 8×Workers: one unit is a cheap 8-core
+	// epoch, so each worker slot carries ~8 cheap epochs' worth of
+	// admitted work). Ignored under AdmissionCount, where capacity is
+	// exactly Workers.
+	CostCapacity float64
+	// MaxQueuedCost bounds the wait queue by cost depth under
+	// AdmissionCost (default 4×CostCapacity): a queue holding a few
+	// expensive solves rejects as readily as one holding many cheap
+	// touches, because it represents the same wait.
+	MaxQueuedCost float64
 	// RequestTimeout is the per-request deadline for allocation work
 	// (default 10s).
 	RequestTimeout time.Duration
@@ -54,6 +71,15 @@ type Config struct {
 	Logger *slog.Logger
 }
 
+// Admission modes.
+const (
+	// AdmissionCost prices requests by their EWMA cost estimate (default).
+	AdmissionCost = "cost"
+	// AdmissionCount prices every request at one unit (legacy behaviour,
+	// the A/B control).
+	AdmissionCount = "count"
+)
+
 func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 128
@@ -69,6 +95,15 @@ func (c Config) withDefaults() Config {
 		if c.MaxWaiting < 64 {
 			c.MaxWaiting = 64
 		}
+	}
+	if c.Admission != AdmissionCount {
+		c.Admission = AdmissionCost
+	}
+	if c.CostCapacity <= 0 {
+		c.CostCapacity = 8 * float64(c.Workers)
+	}
+	if c.MaxQueuedCost <= 0 {
+		c.MaxQueuedCost = 4 * c.CostCapacity
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
@@ -110,11 +145,18 @@ type Server struct {
 // New builds a server and starts its idle-TTL janitor.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// Under count admission every request costs exactly one unit, so
+	// capacity Workers and a cost bound equal to the count bound reproduce
+	// the pre-cost dispatcher contract bit for bit (modulo FIFO wakes).
+	capacity, maxQueued := cfg.CostCapacity, cfg.MaxQueuedCost
+	if cfg.Admission == AdmissionCount {
+		capacity, maxQueued = float64(cfg.Workers), float64(cfg.MaxWaiting)
+	}
 	s := &Server{
 		cfg:         cfg,
 		log:         cfg.Logger,
 		store:       newStore(cfg.MaxSessions, cfg.IdleTTL),
-		disp:        newDispatcher(cfg.Workers, cfg.MaxWaiting),
+		disp:        newDispatcher(capacity, cfg.MaxWaiting, maxQueued),
 		met:         &srvMetrics{},
 		mux:         http.NewServeMux(),
 		started:     time.Now(),
@@ -195,43 +237,52 @@ func (s *Server) Sessions() int { return s.store.len() }
 // buildEngine constructs a session engine from its spec; a non-nil snap
 // additionally restores durable state (warm bids and telemetry for market
 // engines, deterministic replay for sim engines). The caller must hold a
-// dispatcher slot — construction and replay are allocation-grade work.
-func (s *Server) buildEngine(spec SessionSpec, snap *SessionSnapshot) (engine, error) {
+// dispatcher lease — construction and replay are allocation-grade work.
+// A non-nil est is chained behind the server-wide equilibrium observer so
+// every solve the engine runs also feeds the session's cost estimate, then
+// recalibrated to the engine's actual core count (construction-time solves
+// — sim warmup, replay — are drained so they don't inflate the first
+// served epoch's sample).
+func (s *Server) buildEngine(spec SessionSpec, snap *SessionSnapshot, est *costEstimator) (engine, error) {
 	bundle, err := buildBundle(spec.Workload)
 	if err != nil {
 		return nil, err
 	}
+	observer := s.met.eq.Observe
+	if est != nil {
+		observer = func(rounds, bidSteps int, wall time.Duration) {
+			s.met.eq.Observe(rounds, bidSteps, wall)
+			est.observe(rounds, bidSteps, wall)
+		}
+	}
+	var eng engine
 	switch spec.mode() {
 	case ModeSim:
-		eng, err := newSimEngine(spec, bundle, s.met.eq.Observe)
-		if err != nil {
-			return nil, err
-		}
-		if snap != nil {
-			if err := eng.restore(snap); err != nil {
-				return nil, err
-			}
-		}
-		return eng, nil
+		eng, err = newSimEngine(spec, bundle, observer)
 	default:
-		eng, err := newMarketEngine(spec, bundle, s.met.eq.Observe)
-		if err != nil {
+		eng, err = newMarketEngine(spec, bundle, observer)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		if err := eng.restore(snap); err != nil {
 			return nil, err
 		}
-		if snap != nil {
-			if err := eng.restore(snap); err != nil {
-				return nil, err
-			}
-		}
-		return eng, nil
 	}
+	if est != nil {
+		est.recalibrate(eng.cores())
+		est.resetPending()
+	}
+	return eng, nil
 }
 
 // newSession assembles a session around an engine with the server's
-// dispatcher, metrics and rate-limit configuration. epochs seeds the
-// served-epoch counter (nonzero only on rehydrate).
-func (s *Server) newSession(id string, spec SessionSpec, eng engine, epochs int64) *session {
-	return newSession(id, spec, eng, s.disp, s.met, s.cfg.MailboxDepth,
+// dispatcher, metrics, admission and rate-limit configuration. epochs seeds
+// the served-epoch counter (nonzero only on rehydrate).
+func (s *Server) newSession(id string, spec SessionSpec, eng engine, est *costEstimator, epochs int64) *session {
+	return newSession(id, spec, eng, est, s.cfg.Admission == AdmissionCost,
+		s.disp, s.met, s.cfg.MailboxDepth,
 		s.cfg.SessionRPS, s.cfg.SessionBurst, epochs, time.Now())
 }
 
@@ -289,11 +340,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	jw, err := encodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jw.buf.Len()))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(jw.buf.Bytes())
+	putJSONWriter(jw)
 }
 
 type errorBody struct {
@@ -321,6 +377,11 @@ func writeRetryErr(w http.ResponseWriter, retryAfter time.Duration, msg string) 
 // decodeBody decodes a bounded JSON body into v; an empty body leaves v as
 // the zero value.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	// Fast path: bodyless requests (epoch ticks at saturation) skip the
+	// decoder allocation entirely.
+	if r.Body == nil || r.Body == http.NoBody || r.ContentLength == 0 {
+		return nil
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	err := dec.Decode(v)
@@ -330,12 +391,23 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return err
 }
 
+// admissionCost translates raw cost units into what admission charges:
+// unchanged under cost admission, a flat 1 under count admission.
+func (s *Server) admissionCost(units float64) float64 {
+	if s.cfg.Admission == AdmissionCount {
+		return 1
+	}
+	return units
+}
+
 // replyError maps session/dispatcher errors onto HTTP statuses.
 func (s *Server) replyError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errBusy):
+		// Retry-After is computed from the dispatcher's cost depth — the
+		// work queued ahead, not the number of requests holding it.
 		s.met.rejected.inc(`reason="busy"`)
-		writeErr(w, http.StatusTooManyRequests, err.Error())
+		writeRetryErr(w, s.disp.retryAfter(), err.Error())
 	case errors.Is(err, errMailboxFull):
 		s.met.rejected.inc(`reason="mailbox"`)
 		writeErr(w, http.StatusTooManyRequests, err.Error())
@@ -380,15 +452,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Engine construction is allocation-grade work (sim warmup runs whole
-	// epochs), so it competes for a dispatcher slot like any epoch.
+	// epochs), so it competes for dispatcher capacity like any epoch,
+	// priced by the spec's analytic prior (no measurements exist yet).
+	est := newCostEstimator(spec.guessCores())
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	if err := s.disp.acquire(ctx); err != nil {
+	lease, err := s.disp.acquire(ctx, s.admissionCost(est.epochCost()))
+	if err != nil {
 		s.replyError(w, err)
 		return
 	}
-	eng, err := s.buildEngine(spec, nil)
-	s.disp.release()
+	eng, err := s.buildEngine(spec, nil, est)
+	lease.release()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
@@ -397,7 +472,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if id == "" {
 		id = fmt.Sprintf("s-%06d", s.idSeq.Add(1))
 	}
-	sess := s.newSession(id, spec, eng, 0)
+	sess := s.newSession(id, spec, eng, est, 0)
 	evicted, err := s.store.add(sess)
 	if err != nil {
 		sess.close()
@@ -476,21 +551,26 @@ func (s *Server) rehydrate(w http.ResponseWriter, r *http.Request, id string) *s
 		writeErr(w, http.StatusServiceUnavailable, "draining")
 		return nil
 	}
+	// The estimate travels with the snapshot: a rehydrated session is
+	// priced by its measured history, not the cold prior.
+	est := newCostEstimator(snap.Spec.guessCores())
+	est.restore(snap.EpochCost)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	if err := s.disp.acquire(ctx); err != nil {
+	lease, err := s.disp.acquire(ctx, s.admissionCost(est.epochCost()))
+	if err != nil {
 		s.replyError(w, err)
 		return nil
 	}
-	eng, err := s.buildEngine(snap.Spec, snap)
-	s.disp.release()
+	eng, err := s.buildEngine(snap.Spec, snap, est)
+	lease.release()
 	if err != nil {
 		s.met.snapshots.inc(`op="restore_error"`)
 		s.log.Warn("snapshot restore failed, cold start", "id", id, "err", err)
 		notFound()
 		return nil
 	}
-	sess := s.newSession(id, snap.Spec, eng, snap.Epochs)
+	sess := s.newSession(id, snap.Spec, eng, est, snap.Epochs)
 	evicted, addErr := s.store.add(sess)
 	if addErr != nil {
 		// A concurrent touch rehydrated the same id first; serve from the
@@ -581,14 +661,17 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		writeRetryErr(w, retryAfter, fmt.Sprintf("session %q rate limited", sess.id))
 		return
 	}
+	// A batched request spends n epochs' worth of cost units under one
+	// lease — batching cannot sidestep weighted admission either.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	if err := s.disp.acquire(ctx); err != nil {
+	lease, err := s.disp.acquire(ctx, sess.epochCost(n))
+	if err != nil {
 		s.replyError(w, err)
 		return
 	}
 	resp := sess.enqueue(ctx, &request{kind: reqEpoch, epochs: n})
-	s.disp.release()
+	lease.release()
 	if resp.err != nil {
 		s.replyError(w, resp.err)
 		return

@@ -19,10 +19,16 @@ type engine interface {
 	view() SessionView
 	result() (*SimResultView, error)
 	healthState() metrics.HealthState
+	// cores reports the engine's actual problem size, recalibrating the
+	// admission-cost prior once the bundle is built.
+	cores() int
 	// snapshot fills the engine's durable state into snap. Only called
 	// once the session loop has exited, so the single-owner invariant
 	// still holds.
 	snapshot(snap *SessionSnapshot)
+	// restore installs a snapshot's durable state on a freshly built
+	// engine (before the session loop starts).
+	restore(snap *SessionSnapshot) error
 }
 
 // request kinds flowing through a session's mailbox.
@@ -69,6 +75,12 @@ type session struct {
 	disp *dispatcher
 	met  *srvMetrics
 
+	// cost is the session's EWMA admission-cost estimate; weighted is
+	// false under request-count admission (the A/B control), where every
+	// request spends exactly one unit regardless of measured cost.
+	cost     *costEstimator
+	weighted bool
+
 	reqs     chan *request
 	stop     chan struct{}
 	done     chan struct{}
@@ -93,8 +105,12 @@ type session struct {
 // newSession wraps an engine and starts its loop. tick > 0 additionally
 // drives epochs from a server-side ticker at that period. rps > 0 arms the
 // per-session token bucket (burst tokens available immediately).
-func newSession(id string, spec SessionSpec, eng engine, disp *dispatcher,
-	met *srvMetrics, mailbox int, rps, burst float64, epochs int64, now time.Time) *session {
+func newSession(id string, spec SessionSpec, eng engine, est *costEstimator,
+	weighted bool, disp *dispatcher, met *srvMetrics, mailbox int,
+	rps, burst float64, epochs int64, now time.Time) *session {
+	if est == nil {
+		est = newCostEstimator(eng.cores())
+	}
 	s := &session{
 		id:        id,
 		mode:      spec.mode(),
@@ -105,6 +121,8 @@ func newSession(id string, spec SessionSpec, eng engine, disp *dispatcher,
 		eng:       eng,
 		disp:      disp,
 		met:       met,
+		cost:      est,
+		weighted:  weighted,
 		reqs:      make(chan *request, mailbox),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -146,6 +164,19 @@ func (s *session) spend(n int, now time.Time) (ok bool, retryAfter time.Duration
 	return false, time.Duration((need - s.tokens) / s.tokensPerSec * float64(time.Second))
 }
 
+// epochCost prices an n-epoch request for admission: n × the session's
+// EWMA per-epoch estimate under cost admission, a flat 1 under
+// request-count admission (the pre-cost contract, kept runnable for A/B).
+func (s *session) epochCost(n int) float64 {
+	if !s.weighted {
+		return 1
+	}
+	return float64(n) * s.cost.epochCost()
+}
+
+// costEstimate reports the per-epoch cost estimate for /metrics.
+func (s *session) costEstimate() float64 { return s.cost.epochCost() }
+
 // tokenLevel reports the bucket's current fill for /metrics (-1 when the
 // bucket is unarmed).
 func (s *session) tokenLevel(now time.Time) float64 {
@@ -167,12 +198,13 @@ func (s *session) tokenLevel(now time.Time) float64 {
 func (s *session) snapshot(now time.Time) *SessionSnapshot {
 	s.mu.Lock()
 	snap := &SessionSnapshot{
-		Version: SnapshotVersion,
-		ID:      s.id,
-		Spec:    s.spec,
-		Epochs:  s.epochs,
-		Health:  s.health.String(),
-		SavedAt: now,
+		Version:   SnapshotVersion,
+		ID:        s.id,
+		Spec:      s.spec,
+		Epochs:    s.epochs,
+		Health:    s.health.String(),
+		SavedAt:   now,
+		EpochCost: s.cost.epochCost(),
 	}
 	s.mu.Unlock()
 	s.eng.snapshot(snap)
@@ -212,11 +244,12 @@ func (s *session) loop(tick time.Duration) {
 // now; a busy dispatcher drops the tick (and counts it) rather than queueing
 // unbounded background work behind interactive requests.
 func (s *session) tickEpoch() {
-	if !s.disp.tryAcquire() {
+	l, ok := s.disp.tryAcquire(s.epochCost(1))
+	if !ok {
 		s.met.tickerDropped.Add(1)
 		return
 	}
-	defer s.disp.release()
+	defer l.release()
 	s.runEpochs(1)
 }
 
@@ -250,6 +283,7 @@ func (s *session) runEpochs(n int) error {
 	s.epochs += ran
 	s.mu.Unlock()
 	s.met.epochsServed.Add(ran)
+	s.cost.update(ran)
 	s.refresh(errString(err))
 	return err
 }

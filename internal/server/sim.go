@@ -197,3 +197,6 @@ func (e *simEngine) result() (*SimResultView, error) {
 func (e *simEngine) healthState() metrics.HealthState {
 	return e.chip.Health().State
 }
+
+// cores reports the chip's core count — the N in the admission-cost prior.
+func (e *simEngine) cores() int { return len(e.names) }

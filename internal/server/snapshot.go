@@ -41,6 +41,13 @@ type SessionSnapshot struct {
 	Health  string      `json:"health"`
 	SavedAt time.Time   `json:"saved_at"`
 
+	// EpochCost is the session's admission-cost estimate (cost units per
+	// epoch) at save time, so a rehydrated session is priced from its
+	// measured history instead of the analytic prior. Absent (0) in
+	// snapshots written before cost-based admission; the prior then seeds
+	// it as for a fresh session.
+	EpochCost float64 `json:"epoch_cost,omitempty"`
+
 	// Checksum is a CRC32 (IEEE) over the snapshot's canonical JSON with
 	// this field empty, formatted "crc32:%08x". Version 2 snapshots carry
 	// it; loads verify it when present, so a bit-flipped or hand-edited

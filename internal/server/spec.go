@@ -149,6 +149,22 @@ const (
 	ModeSim    = "sim"
 )
 
+// guessCores estimates the session's core count from the spec alone —
+// enough to seed the admission-cost prior before the bundle exists (the
+// engine's actual count recalibrates it after construction).
+func (s SessionSpec) guessCores() int {
+	switch {
+	case len(s.Workload.Apps) > 0:
+		return len(s.Workload.Apps)
+	case s.Workload.Cores > 0:
+		return s.Workload.Cores
+	default:
+		// Figure 3 is the 8-core CPBB bundle; a bare category also
+		// defaults to 8 cores in buildBundle.
+		return 8
+	}
+}
+
 func (s SessionSpec) mode() string {
 	if s.Mode == "" {
 		return ModeMarket

@@ -9,7 +9,7 @@ set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 OUT="BENCH_$(date +%Y%m%d).json"
-KEY='^(BenchmarkMarketEquilibrium8|BenchmarkMarketEquilibrium64|BenchmarkMarketEquilibrium64Serial|BenchmarkReBudget64|BenchmarkFig5Simulation|BenchmarkCacheAccess|BenchmarkChipEpoch8|BenchmarkChipEpoch64|BenchmarkSweepSerial|BenchmarkSweepParallel)$'
+KEY='^(BenchmarkMarketEquilibrium8|BenchmarkMarketEquilibrium64|BenchmarkMarketEquilibrium64Serial|BenchmarkReBudget64|BenchmarkFig5Simulation|BenchmarkCacheAccess|BenchmarkChipEpoch8|BenchmarkChipEpoch64|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkServeEpoch)$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -37,7 +37,22 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date }
     if (rounds != "") printf ", \"rounds_per_op\": %s", rounds
     printf "}"
 }
-END { print "\n  ]\n}" }
+END { print "\n  ]" }
 ' "$RAW" > "$OUT"
+
+# Fold the newest loadgen A/B reports (written by scripts/load_ab.sh) into
+# the snapshot, so serving-tier latency trajectories ride alongside the
+# kernel numbers. Skipped when no A/B has been recorded.
+if [ -f .bench/loadgen_cost.json ] && [ -f .bench/loadgen_count.json ]; then
+    {
+        printf ',\n  "loadgen": {\n    "cost": '
+        sed 's/^/    /;1s/^ *//' .bench/loadgen_cost.json | sed '${/^ *$/d}'
+        printf ',\n    "count": '
+        sed 's/^/    /;1s/^ *//' .bench/loadgen_count.json | sed '${/^ *$/d}'
+        printf '  }\n'
+    } >> "$OUT"
+    echo "folded loadgen A/B reports into $OUT"
+fi
+printf '}\n' >> "$OUT"
 
 echo "wrote $OUT"

@@ -1,0 +1,114 @@
+#!/bin/sh
+# load_ab.sh — the cost-vs-count admission A/B behind this repo's headline
+# serving-tier claim: under a 90/10 cheap/expensive session mix at
+# saturation, pricing admission in cost units must cut the cheap class's
+# p99 epoch latency by >=25% versus the legacy request-count admission.
+#
+# Runs rebudget-loadgen twice against a fresh rebudgetd each time — once
+# with -admission cost, once with -admission count — using identical mix,
+# seed and duration, then reports both cheap p99s and the improvement.
+# Reports land in .bench/loadgen_cost.json and .bench/loadgen_count.json,
+# where scripts/bench_record.sh folds them into the dated BENCH_*.json.
+#
+# Usage: scripts/load_ab.sh [duration]   (default 30s)
+# AB_STRICT=1 fails the run when the improvement is below 25%.
+set -u
+
+cd "$(dirname "$0")/.."
+DURATION="${1:-30s}"
+STRICT="${AB_STRICT:-0}"
+TMP=$(mktemp -d)
+DPID=""
+mkdir -p .bench
+
+cleanup() {
+    if [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null; then
+        kill -9 "$DPID" 2>/dev/null
+        wait "$DPID" 2>/dev/null
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-ab: building rebudgetd and rebudget-loadgen"
+go build -o "$TMP/rebudgetd" ./cmd/rebudgetd || exit 1
+go build -o "$TMP/rebudget-loadgen" ./cmd/rebudget-loadgen || exit 1
+
+wait_addr() {
+    _log=$1
+    _pid=$2
+    _i=0
+    while [ $_i -lt 50 ]; do
+        _addr=$(sed -n 's/.*listening.*addr=//p' "$_log" | sed 's/ .*//' | head -1)
+        if [ -n "$_addr" ]; then
+            echo "$_addr"
+            return 0
+        fi
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "load-ab: daemon died before listening:" >&2
+            cat "$_log" >&2
+            return 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "load-ab: daemon never reported its address" >&2
+    return 1
+}
+
+# run_mode MODE EXTRA_FLAGS: boot a daemon in MODE, drive it, tear it down.
+run_mode() {
+    _mode=$1
+    shift
+    : > "$TMP/d.log"
+    # Cost knobs are sized for a small CI box: capacity 16 units keeps the
+    # cheap class (0.25u leases) off the admission limit on its own, while
+    # the queued-cost bound of 8 units means a second concurrent expensive
+    # solve (~6u) is 429-clipped immediately instead of parking at the FIFO
+    # head where it would block every cheap request behind it. Both flags
+    # are inert under -admission count (capacity = workers there).
+    # shellcheck disable=SC2086
+    "$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 0 -admission "$_mode" \
+        -cost-capacity 16 -max-queued-cost 8 "$@" \
+        2> "$TMP/d.log" &
+    DPID=$!
+    _addr=$(wait_addr "$TMP/d.log" "$DPID") || return 1
+    echo "load-ab: $_mode daemon up at $_addr; driving for $DURATION"
+    "$TMP/rebudget-loadgen" -target "http://$_addr" -label "ab-$_mode" \
+        -sessions 40 -cheap-frac 0.9 -expensive-mech rebudget-0.1 \
+        -concurrency 48 -duration "$DURATION" \
+        -seed 7 -out ".bench/loadgen_$_mode.json" 2> "$TMP/lg-$_mode.log" \
+        || { cat "$TMP/lg-$_mode.log"; return 1; }
+    kill -TERM "$DPID" 2>/dev/null
+    wait "$DPID" 2>/dev/null
+    DPID=""
+    return 0
+}
+
+# cheap_p99 FILE: the cheap class's p99_ms from a loadgen report.
+cheap_p99() {
+    awk '/"cheap"/ { f = 1 } f && /"p99_ms"/ {
+        v = $2; gsub(/[^0-9.]/, "", v); print v; exit }' "$1"
+}
+
+run_mode cost || exit 1
+run_mode count || exit 1
+
+COST=$(cheap_p99 .bench/loadgen_cost.json)
+COUNT=$(cheap_p99 .bench/loadgen_count.json)
+if [ -z "$COST" ] || [ -z "$COUNT" ]; then
+    echo "load-ab: could not parse cheap p99 from the reports"
+    exit 1
+fi
+awk -v cost="$COST" -v count="$COUNT" 'BEGIN {
+    imp = (1 - cost / count) * 100
+    printf "load-ab: cheap p99 — count admission %.1f ms, cost admission %.1f ms (%.1f%% improvement)\n",
+        count, cost, imp
+}'
+ok=$(awk -v cost="$COST" -v count="$COUNT" 'BEGIN { print (cost <= count * 0.75) ? 1 : 0 }')
+if [ "$ok" != "1" ]; then
+    echo "load-ab: WARNING: cost admission did not deliver a >=25% cheap-p99 win"
+    [ "$STRICT" = "1" ] && exit 1
+fi
+echo "load-ab: reports in .bench/loadgen_cost.json and .bench/loadgen_count.json"
+exit 0

@@ -1,0 +1,118 @@
+#!/bin/sh
+# load_smoke.sh — scaled-down load-harness smoke test, run by
+# `make load-smoke` (and `make ci`).
+#
+# Boots two rebudgetd shards behind a rebudget-router and drives them with
+# rebudget-loadgen for LOAD_DURATION (default 15s; with build and session
+# setup the whole smoke lands around 30s): a closed-loop 80/20
+# cheap/expensive mix at enough concurrency to queue. Asserts the run
+# completed with nonzero successful throughput, a bounded 429 rate, and
+# that the shards expose the weighted admission gauges
+# (rebudgetd_dispatch_*_cost) in /metrics. Any failure exits non-zero.
+set -u
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+PID1=""
+PID2=""
+RPID=""
+DURATION="${LOAD_DURATION:-15s}"
+
+cleanup() {
+    for p in "$RPID" "$PID1" "$PID2"; do
+        if [ -n "$p" ] && kill -0 "$p" 2>/dev/null; then
+            kill -9 "$p" 2>/dev/null
+            wait "$p" 2>/dev/null
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building rebudgetd, rebudget-router, rebudget-loadgen and rebudget-smoke"
+go build -o "$TMP/rebudgetd" ./cmd/rebudgetd || exit 1
+go build -o "$TMP/rebudget-router" ./cmd/rebudget-router || exit 1
+go build -o "$TMP/rebudget-loadgen" ./cmd/rebudget-loadgen || exit 1
+go build -o "$TMP/rebudget-smoke" ./cmd/rebudget-smoke || exit 1
+
+# wait_addr LOGFILE PID NAME: echo the addr= the process logged on startup.
+wait_addr() {
+    _log=$1
+    _pid=$2
+    _name=$3
+    _i=0
+    while [ $_i -lt 50 ]; do
+        _addr=$(sed -n 's/.*listening.*addr=//p' "$_log" | sed 's/ .*//' | head -1)
+        if [ -n "$_addr" ]; then
+            echo "$_addr"
+            return 0
+        fi
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "load-smoke: $_name died before listening:" >&2
+            cat "$_log" >&2
+            return 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "load-smoke: $_name never reported its address:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+"$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 0 2> "$TMP/shard1.log" &
+PID1=$!
+"$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 0 2> "$TMP/shard2.log" &
+PID2=$!
+ADDR1=$(wait_addr "$TMP/shard1.log" "$PID1" "shard 1") || exit 1
+ADDR2=$(wait_addr "$TMP/shard2.log" "$PID2" "shard 2") || exit 1
+"$TMP/rebudget-router" -addr 127.0.0.1:0 -probe-interval 200ms \
+    -backends "http://$ADDR1,http://$ADDR2" 2> "$TMP/router.log" &
+RPID=$!
+RADDR=$(wait_addr "$TMP/router.log" "$RPID" "router") || exit 1
+echo "load-smoke: tier up (shards $ADDR1, $ADDR2; router $RADDR)"
+
+echo "load-smoke: driving the tier for $DURATION"
+if ! "$TMP/rebudget-loadgen" -target "http://$RADDR" -label load-smoke \
+    -sessions 20 -cheap-frac 0.8 -concurrency 12 -duration "$DURATION" \
+    -out "$TMP/report.json" 2> "$TMP/loadgen.log"; then
+    echo "load-smoke: loadgen failed:"
+    cat "$TMP/loadgen.log"
+    exit 1
+fi
+cat "$TMP/report.json"
+
+# Top-level fields come before the per-class section, so the first match of
+# each key is the run-wide value.
+ok=$(grep -m1 '"ok"' "$TMP/report.json" | sed 's/.*: *//; s/[^0-9]//g')
+rate429=$(grep -m1 '"rate_429"' "$TMP/report.json" | sed 's/.*: *//; s/[^0-9.]//g')
+errors=$(grep -m1 '"errors"' "$TMP/report.json" | sed 's/.*: *//; s/[^0-9]//g')
+
+if [ -z "$ok" ] || [ "$ok" -eq 0 ]; then
+    echo "load-smoke: no successful epoch requests; shard 1 log:"
+    tail -20 "$TMP/shard1.log"
+    exit 1
+fi
+if [ -n "$errors" ] && [ "$errors" -gt 0 ]; then
+    echo "load-smoke: $errors transport/server errors during the run"
+    exit 1
+fi
+# 429s are expected at saturation; an unbounded rate means admission is
+# rejecting nearly everything.
+bounded=$(awk -v r="${rate429:-0}" 'BEGIN { print (r < 0.75) ? 1 : 0 }')
+if [ "$bounded" != "1" ]; then
+    echo "load-smoke: 429 rate $rate429 is not bounded (<0.75)"
+    exit 1
+fi
+echo "load-smoke: $ok epochs served, 429 rate ${rate429:-0}"
+
+# The shards must expose the weighted admission gauges.
+for ADDR in "$ADDR1" "$ADDR2"; do
+    if ! "$TMP/rebudget-smoke" -base "http://$ADDR" -metrics-only -checks \
+        'rebudgetd_dispatch_capacity_cost>=1,rebudgetd_dispatch_in_flight_cost>=0,rebudgetd_dispatch_queued_cost>=0'; then
+        echo "load-smoke: shard $ADDR missing weighted dispatch gauges"
+        exit 1
+    fi
+done
+echo "load-smoke: weighted admission gauges present on both shards; PASS"
+exit 0
