@@ -12,15 +12,19 @@
 # against a live two-shard tier, asserting zero lost sessions and
 # bit-identity to an undisturbed baseline), load-smoke drives a two-shard
 # tier with rebudget-loadgen and asserts throughput, a bounded 429 rate and
-# the weighted admission gauges, and bench-smoke warns (but does not fail,
-# unless BENCH_STRICT=1) on a >10% regression of the market equilibrium
-# kernel against the newest BENCH_*.json snapshot.
+# the weighted admission gauges, tenant-smoke arms the tenant budget economy
+# on one shard and drives a lend-then-reclaim cycle through live traffic
+# (idle tenant's slice lent out, then reclaimed back to the deserved split
+# when its demand returns, observed through the per-tenant gauges), and
+# bench-smoke warns (but does not fail, unless BENCH_STRICT=1) on a >10%
+# regression of the market equilibrium kernel against the newest
+# BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke load-ab profile-sim
+.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos race-tenant bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke load-ab profile-sim
 
-ci: build vet vet-cmd race race-server race-router race-chaos serve-smoke router-smoke chaos-smoke load-smoke bench-smoke
+ci: build vet vet-cmd race race-server race-router race-chaos race-tenant serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +65,18 @@ serve-smoke:
 # are all shared across goroutines in the soak.
 race-chaos:
 	$(GO) test -race ./internal/chaos/...
+
+# The tenant economy on its own under the race detector: the tree's
+# lend/reclaim property tests plus the governor, which is hammered from
+# every request goroutine while the epoch ticker rebalances.
+race-tenant:
+	$(GO) test -race ./internal/tenant/...
+
+# End-to-end tenancy: one rebudgetd with -tenants armed; an idle and a
+# saturated tenant must go through a full lend-then-reclaim cycle under
+# live rebudget-loadgen traffic, observed via the per-tenant gauges.
+tenant-smoke:
+	scripts/tenant_smoke.sh
 
 # End-to-end sharding: two rebudgetd shards sharing a snapshot dir behind a
 # rebudget-router; 8 sessions placed, one shard killed mid-traffic, all

@@ -8,6 +8,7 @@ package rebudget_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -22,6 +23,7 @@ import (
 	"rebudget/internal/market"
 	"rebudget/internal/numeric"
 	"rebudget/internal/server"
+	"rebudget/internal/tenant"
 	"rebudget/internal/trace"
 	"rebudget/internal/workload"
 )
@@ -472,6 +474,57 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	cfg.MaxAccessesPerCoreEpoch = 2000
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationGranularity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tenant economy ---
+
+// BenchmarkTenantRebalance measures one lend/reclaim epoch over a 64-leaf
+// two-level tenant tree with churning demand — the tenant governor runs
+// this on its epoch ticker, so it must stay far off the serving hot path's
+// budget.
+func BenchmarkTenantRebalance(b *testing.B) {
+	var specs []tenant.NodeSpec
+	for i := 0; i < 8; i++ {
+		parent := tenant.NodeSpec{Name: fmt.Sprintf("org%d", i), Share: float64(1 + i%3)}
+		for j := 0; j < 8; j++ {
+			parent.Children = append(parent.Children, tenant.NodeSpec{
+				Name:  fmt.Sprintf("team%d", j),
+				Share: float64(1 + j%2),
+			})
+		}
+		specs = append(specs, parent)
+	}
+	tr, err := tenant.New(specs, tenant.Config{Capacity: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var leaves []string
+	for _, st := range tr.StatusAll() {
+		if st.Leaf {
+			leaves = append(leaves, st.Path)
+		}
+	}
+	rng := numeric.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, path := range leaves {
+			if err := tr.SetDemand(path, 32*rng.Float64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr.Rebalance()
+	}
+}
+
+// BenchmarkTenantFrontier runs the reduced frontier sweep end to end — the
+// experiment kernel scripts/bench_record.sh tracks for the tenant economy.
+func BenchmarkTenantFrontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTenantFrontier(6, 60, 1, []float64{0.25, 0.75}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|table1|convergence|resilience|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|table1|convergence|tenant|resilience|ablations|all")
 		cores   = flag.Int("cores", 64, "CMP size for fig4/fig5/convergence (multiple of 4)")
 		bundles = flag.Int("bundles", 40, "random bundles per category for fig4/convergence")
 		seed    = flag.Uint64("seed", 1, "workload generation seed")
@@ -205,6 +205,21 @@ func run(exp string, cores, bundles int, seed uint64, epochs, samples int, csvDi
 		experiments.RenderFig5(w, r)
 		if err := writeCSV("fig5.csv", func(f io.Writer) error {
 			return experiments.WriteFig5CSV(f, r)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if want("tenant") {
+		ran = true
+		fmt.Fprintf(w, "# running tenant economy frontier: 9 tenants × 240 epochs …\n")
+		r, err := experiments.RunTenantFrontier(9, 240, seed, nil)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTenantFrontier(w, r)
+		if err := writeCSV("tenant_frontier.csv", func(f io.Writer) error {
+			return experiments.WriteTenantFrontierCSV(f, r)
 		}); err != nil {
 			return err
 		}

@@ -14,6 +14,12 @@
 //
 //	rebudget-loadgen -mode open -rate 200 -arrival poisson ...
 //
+// Tenant mix (against a daemon running -tenants): label sessions across
+// three archetypes — steady offers load continuously, bursty alternates
+// 2s on/off, idle trickles — and get a per-tenant report section:
+//
+//	rebudget-loadgen -tenants web:steady:2,batch:bursty,spare:idle ...
+//
 // The cheap class is an 8-core equal-share market session (no equilibrium
 // search — the floor of the cost scale). The expensive class defaults to a
 // 64-core cold-start equilibrium mechanism: warm_start=false forces a full
@@ -29,6 +35,8 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +49,61 @@ type class struct {
 	name string
 	spec server.SessionSpec
 	ids  []string
+}
+
+// tenantMix is one tenant in the -tenants flag: sessions are spread across
+// tenants by weight, and each tenant's offered load follows its archetype —
+// the traffic shapes the tenant budget economy trades between.
+type tenantMix struct {
+	name   string
+	arch   string // steady | bursty | idle
+	weight float64
+}
+
+// eligible reports whether this tenant offers load at elapsed run time t.
+// steady always does; bursty alternates 2s on / 2s off; idle trickles one
+// short active window (250ms) every 10s — enough to register demand without
+// using its budget, so the economy lends it out.
+func (tm tenantMix) eligible(t time.Duration) bool {
+	switch tm.arch {
+	case "bursty":
+		return int(t/(2*time.Second))%2 == 0
+	case "idle":
+		return t%(10*time.Second) < 250*time.Millisecond
+	default:
+		return true
+	}
+}
+
+// parseTenantMix parses "name:archetype[:weight],..." (e.g.
+// "web:steady:2,batch:bursty,spare:idle").
+func parseTenantMix(arg string) ([]tenantMix, error) {
+	var out []tenantMix
+	for _, item := range strings.Split(arg, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("tenant %q: want name:archetype[:weight]", item)
+		}
+		tm := tenantMix{name: parts[0], arch: parts[1], weight: 1}
+		switch tm.arch {
+		case "steady", "bursty", "idle":
+		default:
+			return nil, fmt.Errorf("tenant %q: unknown archetype %q (want steady, bursty or idle)", tm.name, tm.arch)
+		}
+		if len(parts) == 3 {
+			w, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("tenant %q: bad weight %q", tm.name, parts[2])
+			}
+			tm.weight = w
+		}
+		out = append(out, tm)
+	}
+	return out, nil
 }
 
 // classStats accumulates one class's outcomes. Latencies are recorded only
@@ -117,6 +180,10 @@ type Report struct {
 	Rate429     float64                `json:"rate_429"`
 	Throughput  float64                `json:"throughput_rps"`
 	Classes     map[string]ClassReport `json:"classes"`
+	// Tenants breaks the run down by tenant label when -tenants is set, so
+	// per-tenant placement and backpressure can be asserted from the report
+	// instead of scraping /metrics.
+	Tenants map[string]ClassReport `json:"tenants,omitempty"`
 }
 
 func main() {
@@ -140,6 +207,7 @@ func main() {
 		prime       = flag.Int("prime", 1, "unmeasured epochs stepped per session, sequentially, before the run (0 disables)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline")
 		seed        = flag.Int64("seed", 1, "mix/arrival RNG seed (runs are reproducible given a seed)")
+		tenantsArg  = flag.String("tenants", "", "tenant mix: comma-separated name:archetype[:weight] (archetypes: steady, bursty, idle); labels sessions and shapes per-tenant load (empty disables)")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 		keep        = flag.Bool("keep-sessions", false, "leave sessions resident after the run")
 	)
@@ -153,6 +221,10 @@ func main() {
 	}
 	if *arrival != "poisson" && *arrival != "uniform" {
 		fatal("arrival must be poisson or uniform")
+	}
+	tenants, err := parseTenantMix(*tenantsArg)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	cl := client.New(*target, client.WithTimeout(*timeout))
@@ -191,15 +263,39 @@ func main() {
 	rng.Shuffle(len(assignment), func(i, j int) {
 		assignment[i], assignment[j] = assignment[j], assignment[i]
 	})
+	// Sessions are spread across the tenant mix by weight; the label rides
+	// the spec, so placement is assertable from create/list responses.
+	tenantOf := map[string]tenantMix{}
+	var weightTotal float64
+	for _, tm := range tenants {
+		weightTotal += tm.weight
+	}
+	pickTenant := func() tenantMix {
+		x := rng.Float64() * weightTotal
+		for _, tm := range tenants {
+			if x -= tm.weight; x < 0 {
+				return tm
+			}
+		}
+		return tenants[len(tenants)-1]
+	}
 	createCtx, cancelCreate := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancelCreate()
 	for i, c := range assignment {
 		spec := c.spec
 		spec.ID = fmt.Sprintf("lg-%s-%04d", c.name[:1], i)
 		spec.Workload.Seed = uint64(*seed)*1_000_003 + uint64(i)
+		if len(tenants) > 0 {
+			tm := pickTenant()
+			spec.Tenant = tm.name
+			tenantOf[spec.ID] = tm
+		}
 		view, err := createWithRetry(createCtx, cl, spec)
 		if err != nil {
 			fatal("create %s: %v", spec.ID, err)
+		}
+		if spec.Tenant != "" && view.Tenant != spec.Tenant {
+			fatal("create %s: placed under tenant %q, want %q", spec.ID, view.Tenant, spec.Tenant)
 		}
 		c.ids = append(c.ids, view.ID)
 	}
@@ -238,6 +334,11 @@ func main() {
 		}
 	}
 
+	tstats := map[string]*classStats{}
+	for _, tm := range tenants {
+		tstats[tm.name] = &classStats{}
+	}
+
 	runCtx, cancelRun := context.WithTimeout(context.Background(), *duration)
 	defer cancelRun()
 	start := time.Now()
@@ -253,7 +354,19 @@ func main() {
 		if runCtx.Err() != nil && err != nil {
 			return // shutdown race, not a measurement
 		}
-		stats[c].record(time.Since(t0), err)
+		d := time.Since(t0)
+		stats[c].record(d, err)
+		if ts := tstats[tenantOf[id].name]; ts != nil {
+			ts.record(d, err)
+		}
+	}
+	// offering reports whether the picked session's tenant is in an active
+	// phase of its archetype; without a tenant mix everything always offers.
+	offering := func(id string) bool {
+		if len(tenants) == 0 {
+			return true
+		}
+		return tenantOf[id].eligible(time.Since(start))
 	}
 
 	switch *mode {
@@ -266,6 +379,12 @@ func main() {
 				defer wg.Done()
 				for runCtx.Err() == nil {
 					pick := all[wrng.Intn(len(all))]
+					if !offering(pick.id) {
+						// Off-phase tenant: don't burn the worker slot on a
+						// spin; everyone may be off-phase at once.
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
 					hit(pick.id, pick.c)
 				}
 			}()
@@ -286,6 +405,9 @@ func main() {
 				case <-time.After(gap):
 				}
 				pick := all[rng.Intn(len(all))]
+				if !offering(pick.id) {
+					continue // the arrival fires, but this tenant is off-phase
+				}
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
@@ -319,36 +441,22 @@ func main() {
 		rep.RatePerSec = *rate
 	}
 	for _, c := range []*class{cheap, expensive} {
-		cs := stats[c]
-		cs.mu.Lock()
-		sort.Float64s(cs.lat)
-		cr := ClassReport{
-			Sessions:   len(c.ids),
-			Requests:   cs.total.Load(),
-			OK:         cs.ok.Load(),
-			Busy429:    cs.busy.Load(),
-			Errors:     cs.errs.Load(),
-			P50Ms:      percentile(cs.lat, 0.50) * 1000,
-			P99Ms:      percentile(cs.lat, 0.99) * 1000,
-			P999Ms:     percentile(cs.lat, 0.999) * 1000,
-			Throughput: float64(cs.ok.Load()) / elapsed.Seconds(),
-		}
-		if n := len(cs.lat); n > 0 {
-			sum := 0.0
-			for _, v := range cs.lat {
-				sum += v
-			}
-			cr.MeanMs = sum / float64(n) * 1000
-		}
-		if cr.Requests > 0 {
-			cr.Rate429 = float64(cr.Busy429) / float64(cr.Requests)
-		}
-		cs.mu.Unlock()
+		cr := reportFor(stats[c], len(c.ids), elapsed)
 		rep.Classes[c.name] = cr
 		rep.Requests += cr.Requests
 		rep.OK += cr.OK
 		rep.Busy429 += cr.Busy429
 		rep.Errors += cr.Errors
+	}
+	if len(tenants) > 0 {
+		perTenant := map[string]int{}
+		for _, tm := range tenantOf {
+			perTenant[tm.name]++
+		}
+		rep.Tenants = map[string]ClassReport{}
+		for _, tm := range tenants {
+			rep.Tenants[tm.name] = reportFor(tstats[tm.name], perTenant[tm.name], elapsed)
+		}
 	}
 	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
 	if rep.Requests > 0 {
@@ -367,6 +475,36 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal("write %s: %v", *out, err)
 	}
+}
+
+// reportFor folds one stats bucket (a traffic class or a tenant) into its
+// report slice.
+func reportFor(cs *classStats, sessions int, elapsed time.Duration) ClassReport {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	sort.Float64s(cs.lat)
+	cr := ClassReport{
+		Sessions:   sessions,
+		Requests:   cs.total.Load(),
+		OK:         cs.ok.Load(),
+		Busy429:    cs.busy.Load(),
+		Errors:     cs.errs.Load(),
+		P50Ms:      percentile(cs.lat, 0.50) * 1000,
+		P99Ms:      percentile(cs.lat, 0.99) * 1000,
+		P999Ms:     percentile(cs.lat, 0.999) * 1000,
+		Throughput: float64(cs.ok.Load()) / elapsed.Seconds(),
+	}
+	if n := len(cs.lat); n > 0 {
+		sum := 0.0
+		for _, v := range cs.lat {
+			sum += v
+		}
+		cr.MeanMs = sum / float64(n) * 1000
+	}
+	if cr.Requests > 0 {
+		cr.Rate429 = float64(cr.Busy429) / float64(cr.Requests)
+	}
+	return cr
 }
 
 // createWithRetry rides out transient 429s during the setup burst: session

@@ -43,6 +43,13 @@ func main() {
 		snapshotDir = flag.String("snapshot-dir", "", "persist session snapshots here; evicted/drained sessions rehydrate on next touch (empty disables)")
 		sessionRPS  = flag.Float64("session-rps", 0, "per-session epoch budget, epochs/sec (0 disables rate limiting)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
+
+		tenants       = flag.String("tenants", "", "arm the tenant budget economy: comma-separated path[:share[:weight[:floor]]] entries (e.g. acme/prod:3:2:0.5,free); empty with -tenant-epoch 0 disables tenancy")
+		tenantEpoch   = flag.Duration("tenant-epoch", 0, "tenant rebalance period (0 = 250ms when tenancy is armed)")
+		tenantCap     = flag.Float64("tenant-capacity", 0, "tenant-tree root budget in cost units (0 = the dispatcher cost capacity)")
+		tenantFloor   = flag.Float64("tenant-mbr", 0, "default per-tenant fairness floor in (0,1] (0 = 0.25)")
+		tenantStatic  = flag.Bool("tenant-static", false, "freeze tenants at static quotas (no lending; the A/B control)")
+		tenantDefault = flag.String("tenant-default", "", "tenant label for unlabelled sessions (empty = \"default\")")
 	)
 	flag.Parse()
 
@@ -68,6 +75,29 @@ func main() {
 		snaps = fs
 	}
 
+	// Tenancy is armed by any -tenant* flag; with none set, admission keeps
+	// the flat dispatcher budget (the pre-tenancy contract, bit-identical).
+	var tenancy *server.TenancyConfig
+	if *tenants != "" || *tenantEpoch > 0 || *tenantCap > 0 || *tenantFloor > 0 || *tenantStatic || *tenantDefault != "" {
+		specs, err := server.ParseTenants(*tenants)
+		if err != nil {
+			log.Error("bad -tenants", "err", err)
+			os.Exit(2)
+		}
+		if *tenantFloor < 0 || *tenantFloor > 1 {
+			log.Error("bad -tenant-mbr", "floor", *tenantFloor, "want", "(0,1]")
+			os.Exit(2)
+		}
+		tenancy = &server.TenancyConfig{
+			Tenants:        specs,
+			Epoch:          *tenantEpoch,
+			Capacity:       *tenantCap,
+			MBRFloor:       *tenantFloor,
+			DisableLending: *tenantStatic,
+			DefaultTenant:  *tenantDefault,
+		}
+	}
+
 	srv := server.New(server.Config{
 		MaxSessions:    *maxSessions,
 		IdleTTL:        *idleTTL,
@@ -79,6 +109,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Snapshots:      snaps,
 		SessionRPS:     *sessionRPS,
+		Tenancy:        tenancy,
 		Logger:         log,
 	})
 

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCutScheduleSequence pins the schedule to ReBudget's §4.2 loop: each
+// round yields the current step, the step halves, and the sequence ends
+// once the step drops below minStep.
+func TestCutScheduleSequence(t *testing.T) {
+	s := NewCutSchedule(20, 3, false)
+	want := []float64{20, 10, 5}
+	for i, w := range want {
+		cut, ok := s.Next()
+		if !ok {
+			t.Fatalf("round %d: schedule ended early", i)
+		}
+		if cut != w {
+			t.Fatalf("round %d: cut %g, want %g", i, cut, w)
+		}
+	}
+	if cut, ok := s.Next(); ok {
+		t.Fatalf("schedule yielded %g past minStep", cut)
+	}
+}
+
+// TestCutScheduleNoBackoff pins the ablation: the cut never decays.
+func TestCutScheduleNoBackoff(t *testing.T) {
+	s := NewCutSchedule(7, 1, true)
+	for i := 0; i < 50; i++ {
+		cut, ok := s.Next()
+		if !ok || cut != 7 {
+			t.Fatalf("round %d: cut %g ok %v, want 7 true", i, cut, ok)
+		}
+	}
+}
+
+// TestCutScheduleTotalMatchesMaxTotalCut: the sum of every yielded cut is
+// exactly MaxTotalCut — the bound ReBudget derives its tightest floor from
+// and the tenant layer sizes reclaim cycles with.
+func TestCutScheduleTotalMatchesMaxTotalCut(t *testing.T) {
+	for _, tc := range []struct{ step, min float64 }{
+		{20, 1}, {20, 0.2}, {5, 5}, {4, 4.5}, {100, 0.01},
+	} {
+		s := NewCutSchedule(tc.step, tc.min, false)
+		total := 0.0
+		for {
+			cut, ok := s.Next()
+			if !ok {
+				break
+			}
+			total += cut
+		}
+		if want := MaxTotalCut(tc.step, tc.min); math.Abs(total-want) > 1e-12 {
+			t.Errorf("step=%g min=%g: schedule total %g, MaxTotalCut %g",
+				tc.step, tc.min, total, want)
+		}
+	}
+}
+
+// TestCutScheduleReBudgetFloorUnchanged guards the refactor: the derived
+// effective floor of a Step-configured ReBudget must match the historical
+// maxTotalCut-based derivation.
+func TestCutScheduleReBudgetFloorUnchanged(t *testing.T) {
+	r := ReBudget{Step: 20}
+	floor, err := r.EffectiveMBRFloor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (InitialBudget - MaxTotalCut(20, 0.01*InitialBudget)) / InitialBudget
+	if floor != want {
+		t.Fatalf("EffectiveMBRFloor = %g, want %g", floor, want)
+	}
+}

@@ -81,7 +81,7 @@ func (r ReBudget) withDefaults() (ReBudget, error) {
 	case r.MBRFloor <= 0:
 		// Tightest floor the halving sequence can reach: total cut of
 		// step + step/2 + … while each term ≥ 1% of the budget.
-		r.MBRFloor = (InitialBudget - maxTotalCut(r.Step, r.MinStepFraction*InitialBudget)) / InitialBudget
+		r.MBRFloor = (InitialBudget - MaxTotalCut(r.Step, r.MinStepFraction*InitialBudget)) / InitialBudget
 		if r.MBRFloor < 0 {
 			r.MBRFloor = 0
 		}
@@ -105,8 +105,48 @@ func (r ReBudget) EffectiveMBRFloor() (float64, error) {
 	return cfg.MBRFloor, nil
 }
 
-// maxTotalCut sums the halving sequence step, step/2, … down to minStep.
-func maxTotalCut(step, minStep float64) float64 {
+// CutSchedule is the §4.2 bounded budget-cut sequence, factored out of
+// ReBudget.Allocate so other reassignment loops — notably the tenant-level
+// rebalancer in internal/tenant, which reclaims lent budget with the same
+// exponential back-off — reuse the exact machinery instead of duplicating
+// it. Each Next() yields the cut allowed this round (the current step) and
+// halves the step (unless NoBackoff was set); the sequence terminates once
+// the step drops below minStep, exactly like ReBudget's loop.
+type CutSchedule struct {
+	step      float64
+	minStep   float64
+	noBackoff bool
+}
+
+// NewCutSchedule starts a cut sequence at step, terminating below minStep.
+// noBackoff disables the halving (the §6 ablation): the cut stays at step
+// every round until the caller stops asking.
+func NewCutSchedule(step, minStep float64, noBackoff bool) *CutSchedule {
+	return &CutSchedule{step: step, minStep: minStep, noBackoff: noBackoff}
+}
+
+// Next returns the cut allowed this round and advances the schedule. ok is
+// false once the back-off has run below minStep — the caller's signal to
+// stop (ReBudget breaks its loop; the tenant rebalancer snaps the residual).
+func (c *CutSchedule) Next() (cut float64, ok bool) {
+	if c.step < c.minStep {
+		return 0, false
+	}
+	cut = c.step
+	if !c.noBackoff {
+		c.step /= 2
+	}
+	return cut, true
+}
+
+// Step reports the cut the next call to Next would allow.
+func (c *CutSchedule) Step() float64 { return c.step }
+
+// MaxTotalCut sums the halving sequence step, step/2, … down to minStep —
+// the largest total budget a schedule can ever remove. ReBudget derives its
+// tightest reachable MBR floor from it; the tenant layer sizes reclaim
+// cycles with it so a loan is recovered within the schedule's lifetime.
+func MaxTotalCut(step, minStep float64) float64 {
 	total := 0.0
 	for s := step; s >= minStep; s /= 2 {
 		total += s
@@ -133,8 +173,7 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 	// Floors, steps and the termination threshold all scale with each
 	// player's weight, so the knob's meaning is per-core (§5) and the MBR
 	// guarantee holds on the weight-relative budgets.
-	minStep := cfg.MinStepFraction * InitialBudget
-	step := cfg.Step
+	sched := NewCutSchedule(cfg.Step, cfg.MinStepFraction*InitialBudget, cfg.NoBackoff)
 
 	mp := make([]*market.Player, n)
 	for i, p := range players {
@@ -166,7 +205,8 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 		warmBids = eq.Bids
 		totalIters += eq.Iterations
 		runs++
-		if step < minStep {
+		step, ok := sched.Next()
+		if !ok {
 			break
 		}
 		maxLambda := 0.0
@@ -188,9 +228,6 @@ func (r ReBudget) Allocate(capacity []float64, players []PlayerSpec) (*Outcome, 
 					cut = true
 				}
 			}
-		}
-		if !cfg.NoBackoff {
-			step /= 2
 		}
 		if !cut {
 			break

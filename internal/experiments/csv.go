@@ -101,3 +101,28 @@ func WriteFig2CSV(w io.Writer, curves []Fig2Curve) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteTenantFrontierCSV emits the tenant-economy frontier as tidy CSV (one
+// row per floor × mode).
+func WriteTenantFrontierCSV(w io.Writer, r *TenantFrontierResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"floor", "mode", "efficiency", "min_fairness", "lent_total", "reclaimed_total",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, p := range r.Points {
+		mode := "static"
+		if p.Lending {
+			mode = "lending"
+		}
+		if err := cw.Write([]string{
+			f(p.Floor), mode, f(p.Efficiency), f(p.MinFairness), f(p.LentTotal), f(p.ReclaimedTotal),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

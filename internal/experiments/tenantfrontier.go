@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rebudget/internal/numeric"
+	"rebudget/internal/tenant"
+)
+
+// TenantFrontierPoint is one (floor, mode) cell of the tenant-economy
+// frontier: fleet efficiency and worst-case tenant fairness for a demand
+// trace replayed through the tenant budget tree.
+type TenantFrontierPoint struct {
+	Floor   float64 // per-tenant MBR floor the tree was run with
+	Lending bool    // false = static quotas (the A/B control)
+	// Efficiency is served demand over the best any allocation could serve:
+	// sum over epochs of Σᵢ min(demandᵢ, grantedᵢ) / min(Σᵢ demandᵢ, capacity).
+	Efficiency float64
+	// MinFairness is the worst observed granted/min(demand, deserved) over
+	// every (epoch, demanding tenant) — the tenant-level MBR analogue. The
+	// floor theorem guarantees MinFairness ≥ Floor.
+	MinFairness float64
+	// LentTotal and ReclaimedTotal are the tree's cumulative flow counters.
+	LentTotal      float64
+	ReclaimedTotal float64
+}
+
+// TenantFrontierResult is the tenant-economy analogue of the paper's
+// efficiency-vs-fairness frontier (Fig. 1 / §3, lifted from players on one
+// chip to tenants on one fleet budget): sweeping the MBR floor trades how
+// much idle budget the economy may lend against how hard a returning tenant
+// can be squeezed meanwhile.
+type TenantFrontierResult struct {
+	Capacity float64
+	Tenants  int
+	Epochs   int
+	Seed     uint64
+	Points   []TenantFrontierPoint // two per floor: static first, lending second
+}
+
+// tenantTrace is one tenant's deterministic demand series, drawn from the
+// same archetypes the load generator offers: steady tenants want slightly
+// more than their quota all the time, bursty tenants alternate feast and
+// famine, idle tenants barely show up — the donor pool lending feeds on.
+type tenantTrace struct {
+	name   string
+	demand []float64
+}
+
+func genTenantTraces(n, epochs int, quota float64, rng *numeric.Rand) []tenantTrace {
+	traces := make([]tenantTrace, n)
+	for i := range traces {
+		d := make([]float64, epochs)
+		switch i % 3 {
+		case 0: // steady: ~1.2x quota with mild noise
+			for e := range d {
+				d[e] = quota * (1.1 + 0.2*rng.Float64())
+			}
+		case 1: // bursty: ~8-epoch feast (2-3x quota) / famine cycles
+			period := 6 + rng.Intn(5)
+			phase := rng.Intn(period)
+			for e := range d {
+				if (e+phase)/period%2 == 0 {
+					d[e] = quota * (2 + rng.Float64())
+				}
+			}
+		default: // idle: a small blip every ~10 epochs
+			for e := range d {
+				if rng.Float64() < 0.1 {
+					d[e] = quota * 0.2 * rng.Float64()
+				}
+			}
+		}
+		traces[i] = tenantTrace{name: fmt.Sprintf("t%02d", i), demand: d}
+	}
+	return traces
+}
+
+// RunTenantFrontier replays one deterministic multi-tenant demand trace
+// through the tenant budget tree at each MBR floor, once with lending and
+// once frozen at static quotas, and records where each run lands on the
+// efficiency/fairness plane. The same seed always produces the same trace,
+// so lending-vs-static deltas are paired, not sampled.
+func RunTenantFrontier(tenants, epochs int, seed uint64, floors []float64) (*TenantFrontierResult, error) {
+	if tenants < 3 {
+		return nil, fmt.Errorf("tenant frontier: need >= 3 tenants for the archetype mix, got %d", tenants)
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("tenant frontier: epochs %d must be > 0", epochs)
+	}
+	if len(floors) == 0 {
+		floors = []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	}
+	const capacity = 100.0
+	quota := capacity / float64(tenants)
+	traces := genTenantTraces(tenants, epochs, quota, numeric.NewRand(seed))
+
+	res := &TenantFrontierResult{
+		Capacity: capacity,
+		Tenants:  tenants,
+		Epochs:   epochs,
+		Seed:     seed,
+	}
+	for _, floor := range floors {
+		for _, lending := range []bool{false, true} {
+			pt, err := runTenantTrace(traces, capacity, floor, lending)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+func runTenantTrace(traces []tenantTrace, capacity, floor float64, lending bool) (TenantFrontierPoint, error) {
+	specs := make([]tenant.NodeSpec, len(traces))
+	for i, tr := range traces {
+		specs[i] = tenant.NodeSpec{Name: tr.name}
+	}
+	tree, err := tenant.New(specs, tenant.Config{
+		Capacity:        capacity,
+		DefaultMBRFloor: floor,
+		DisableLending:  !lending,
+	})
+	if err != nil {
+		return TenantFrontierPoint{}, err
+	}
+	pt := TenantFrontierPoint{Floor: floor, Lending: lending, MinFairness: 1}
+	var served, best float64
+	epochs := len(traces[0].demand)
+	for e := 0; e < epochs; e++ {
+		var offered float64
+		for _, tr := range traces {
+			if err := tree.SetDemand(tr.name, tr.demand[e]); err != nil {
+				return TenantFrontierPoint{}, err
+			}
+			offered += tr.demand[e]
+		}
+		tree.Rebalance()
+		for _, tr := range traces {
+			d := tr.demand[e]
+			if d <= 0 {
+				continue
+			}
+			g := tree.Granted(tr.name)
+			if g > d {
+				g = d
+			}
+			served += g
+			if entitled := min(d, tree.Deserved(tr.name)); entitled > 0 {
+				if f := min(1, g/entitled); f < pt.MinFairness {
+					pt.MinFairness = f
+				}
+			}
+		}
+		best += min(offered, capacity)
+	}
+	if best > 0 {
+		pt.Efficiency = served / best
+	}
+	for _, st := range tree.StatusAll() {
+		pt.LentTotal += st.LentTotal
+		pt.ReclaimedTotal += st.ReclaimedTotal
+	}
+	return pt, nil
+}
+
+// RenderTenantFrontier prints the frontier beside Fig 5's chip-level table:
+// one static/lending pair per floor, plus the lending efficiency gain.
+func RenderTenantFrontier(w io.Writer, r *TenantFrontierResult) {
+	fmt.Fprintf(w, "# Tenant economy frontier: %d tenants on %.0f cost units, %d epochs (seed %d)\n",
+		r.Tenants, r.Capacity, r.Epochs, r.Seed)
+	fmt.Fprintf(w, "%6s %8s %12s %13s %10s %11s\n",
+		"floor", "mode", "efficiency", "min_fairness", "lent", "reclaimed")
+	for i := 0; i < len(r.Points); i += 2 {
+		s, l := r.Points[i], r.Points[i+1]
+		fmt.Fprintf(w, "%6.2f %8s %12.4f %13.4f %10.1f %11.1f\n",
+			s.Floor, "static", s.Efficiency, s.MinFairness, s.LentTotal, s.ReclaimedTotal)
+		fmt.Fprintf(w, "%6.2f %8s %12.4f %13.4f %10.1f %11.1f  (+%.1f%% efficiency)\n",
+			l.Floor, "lending", l.Efficiency, l.MinFairness, l.LentTotal, l.ReclaimedTotal,
+			100*(l.Efficiency-s.Efficiency))
+	}
+}

@@ -359,8 +359,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, bo
 	if err != nil {
 		return 0, err
 	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
+	// The tenant label rides the hop too: a spec without one is labelled by
+	// the shard from this header, so tenancy works through the router.
+	for _, h := range []string{"Content-Type", server.TenantHeader} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
 	}
 	resp, err := rt.proxyClient.Do(req)
 	if err != nil {

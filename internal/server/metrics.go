@@ -166,7 +166,7 @@ func (m *srvMetrics) observeRequest(route string, code int, dur time.Duration) {
 // sessions report their FSM state through /metrics — reads
 // rebudgetd_session_health and rebudgetd_sessions_by_state.
 func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
-	draining bool, uptime time.Duration) {
+	gov *tenantGovernor, draining bool, uptime time.Duration) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
 	}
@@ -196,14 +196,72 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	labelled("rebudgetd_rejected_total", "Requests rejected, by reason.", "counter", &m.rejected)
 	labelled("rebudgetd_snapshots_total", "Session snapshot operations, by outcome.", "counter", &m.snapshots)
 	// Dispatcher admission state, in cost units — the canonical series
-	// since cost-based admission landed.
+	// since cost-based admission landed. (The deprecated request-count
+	// aliases rebudgetd_dispatch_in_flight/_queued were removed after
+	// their one-release grace period; see DESIGN.md, "Metrics migration".)
 	gauge("rebudgetd_dispatch_in_flight_cost", "Cost units currently claimed by admitted requests.", disp.inFlightCost())
 	gauge("rebudgetd_dispatch_queued_cost", "Cost units waiting for dispatcher capacity.", disp.queuedCostUnits())
 	gauge("rebudgetd_dispatch_capacity_cost", "Dispatcher concurrent budget, in cost units.", disp.capacity)
-	// Request-count aliases of the same state, kept one release for
-	// dashboard continuity (see DESIGN.md, "Metrics migration").
-	gauge("rebudgetd_dispatch_in_flight", "DEPRECATED: requests holding dispatcher capacity; use rebudgetd_dispatch_in_flight_cost.", float64(disp.inFlight()))
-	gauge("rebudgetd_dispatch_queued", "DEPRECATED: requests waiting for dispatcher capacity; use rebudgetd_dispatch_queued_cost.", float64(disp.queued()))
+
+	// Tenant budget economy (only when the governor is armed): the tree's
+	// budget state and the admission-side counters, one series per tenant.
+	// tenant_smoke.sh and the loadgen tenant mix watch lent/granted move
+	// through a lend-then-reclaim cycle.
+	if gov != nil {
+		rows, epochs := gov.metricsSnapshot()
+		counter("rebudgetd_tenant_rebalance_epochs_total", "Tenant-tree rebalance epochs run.", float64(epochs))
+		tg := func(name, help string, value func(tenantMetric) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, row := range rows {
+				fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, row.Path, fmtFloat(value(row)))
+			}
+		}
+		tc := func(name, help string, value func(tenantMetric) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, row := range rows {
+				fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, row.Path, fmtFloat(value(row)))
+			}
+		}
+		tg("rebudgetd_tenant_deserved_cost", "Deserved budget (cost units): the tenant's static entitlement.",
+			func(r tenantMetric) float64 { return r.Deserved })
+		tg("rebudgetd_tenant_granted_cost", "Granted budget (cost units): what the tenant may use now.",
+			func(r tenantMetric) float64 { return r.Granted })
+		tg("rebudgetd_tenant_lent_cost", "Budget currently lent out: max(0, deserved-granted).",
+			func(r tenantMetric) float64 { return r.Lent })
+		tg("rebudgetd_tenant_borrowed_cost", "Budget currently borrowed: max(0, granted-deserved).",
+			func(r tenantMetric) float64 { return r.Borrowed })
+		tg("rebudgetd_tenant_demand_cost", "Demand signal fed to the tree (peak wanted in-flight cost, decayed).",
+			func(r tenantMetric) float64 { return r.Demand })
+		tg("rebudgetd_tenant_in_flight_cost", "Cost units currently admitted under the tenant's grant.",
+			func(r tenantMetric) float64 { return r.InFlight })
+		tg("rebudgetd_tenant_mbr_floor", "Configured fairness floor: granted never drops below floor x slice while demanding.",
+			func(r tenantMetric) float64 { return r.MBRFloor })
+		tg("rebudgetd_tenant_fairness", "Realized budget share: granted/deserved (1 = exactly the deserved share).",
+			func(r tenantMetric) float64 {
+				if r.Deserved <= 0 {
+					return 1
+				}
+				return r.Granted / r.Deserved
+			})
+		tc("rebudgetd_tenant_lent_cost_total", "Cumulative budget-epochs spent below the deserved share (lender side).",
+			func(r tenantMetric) float64 { return r.LentTotal })
+		tc("rebudgetd_tenant_reclaimed_cost_total", "Cumulative budget cut back by bounded reclaim.",
+			func(r tenantMetric) float64 { return r.ReclaimedTotal })
+		tc("rebudgetd_tenant_admitted_total", "Requests admitted under the tenant's sub-budget.",
+			func(r tenantMetric) float64 { return float64(r.Admitted) })
+		tc("rebudgetd_tenant_rejected_total", "Requests refused because the tenant's grant was exhausted.",
+			func(r tenantMetric) float64 { return float64(r.Rejected) })
+		bySessTenant := map[string]int{}
+		for _, s := range sessions {
+			if t := s.spec.Tenant; t != "" {
+				bySessTenant[t]++
+			}
+		}
+		fmt.Fprintf(w, "# HELP rebudgetd_tenant_sessions Resident sessions per tenant.\n# TYPE rebudgetd_tenant_sessions gauge\n")
+		for _, row := range rows {
+			fmt.Fprintf(w, "rebudgetd_tenant_sessions{tenant=%q} %d\n", row.Path, bySessTenant[row.Path])
+		}
+	}
 
 	// Equilibrium convergence cost (from metrics.EquilibriumProfile).
 	eq := m.eq.Snapshot()

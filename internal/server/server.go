@@ -66,6 +66,13 @@ type Config struct {
 	// SessionBurst is the bucket depth (default 2×SessionRPS, min 1): how
 	// many epochs a quiet session may burst before the average rate gates.
 	SessionBurst float64
+	// Tenancy, when non-nil, arms the hierarchical tenant budget economy:
+	// per-tenant cost sub-budgets over the dispatcher's capacity, with
+	// epoch-driven lending and bounded reclaim (see internal/tenant and
+	// DESIGN.md "Tenant economy"). Must be valid (pre-validate with
+	// ParseTenants / tenant.New); New panics on a malformed tree rather
+	// than silently serving untenanted.
+	Tenancy *TenancyConfig
 	// Logger receives structured request/lifecycle logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -130,6 +137,7 @@ type Server struct {
 	log   *slog.Logger
 	store *store
 	disp  *dispatcher
+	gov   *tenantGovernor // nil unless Config.Tenancy is set
 	met   *srvMetrics
 	mux   *http.ServeMux
 
@@ -162,6 +170,13 @@ func New(cfg Config) *Server {
 		started:     time.Now(),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	if cfg.Tenancy != nil {
+		gov, err := newTenantGovernor(*cfg.Tenancy, capacity, s.log)
+		if err != nil {
+			panic(fmt.Sprintf("server: invalid tenancy config: %v", err))
+		}
+		s.gov = gov
 	}
 	s.routes()
 	go s.janitor()
@@ -207,6 +222,9 @@ func (s *Server) Close() {
 	}
 	close(s.janitorStop)
 	<-s.janitorDone
+	if s.gov != nil {
+		s.gov.close()
+	}
 	for _, sess := range s.store.drain() {
 		s.retire(sess, "drain")
 	}
@@ -400,6 +418,28 @@ func (s *Server) admissionCost(units float64) float64 {
 	return units
 }
 
+// tenantAdmit charges cost units against the tenant's granted sub-budget;
+// a no-op without a governor or label. On refusal it writes the 429
+// (Retry-After = the next rebalance epoch) and reports false.
+func (s *Server) tenantAdmit(w http.ResponseWriter, path string, cost float64) bool {
+	if s.gov == nil || path == "" {
+		return true
+	}
+	ok, retryAfter := s.gov.admit(path, cost)
+	if !ok {
+		s.met.rejected.inc(`reason="tenant"`)
+		writeRetryErr(w, retryAfter, fmt.Sprintf("tenant %q over budget", path))
+	}
+	return ok
+}
+
+// tenantRelease returns cost units admitted by tenantAdmit.
+func (s *Server) tenantRelease(path string, cost float64) {
+	if s.gov != nil && path != "" {
+		s.gov.release(path, cost)
+	}
+}
+
 // replyError maps session/dispatcher errors onto HTTP statuses.
 func (s *Server) replyError(w http.ResponseWriter, err error) {
 	switch {
@@ -451,19 +491,48 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Under the tenant economy every session carries a label: the spec's,
+	// else the router-forwarded header, else the default tenant. The label
+	// self-registers in the tree (with an immediate rebalance, so the
+	// newcomer holds its floor before its first admission check).
+	if s.gov != nil {
+		if spec.Tenant == "" {
+			spec.Tenant = r.Header.Get(TenantHeader)
+			if spec.Tenant != "" && !validTenantPath(spec.Tenant) {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Sprintf("header %s: tenant %q must be %s segments joined by \"/\"",
+						TenantHeader, spec.Tenant, idPattern))
+				return
+			}
+		}
+		if spec.Tenant == "" {
+			spec.Tenant = s.gov.defaultTenant
+		}
+		if err := s.gov.register(spec.Tenant); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	// Engine construction is allocation-grade work (sim warmup runs whole
 	// epochs), so it competes for dispatcher capacity like any epoch,
-	// priced by the spec's analytic prior (no measurements exist yet).
+	// priced by the spec's analytic prior (no measurements exist yet) —
+	// and, under tenancy, against the tenant's sub-budget first.
 	est := newCostEstimator(spec.guessCores())
+	createCost := s.admissionCost(est.epochCost())
+	if !s.tenantAdmit(w, spec.Tenant, createCost) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	lease, err := s.disp.acquire(ctx, s.admissionCost(est.epochCost()))
+	lease, err := s.disp.acquire(ctx, createCost)
 	if err != nil {
+		s.tenantRelease(spec.Tenant, createCost)
 		s.replyError(w, err)
 		return
 	}
 	eng, err := s.buildEngine(spec, nil, est)
 	lease.release()
+	s.tenantRelease(spec.Tenant, createCost)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
@@ -551,19 +620,36 @@ func (s *Server) rehydrate(w http.ResponseWriter, r *http.Request, id string) *s
 		writeErr(w, http.StatusServiceUnavailable, "draining")
 		return nil
 	}
+	// A snapshot predating the tenant economy (or from an untenanted
+	// shard) rehydrates into the default tenant, like an unlabeled create.
+	if s.gov != nil {
+		if snap.Spec.Tenant == "" {
+			snap.Spec.Tenant = s.gov.defaultTenant
+		}
+		if err := s.gov.register(snap.Spec.Tenant); err != nil {
+			s.log.Warn("tenant registration on rehydrate failed", "id", id,
+				"tenant", snap.Spec.Tenant, "err", err)
+		}
+	}
 	// The estimate travels with the snapshot: a rehydrated session is
 	// priced by its measured history, not the cold prior.
 	est := newCostEstimator(snap.Spec.guessCores())
 	est.restore(snap.EpochCost)
+	restoreCost := s.admissionCost(est.epochCost())
+	if !s.tenantAdmit(w, snap.Spec.Tenant, restoreCost) {
+		return nil
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	lease, err := s.disp.acquire(ctx, s.admissionCost(est.epochCost()))
+	lease, err := s.disp.acquire(ctx, restoreCost)
 	if err != nil {
+		s.tenantRelease(snap.Spec.Tenant, restoreCost)
 		s.replyError(w, err)
 		return nil
 	}
 	eng, err := s.buildEngine(snap.Spec, snap, est)
 	lease.release()
+	s.tenantRelease(snap.Spec.Tenant, restoreCost)
 	if err != nil {
 		s.met.snapshots.inc(`op="restore_error"`)
 		s.log.Warn("snapshot restore failed, cold start", "id", id, "err", err)
@@ -662,16 +748,25 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A batched request spends n epochs' worth of cost units under one
-	// lease — batching cannot sidestep weighted admission either.
+	// lease — batching cannot sidestep weighted admission either. Under
+	// tenancy the same cost charges the session's tenant sub-budget first:
+	// one tenant saturating its grant gets 429s while its neighbours'
+	// budgets stay untouched.
+	cost := sess.epochCost(n)
+	if !s.tenantAdmit(w, sess.spec.Tenant, cost) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	lease, err := s.disp.acquire(ctx, sess.epochCost(n))
+	lease, err := s.disp.acquire(ctx, cost)
 	if err != nil {
+		s.tenantRelease(sess.spec.Tenant, cost)
 		s.replyError(w, err)
 		return
 	}
 	resp := sess.enqueue(ctx, &request{kind: reqEpoch, epochs: n})
 	lease.release()
+	s.tenantRelease(sess.spec.Tenant, cost)
 	if resp.err != nil {
 		s.replyError(w, resp.err)
 		return
@@ -737,5 +832,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.store.list(), s.disp, s.draining.Load(), time.Since(s.started))
+	s.met.render(w, s.store.list(), s.disp, s.gov, s.draining.Load(), time.Since(s.started))
 }

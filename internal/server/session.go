@@ -295,6 +295,7 @@ func (s *session) refresh(lastErr string) {
 	h := s.eng.healthState()
 	s.mu.Lock()
 	v.ID = s.id
+	v.Tenant = s.spec.Tenant
 	v.Mechanism = s.mechanism
 	v.Category = s.category
 	v.Epochs = s.epochs

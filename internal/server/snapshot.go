@@ -11,15 +11,19 @@ import (
 )
 
 // SnapshotVersion is the wire-format version stamped into every snapshot
-// written from now on. Version 2 adds an integrity checksum over the
-// snapshot body; version 1 files (no checksum) remain readable, so a tier
-// can be upgraded shard by shard against a shared snapshot directory.
-// Unknown versions are rejected (treated as "no snapshot", a cold start)
-// rather than guessed at.
-const SnapshotVersion = 2
+// written from now on. Version 3 carries the session's tenant label (in
+// the spec, so a rehydrated session lands back under its tenant's budget);
+// version 2 added an integrity checksum over the snapshot body; version 1
+// files (no checksum) remain readable too, so a tier can be upgraded shard
+// by shard against a shared snapshot directory. Unknown versions are
+// rejected (treated as "no snapshot", a cold start) rather than guessed at.
+const SnapshotVersion = 3
 
-// snapshotVersionV1 is the pre-checksum format still accepted on load.
-const snapshotVersionV1 = 1
+// Older formats still accepted on load.
+const (
+	snapshotVersionV1 = 1 // pre-checksum
+	snapshotVersionV2 = 2 // checksummed, pre-tenant
+)
 
 // ErrNoSnapshot reports that a store holds no usable snapshot for an id —
 // either nothing was ever saved, or what is there is corrupt, truncated, or
@@ -85,9 +89,9 @@ type SwitchEvent struct {
 }
 
 func (s *SessionSnapshot) validate() error {
-	if s.Version != SnapshotVersion && s.Version != snapshotVersionV1 {
-		return fmt.Errorf("snapshot version %d (want %d or %d)",
-			s.Version, snapshotVersionV1, SnapshotVersion)
+	if s.Version != SnapshotVersion && s.Version != snapshotVersionV2 && s.Version != snapshotVersionV1 {
+		return fmt.Errorf("snapshot version %d (want %d, %d or %d)",
+			s.Version, snapshotVersionV1, snapshotVersionV2, SnapshotVersion)
 	}
 	if s.ID == "" {
 		return errors.New("snapshot missing id")

@@ -29,6 +29,15 @@ type SessionSpec struct {
 	// ID optionally names the session ([A-Za-z0-9_-], ≤64 chars); the
 	// server generates one when empty.
 	ID string `json:"id,omitempty"`
+	// Tenant labels the session with a tenant path ("acme" or
+	// "acme/prod": [A-Za-z0-9_-] segments joined by "/"). When the daemon
+	// runs the tenant budget economy (Config.Tenancy), the label selects
+	// whose cost sub-budget admits this session's work; unknown tenants
+	// self-register with default share and floor, and an empty label
+	// falls back to the X-Rebudget-Tenant header, then the configured
+	// default tenant. Without tenancy the label is carried and reported
+	// but gates nothing.
+	Tenant string `json:"tenant,omitempty"`
 	// Workload selects the bundle the session allocates for.
 	Workload WorkloadSpec `json:"workload"`
 	// Mechanism is the allocator, in cmd/marketsim syntax: equalshare,
@@ -120,9 +129,23 @@ type SwitchSpec struct {
 
 var idPattern = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
 
+// validTenantPath checks a tenant label: one or more id-shaped segments
+// joined by "/".
+func validTenantPath(p string) bool {
+	for _, seg := range strings.Split(p, "/") {
+		if !idPattern.MatchString(seg) {
+			return false
+		}
+	}
+	return true
+}
+
 func (s SessionSpec) validate() error {
 	if s.ID != "" && !idPattern.MatchString(s.ID) {
 		return fmt.Errorf("session id %q must match %s", s.ID, idPattern)
+	}
+	if s.Tenant != "" && !validTenantPath(s.Tenant) {
+		return fmt.Errorf("tenant %q must be %s segments joined by \"/\"", s.Tenant, idPattern)
 	}
 	switch s.Mode {
 	case "", ModeMarket, ModeSim:
@@ -260,6 +283,7 @@ func parseMechanism(name string, minEF float64) (core.Allocator, error) {
 // SessionView is the client-visible state of a session.
 type SessionView struct {
 	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant,omitempty"`
 	Mode      string          `json:"mode"`
 	Mechanism string          `json:"mechanism"`
 	Category  string          `json:"category,omitempty"`

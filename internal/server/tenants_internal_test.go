@@ -1,0 +1,191 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	"rebudget/internal/tenant"
+)
+
+func testGovernor(t *testing.T, cfg TenancyConfig, capacity float64) *tenantGovernor {
+	t.Helper()
+	if cfg.Epoch == 0 {
+		cfg.Epoch = time.Hour // ticker out of the way; tests drive rebalanceOnce
+	}
+	g, err := newTenantGovernor(cfg, capacity, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.close)
+	return g
+}
+
+// TestTenantGovernorAdmission: per-tenant cost sub-budgets gate admission —
+// one tenant exhausting its grant is refused while its sibling's budget is
+// untouched — and an idle tenant's first request always clamps through.
+func TestTenantGovernorAdmission(t *testing.T) {
+	g := testGovernor(t, TenancyConfig{
+		Tenants: []tenant.NodeSpec{{Name: "a"}, {Name: "b"}},
+	}, 8)
+	// The constructor's first rebalance parks each tenant's slice: 4/4.
+	if got := g.tree.Granted("a"); got != 4 {
+		t.Fatalf("initial grant for a = %g, want 4", got)
+	}
+	if ok, _ := g.admit("a", 3); !ok {
+		t.Fatal("admit(a,3) under a grant of 4 refused")
+	}
+	ok, retry := g.admit("a", 2)
+	if ok {
+		t.Fatal("admit(a,2) with 3 in flight of a 4 grant should refuse")
+	}
+	if retry != g.epoch {
+		t.Fatalf("Retry-After hint %v, want the rebalance epoch %v", retry, g.epoch)
+	}
+	if ok, _ := g.admit("b", 4); !ok {
+		t.Fatal("tenant b's budget must be untouched by a's saturation")
+	}
+	g.release("a", 3)
+	// Progress clamp: an idle tenant admits even an oversize request.
+	if ok, _ := g.admit("a", 100); !ok {
+		t.Fatal("idle tenant's first request must clamp through")
+	}
+	g.release("a", 100)
+	g.release("b", 4)
+}
+
+// TestTenantGovernorResidueSnaps: draining mixed fractional costs must
+// leave inFlight at exactly zero, or the ~1e-15 float residue would
+// defeat the idle-tenant progress clamp forever — a busy sibling's grant
+// plus an oversize cold-create prior would then wedge the tenant.
+func TestTenantGovernorResidueSnaps(t *testing.T) {
+	g := testGovernor(t, TenancyConfig{
+		Tenants: []tenant.NodeSpec{{Name: "a"}, {Name: "b"}},
+	}, 4)
+	// Mixed fractional costs that don't cancel exactly in floating point.
+	costs := []float64{0.3, 0.55, 0.25, 0.7, 0.1}
+	for _, c := range costs {
+		g.admit("a", c)
+	}
+	for _, c := range costs {
+		g.release("a", c)
+	}
+	g.mu.Lock()
+	inFlight := g.usage["a"].inFlight
+	g.mu.Unlock()
+	if inFlight != 0 {
+		t.Fatalf("drained inFlight = %g, want exactly 0", inFlight)
+	}
+	// The clamp must now let an oversize request (a cold-create prior far
+	// past the 2-unit grant) through, as it would for a fresh tenant.
+	if ok, _ := g.admit("a", 16); !ok {
+		t.Fatal("idle tenant with drained history must still clamp through")
+	}
+	g.release("a", 16)
+}
+
+// TestTenantGovernorLendAndReclaim: refused demand still counts as demand,
+// so a saturated tenant borrows its idle sibling's budget within a few
+// rebalances; when the sibling's demand returns, bounded reclaim restores
+// the deserved split.
+func TestTenantGovernorLendAndReclaim(t *testing.T) {
+	g := testGovernor(t, TenancyConfig{
+		Tenants: []tenant.NodeSpec{{Name: "idle"}, {Name: "busy"}},
+	}, 8)
+	if ok, _ := g.admit("busy", 4); !ok {
+		t.Fatal("admit(busy,4)")
+	}
+	if ok, _ := g.admit("busy", 2); ok {
+		t.Fatal("admit(busy,2) past the grant should refuse (but record demand)")
+	}
+	// Keep retrying the refused work across rebalances, as a real client
+	// would: each attempt (refused or not) re-records the 6-unit demand.
+	for i := 0; i < 8; i++ {
+		if ok, _ := g.admit("busy", 2); ok {
+			g.release("busy", 2)
+		}
+		g.rebalanceOnce()
+	}
+	if got := g.tree.Granted("busy"); got < 5.5 {
+		t.Fatalf("busy should borrow idle's headroom: granted %g, want ≥ 5.5", got)
+	}
+	if ok, _ := g.admit("busy", 1.5); !ok {
+		t.Fatal("borrowed budget should admit the previously refused work")
+	}
+	g.release("busy", 1.5)
+	g.release("busy", 4)
+
+	// idle's demand returns: its floor is honoured immediately and the
+	// deserved 4/4 split is restored within the halving schedule.
+	if ok, _ := g.admit("idle", 4); !ok {
+		t.Fatal("idle tenant's first request must clamp through")
+	}
+	g.rebalanceOnce()
+	if got := g.tree.Granted("idle"); got < 0.25*g.tree.Deserved("idle")-1e-9 {
+		t.Fatalf("idle below MBR floor right after demand returned: %g", got)
+	}
+	for i := 0; i < 12; i++ {
+		g.rebalanceOnce()
+	}
+	if got := g.tree.Granted("idle"); got < 4-1e-6 {
+		t.Fatalf("idle's deserved share not reclaimed: granted %g, want 4", got)
+	}
+	g.release("idle", 4)
+}
+
+// TestTenantGovernorDemandDecay: the demand signal rises instantly to the
+// interval peak and halves per epoch afterwards — a drained burst fades
+// from the signal instead of vanishing (or sticking forever).
+func TestTenantGovernorDemandDecay(t *testing.T) {
+	g := testGovernor(t, TenancyConfig{
+		Tenants: []tenant.NodeSpec{{Name: "x"}},
+	}, 8)
+	if ok, _ := g.admit("x", 6); !ok {
+		t.Fatal("admit(x,6)")
+	}
+	g.release("x", 6)
+	g.rebalanceOnce()
+	rows, _ := g.metricsSnapshot()
+	if rows[0].Demand != 6 {
+		t.Fatalf("demand after burst = %g, want the peak 6", rows[0].Demand)
+	}
+	g.rebalanceOnce()
+	rows, _ = g.metricsSnapshot()
+	if rows[0].Demand != 3 {
+		t.Fatalf("decayed demand = %g, want 3", rows[0].Demand)
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	specs, err := ParseTenants("acme/prod:3:2:0.5, acme/dev:1 ,free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "acme" || specs[1].Name != "free" {
+		t.Fatalf("top level: %+v", specs)
+	}
+	kids := specs[0].Children
+	if len(kids) != 2 || kids[0].Name != "dev" || kids[1].Name != "prod" {
+		t.Fatalf("acme children: %+v", kids)
+	}
+	prod := kids[1]
+	if prod.Share != 3 || prod.OverQuotaWeight != 2 || prod.MBRFloor != 0.5 {
+		t.Fatalf("acme/prod numbers: %+v", prod)
+	}
+	if kids[0].Share != 1 {
+		t.Fatalf("acme/dev share: %+v", kids[0])
+	}
+	// The parsed tree must construct.
+	if _, err := tenant.New(specs, tenant.Config{Capacity: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"a b", "x:nope", "x:1:2:3:4", "x:-1", "y:1:1:2"} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) should fail", bad)
+		}
+	}
+	if specs, err := ParseTenants(""); err != nil || len(specs) != 0 {
+		t.Fatalf("empty flag: %v, %v", specs, err)
+	}
+}

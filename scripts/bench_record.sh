@@ -9,7 +9,7 @@ set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 OUT="BENCH_$(date +%Y%m%d).json"
-KEY='^(BenchmarkMarketEquilibrium8|BenchmarkMarketEquilibrium64|BenchmarkMarketEquilibrium64Serial|BenchmarkReBudget64|BenchmarkFig5Simulation|BenchmarkCacheAccess|BenchmarkChipEpoch8|BenchmarkChipEpoch64|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkServeEpoch)$'
+KEY='^(BenchmarkMarketEquilibrium8|BenchmarkMarketEquilibrium64|BenchmarkMarketEquilibrium64Serial|BenchmarkReBudget64|BenchmarkFig5Simulation|BenchmarkCacheAccess|BenchmarkChipEpoch8|BenchmarkChipEpoch64|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkServeEpoch|BenchmarkTenantRebalance|BenchmarkTenantFrontier)$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

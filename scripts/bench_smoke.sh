@@ -23,8 +23,8 @@
 set -u
 
 cd "$(dirname "$0")/.."
-NAMES='BenchmarkMarketEquilibrium64 BenchmarkFig5Simulation BenchmarkChipEpoch64 BenchmarkServeEpoch'
-BENCH='^(BenchmarkMarketEquilibrium64|BenchmarkFig5Simulation|BenchmarkChipEpoch64|BenchmarkServeEpoch)$'
+NAMES='BenchmarkMarketEquilibrium64 BenchmarkFig5Simulation BenchmarkChipEpoch64 BenchmarkServeEpoch BenchmarkTenantRebalance'
+BENCH='^(BenchmarkMarketEquilibrium64|BenchmarkFig5Simulation|BenchmarkChipEpoch64|BenchmarkServeEpoch|BenchmarkTenantRebalance)$'
 DIR=.bench
 BASE="$DIR/baseline.txt"
 CUR="$DIR/current.txt"

@@ -1,0 +1,175 @@
+#!/bin/sh
+# tenant_smoke.sh — end-to-end smoke test of the tenant budget economy,
+# run by `make tenant-smoke` (and `make ci`).
+#
+# Boots one rebudgetd with tenancy armed (two tenants, "lend" and
+# "borrow", splitting a 4-unit cost budget 50/50 with 100ms rebalance
+# epochs) and drives a lend-then-reclaim cycle through live traffic:
+#
+#   phase 1  only "borrow" offers load, well past its deserved half —
+#            the idle "lend" tenant's parked slice must be lent out
+#            (rebudgetd_tenant_lent_cost{tenant="lend"} rises and
+#            "borrow" runs over quota);
+#   phase 2  both tenants offer saturating load — "lend"'s demand has
+#            returned, so bounded reclaim must cut "borrow" back and
+#            restore "lend" to ~its deserved share within a few epochs
+#            (granted ≈ deserved while both are demanding, and
+#            rebudgetd_tenant_reclaimed_cost_total has moved).
+#
+# rebudget-loadgen itself asserts per-tenant placement (every created
+# session's view must echo the tenant label) and each phase's report
+# carries a per-tenant breakdown. Any failure exits non-zero.
+set -u
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+PID=""
+LPID=""
+
+cleanup() {
+    for p in "$LPID" "$PID"; do
+        if [ -n "$p" ] && kill -0 "$p" 2>/dev/null; then
+            kill -9 "$p" 2>/dev/null
+            wait "$p" 2>/dev/null
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "tenant-smoke: building rebudgetd, rebudget-loadgen and rebudget-smoke"
+go build -o "$TMP/rebudgetd" ./cmd/rebudgetd || exit 1
+go build -o "$TMP/rebudget-loadgen" ./cmd/rebudget-loadgen || exit 1
+go build -o "$TMP/rebudget-smoke" ./cmd/rebudget-smoke || exit 1
+
+# wait_addr LOGFILE: poll the daemon log (PID already set by the caller)
+# and echo the bound address once the daemon reports it.
+wait_addr() {
+    _log=$1
+    _i=0
+    while [ $_i -lt 50 ]; do
+        _addr=$(sed -n 's/.*rebudgetd listening.*addr=//p' "$_log" | head -1)
+        if [ -n "$_addr" ]; then
+            echo "$_addr"
+            return 0
+        fi
+        if ! kill -0 "$PID" 2>/dev/null; then
+            echo "tenant-smoke: daemon died before listening:" >&2
+            cat "$_log" >&2
+            return 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "tenant-smoke: daemon never reported its address:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+# await_check DESC CHECKS TRIES: poll /metrics every 0.3s until the
+# rebudget-smoke assertions hold, or fail after TRIES attempts printing
+# the tenant gauge lines for the post-mortem.
+await_check() {
+    _desc=$1
+    _checks=$2
+    _tries=$3
+    _i=0
+    while [ $_i -lt "$_tries" ]; do
+        if "$TMP/rebudget-smoke" -base "http://$ADDR" -metrics-only \
+            -checks "$_checks" >/dev/null 2>&1; then
+            echo "tenant-smoke: $_desc"
+            return 0
+        fi
+        sleep 0.3
+        _i=$((_i + 1))
+    done
+    echo "tenant-smoke: timed out waiting for: $_desc" >&2
+    echo "tenant-smoke: wanted: $_checks" >&2
+    curl -s "http://$ADDR/metrics" 2>/dev/null | grep '^rebudgetd_tenant' >&2
+    return 1
+}
+
+"$TMP/rebudgetd" -addr 127.0.0.1:0 -idle-ttl 0 \
+    -tenants lend,borrow -tenant-epoch 100ms -cost-capacity 4 \
+    2> "$TMP/daemon.log" &
+PID=$!
+ADDR=$(wait_addr "$TMP/daemon.log") || exit 1
+echo "tenant-smoke: daemon up at $ADDR (pid $PID), tenancy armed"
+
+# The tree starts parked: each tenant holds its deserved half of the
+# 4-unit budget before any traffic.
+if ! "$TMP/rebudget-smoke" -base "http://$ADDR" -metrics-only -checks \
+    'rebudgetd_tenant_deserved_cost{tenant="lend"}>=1.9,rebudgetd_tenant_deserved_cost{tenant="borrow"}>=1.9,rebudgetd_tenant_granted_cost{tenant="lend"}>=1.9'; then
+    echo "tenant-smoke: initial parked split missing; daemon log:"
+    cat "$TMP/daemon.log"
+    exit 1
+fi
+echo "tenant-smoke: parked 50/50 split in place"
+
+# Phase 1: saturate "borrow" while "lend" stays idle. 24 concurrent
+# market sessions want far more than borrow's 2-unit slice, so
+# the rebalancer must lend lend's idle headroom across.
+echo "tenant-smoke: phase 1 — borrow saturates, lend idle"
+"$TMP/rebudget-loadgen" -target "http://$ADDR" -label tenant-lend-phase \
+    -sessions 24 -cheap-frac 1 -cheap-cores 32 -cheap-mech equalbudget \
+    -concurrency 24 -duration 10s -prime 0 -tenants borrow:steady \
+    -out "$TMP/phase1.json" 2> "$TMP/loadgen1.log" &
+LPID=$!
+
+await_check "lending observed (lend's slice moved to borrow)" \
+    'rebudgetd_tenant_lent_cost{tenant="lend"}>=0.5,rebudgetd_tenant_borrowed_cost{tenant="borrow"}>=0.5,rebudgetd_tenant_sessions{tenant="borrow"}>=1' \
+    40 || { cat "$TMP/loadgen1.log" >&2; exit 1; }
+
+if ! wait "$LPID"; then
+    echo "tenant-smoke: phase 1 loadgen failed:"
+    cat "$TMP/loadgen1.log"
+    exit 1
+fi
+LPID=""
+
+# Phase 2: lend's demand returns alongside borrow's. Bounded reclaim must
+# cut borrow back so lend holds ~its deserved share while both demand.
+echo "tenant-smoke: phase 2 — lend's demand returns, reclaim"
+"$TMP/rebudget-loadgen" -target "http://$ADDR" -label tenant-reclaim-phase \
+    -sessions 24 -cheap-frac 1 -cheap-cores 32 -cheap-mech equalbudget \
+    -concurrency 24 -duration 12s -prime 0 \
+    -tenants lend:steady,borrow:steady \
+    -out "$TMP/phase2.json" 2> "$TMP/loadgen2.log" &
+LPID=$!
+
+await_check "reclaim restored lend to its deserved share under live load" \
+    'rebudgetd_tenant_demand_cost{tenant="lend"}>=0.8,rebudgetd_tenant_granted_cost{tenant="lend"}>=1.75,rebudgetd_tenant_reclaimed_cost_total{tenant="borrow"}>=0.1,rebudgetd_tenant_rebalance_epochs_total>=10' \
+    40 || { cat "$TMP/loadgen2.log" >&2; exit 1; }
+
+if ! wait "$LPID"; then
+    echo "tenant-smoke: phase 2 loadgen failed:"
+    cat "$TMP/loadgen2.log"
+    exit 1
+fi
+LPID=""
+
+# Both phases must have admitted real per-tenant traffic (the loadgen
+# report carries a per-tenant breakdown; "ok" lines appear per tenant).
+for f in phase1 phase2; do
+    if ! grep -q '"tenants"' "$TMP/$f.json"; then
+        echo "tenant-smoke: $f report missing per-tenant section"
+        cat "$TMP/$f.json"
+        exit 1
+    fi
+done
+
+# SIGTERM must drain cleanly with tenancy armed.
+kill -TERM "$PID"
+_i=0
+while kill -0 "$PID" 2>/dev/null; do
+    if [ $_i -ge 150 ]; then
+        echo "tenant-smoke: daemon did not drain within 15s"
+        exit 1
+    fi
+    sleep 0.1
+    _i=$((_i + 1))
+done
+wait "$PID" 2>/dev/null
+PID=""
+echo "tenant-smoke: lend-then-reclaim cycle observed; PASS"
+exit 0
