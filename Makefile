@@ -15,16 +15,19 @@
 # the weighted admission gauges, tenant-smoke arms the tenant budget economy
 # on one shard and drives a lend-then-reclaim cycle through live traffic
 # (idle tenant's slice lent out, then reclaimed back to the deserved split
-# when its demand returns, observed through the per-tenant gauges), and
+# when its demand returns, observed through the per-tenant gauges),
+# churn-smoke grows and shrinks a live tier 2 -> 4 -> 2 shards through the
+# router's admin API under load (zero lost sessions, gossip convergence on
+# a second router, snapshot-backed migration), and
 # bench-smoke warns (but does not fail, unless BENCH_STRICT=1) on a >10%
 # regression of the market equilibrium kernel against the newest
 # BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos race-tenant bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke load-ab profile-sim
+.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos race-tenant race-cluster bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke churn-smoke load-ab profile-sim
 
-ci: build vet vet-cmd race race-server race-router race-chaos race-tenant serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke bench-smoke
+ci: build vet vet-cmd race race-server race-router race-chaos race-tenant race-cluster serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke churn-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +69,13 @@ serve-smoke:
 race-chaos:
 	$(GO) test -race ./internal/chaos/...
 
+# The cluster substrate on its own under the race detector: the consistent
+# ring, the MovedKeys rebalance planner and its minimal-movement property
+# tests, gossip digest merging, and the snapshot-store backends (HTTP and
+# N-way replicated) under the chaos FaultySnapshotStore.
+race-cluster:
+	$(GO) test -race ./internal/cluster/...
+
 # The tenant economy on its own under the race detector: the tree's
 # lend/reclaim property tests plus the governor, which is hammered from
 # every request goroutine while the epoch ticker rebalances.
@@ -104,6 +114,15 @@ bench-all:
 
 bench-smoke:
 	scripts/bench_smoke.sh
+
+# End-to-end elastic membership: a snapstore, four shards (two in the ring,
+# two standing by) and two gossiping routers; grow 2 -> 4 -> 2 through the
+# authenticated admin API under live rebudget-loadgen traffic, asserting
+# zero lost sessions, zero loadgen errors, membership/migration/gossip
+# counters on both routers, and warm restores through the snapstore.
+# CHURN_DURATION overrides the load window (default 16s).
+churn-smoke:
+	scripts/churn_smoke.sh
 
 # Scaled-down load-harness smoke: two shards behind a router driven by
 # rebudget-loadgen (~30s total), asserting nonzero throughput, a bounded

@@ -4,8 +4,9 @@
 // with a chaos transport on the proxy data path, drives a mixed
 // market/sim session population through the tier while a seeded schedule
 // kills and restarts shards, partitions and heals their data paths,
-// spikes injected latency and corrupts stored snapshots — and then
-// asserts what robustness actually means here:
+// spikes injected latency, corrupts stored snapshots and — mid-outage —
+// grows the tier by a shard through the router's elastic membership
+// (-shard-adds), and then asserts what robustness actually means here:
 //
 //   - zero lost sessions: every session converges to its target epoch
 //     count after the chaos ends (failover + snapshot rehydration, or a
@@ -64,6 +65,9 @@ type harness struct {
 	rtAddr string
 
 	baseLatencyRate float64
+
+	shardsAdded    int // add-shard events that actually admitted a shard
+	movedByElastic int // sessions those admissions scheduled for migration
 }
 
 // shardProc is one in-process rebudgetd shard that can be killed and
@@ -122,6 +126,7 @@ func run() int {
 		steps        = flag.Int("steps", 160, "driver steps in the soak loop")
 		nSessions    = flag.Int("sessions", 6, "sessions in the mixed market/sim population")
 		nShards      = flag.Int("shards", 2, "rebudgetd shards behind the router")
+		shardAdds    = flag.Int("shard-adds", 1, "mid-outage shard additions to script (0 keeps the tier static)")
 		printSched   = flag.Bool("print-schedule", false, "print the seeded chaos schedule and exit")
 		stepSleep    = flag.Duration("step-sleep", 5*time.Millisecond, "sleep between driver steps (lets probes interleave)")
 		maxErrorRate = flag.Float64("max-error-rate", 0.6, "fail if client-visible soak errors exceed this fraction")
@@ -136,6 +141,7 @@ func run() int {
 	events := chaos.NewSchedule(chaos.ScheduleConfig{
 		Seed: *seed, Steps: *steps, Shards: *nShards, Sessions: ids,
 		Partitions: 2, Kills: 1, LatencySpikes: 1, Corruptions: 2,
+		ShardAdds: *shardAdds,
 	})
 	if *printSched {
 		for _, e := range events {
@@ -216,12 +222,17 @@ func run() int {
 	for i, s := range h.shards {
 		bases[i] = s.base()
 	}
+	// Elastic membership is armed only when the schedule actually grows
+	// the tier; a static schedule runs the pre-elastic router unchanged.
 	h.rt, err = router.New(router.Config{
-		Backends:      bases,
-		ProbeInterval: 50 * time.Millisecond,
-		Transport:     h.tr,
-		Breaker:       router.BreakerConfig{FailureThreshold: 3, OpenTimeout: 400 * time.Millisecond},
-		Logger:        h.quiet,
+		Backends:          bases,
+		ProbeInterval:     50 * time.Millisecond,
+		Transport:         h.tr,
+		Breaker:           router.BreakerConfig{FailureThreshold: 3, OpenTimeout: 400 * time.Millisecond},
+		Elastic:           hasShardAdds(events),
+		MigrationInterval: 20 * time.Millisecond,
+		MigrationBudget:   4,
+		Logger:            h.quiet,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos: router:", err)
@@ -382,6 +393,11 @@ func run() int {
 	retries := metricSum(mtext, "rebudget_router_retries_total", "")
 	failovers := metricSum(mtext, "rebudget_router_failovers_total", "")
 	fmt.Printf("chaos: router saw %g breaker opens, %g retries, %g failovers\n", opens, retries, failovers)
+	migrations := metricSum(mtext, "rebudget_router_migrations_total", "")
+	epoch := metricSum(mtext, "rebudget_router_membership_epoch", "")
+	if hasShardAdds(events) {
+		fmt.Printf("chaos: elastic: membership epoch %g, %g sessions migrated\n", epoch, migrations)
+	}
 
 	// --- tear the tier down; every resident session snapshots out ---
 	_ = h.rtHTTP.Close()
@@ -467,6 +483,15 @@ func run() int {
 	if hasShardOutages(events) && opens < 1 {
 		return fail("schedule had shard outages but no breaker ever opened")
 	}
+	if h.shardsAdded > 0 && epoch < float64(1+h.shardsAdded) {
+		return fail("%d shards admitted but membership epoch is %g", h.shardsAdded, epoch)
+	}
+	if h.movedByElastic > 0 && migrations < 1 {
+		return fail("shard admission scheduled %d moves but no migration completed", h.movedByElastic)
+	}
+	if hasShardAdds(events) && h.shardsAdded == 0 {
+		return fail("schedule had add-shard events but none admitted a shard")
+	}
 	if corrupt < 1 {
 		return fail("scripted corruption was not caught by the snapshot checksum")
 	}
@@ -503,7 +528,36 @@ func (h *harness) apply(e chaos.Event) {
 		if err := h.fstore.CorruptNow(e.Session, e.Draw); err != nil {
 			h.log.Info("corruption event found no snapshot", "session", e.Session)
 		}
+	case chaos.EventAddShard:
+		h.addShard()
 	}
+}
+
+// addShard grows the tier mid-run: boot a fresh shard on the shared
+// snapshot store and admit it through the router's elastic membership.
+// The admission probe rides the chaos transport, so background noise can
+// eat an attempt — retry a few times before conceding the event.
+func (h *harness) addShard() {
+	s := &shardProc{idx: len(h.shards)}
+	if err := h.startShard(s); err != nil {
+		h.log.Warn("add-shard event could not boot a shard", "err", err)
+		return
+	}
+	h.shards = append(h.shards, s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for try := 0; try < 8; try++ {
+		moved, err := h.rt.AddShard(ctx, s.base())
+		if err == nil {
+			h.shardsAdded++
+			h.movedByElastic += moved
+			h.log.Info("shard added mid-run", "shard", s.idx, "addr", s.addr, "moved", moved)
+			return
+		}
+		h.log.Info("add-shard admission retry", "try", try, "err", err)
+		time.Sleep(time.Duration(try+1) * 50 * time.Millisecond)
+	}
+	h.log.Warn("add-shard event never admitted its shard", "shard", s.idx)
 }
 
 // specFor builds the mixed population: even slots re-solve the analytic
@@ -675,6 +729,15 @@ func isStatus(err error, code int) bool {
 func hasShardOutages(events []chaos.Event) bool {
 	for _, e := range events {
 		if e.Kind == chaos.EventPartition || e.Kind == chaos.EventKillShard {
+			return true
+		}
+	}
+	return false
+}
+
+func hasShardAdds(events []chaos.Event) bool {
+	for _, e := range events {
+		if e.Kind == chaos.EventAddShard {
 			return true
 		}
 	}

@@ -9,6 +9,12 @@
 // failover amplification during brownouts. See DESIGN.md, "Sharded
 // serving" and "Failure model & chaos", and the README quick-start.
 //
+// With -admin-token the router turns elastic: POST/DELETE /admin/shards
+// add and remove shards under live traffic (resident sessions migrate by
+// snapshot at a bounded per-tick budget), -backends-file re-reads the
+// shard list on SIGHUP, and -gossip-peers exchanges probe state and
+// membership with sibling routers. See DESIGN.md, "Elastic membership".
+//
 // Usage:
 //
 //	rebudget-router -addr :8343 \
@@ -46,6 +52,13 @@ func main() {
 		retryRate     = flag.Float64("retry-rate", 16, "router-wide retry tokens per second (bounds retry amplification)")
 		retryBurst    = flag.Float64("retry-burst", 0, "retry token bucket burst (default 2x -retry-rate)")
 		logFormat     = flag.String("log", "text", "log format: text or json")
+
+		adminToken     = flag.String("admin-token", "", "bearer token for /admin endpoints; setting it turns on elastic membership")
+		backendsFile   = flag.String("backends-file", "", "file of shard URLs (one per line, # comments); re-read and applied on SIGHUP")
+		migBudget      = flag.Int("migration-budget", 0, "sessions migrated per tick during a rebalance (0 = 8)")
+		migInterval    = flag.Duration("migration-interval", 0, "migration tick period (0 = 200ms)")
+		gossipPeers    = flag.String("gossip-peers", "", "comma-separated sibling router URLs for probe-state gossip")
+		gossipInterval = flag.Duration("gossip-interval", 0, "gossip exchange period (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -67,9 +80,24 @@ func main() {
 			bases = append(bases, b)
 		}
 	}
+	if *backendsFile != "" {
+		fileBases, err := readBackendsFile(*backendsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rebudget-router: %v\n", err)
+			os.Exit(2)
+		}
+		bases = append(bases, fileBases...)
+	}
 	if len(bases) == 0 {
-		fmt.Fprintln(os.Stderr, "rebudget-router: -backends is required (comma-separated shard URLs)")
+		fmt.Fprintln(os.Stderr, "rebudget-router: -backends or -backends-file is required (shard URLs)")
 		os.Exit(2)
+	}
+
+	var peers []string
+	for _, p := range strings.Split(*gossipPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
 	}
 
 	rt, err := router.New(router.Config{
@@ -82,10 +110,16 @@ func main() {
 			FailureThreshold: *breakerFails,
 			OpenTimeout:      *breakerOpen,
 		},
-		RetryBudget: *retryBudget,
-		RetryRate:   *retryRate,
-		RetryBurst:  *retryBurst,
-		Logger:      log,
+		RetryBudget:       *retryBudget,
+		RetryRate:         *retryRate,
+		RetryBurst:        *retryBurst,
+		AdminToken:        *adminToken,
+		GossipPeers:       peers,
+		GossipInterval:    *gossipInterval,
+		MigrationBudget:   *migBudget,
+		MigrationInterval: *migInterval,
+		Elastic:           *backendsFile != "",
+		Logger:            log,
 	})
 	if err != nil {
 		log.Error("router construction failed", "err", err)
@@ -105,21 +139,68 @@ func main() {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		log.Info("signal received, shutting down", "signal", sig.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
-			log.Warn("shutdown incomplete", "err", err)
-		}
-		rt.Close()
-		log.Info("rebudget-router stopped")
-	case err := <-errc:
-		if !errors.Is(err, http.ErrServerClosed) {
-			log.Error("serve failed", "err", err)
+	if *backendsFile != "" {
+		signal.Notify(sigc, syscall.SIGHUP)
+	}
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Config reload: re-read the shard list and reconcile the
+				// ring against it (adds and drains happen under traffic).
+				fileBases, err := readBackendsFile(*backendsFile)
+				if err != nil {
+					log.Warn("reload skipped: backends file unreadable", "err", err)
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				err = rt.SetBackends(ctx, fileBases)
+				cancel()
+				if err != nil {
+					log.Warn("reload failed", "err", err)
+					continue
+				}
+				log.Info("backends reloaded", "shards", len(fileBases), "epoch", rt.Epoch())
+				continue
+			}
+			log.Info("signal received, shutting down", "signal", sig.String())
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(ctx); err != nil {
+				log.Warn("shutdown incomplete", "err", err)
+			}
 			rt.Close()
-			os.Exit(1)
+			log.Info("rebudget-router stopped")
+			return
+		case err := <-errc:
+			if !errors.Is(err, http.ErrServerClosed) {
+				log.Error("serve failed", "err", err)
+				rt.Close()
+				os.Exit(1)
+			}
+			return
 		}
 	}
+}
+
+// readBackendsFile parses a shard-list file: one URL per line, blank
+// lines and #-comments ignored (inline comments after a URL too).
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("backends file: %w", err)
+	}
+	var bases []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			bases = append(bases, line)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("backends file %s: no shard URLs", path)
+	}
+	return bases, nil
 }

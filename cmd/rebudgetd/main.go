@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"rebudget/internal/cluster"
 	"rebudget/internal/server"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request allocation deadline")
 		drainWait   = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget")
 		snapshotDir = flag.String("snapshot-dir", "", "persist session snapshots here; evicted/drained sessions rehydrate on next touch (empty disables)")
+		snapshotURL = flag.String("snapshot-url", "", "rebudget-snapstore base URL for snapshots; with -snapshot-dir too, writes replicate to both and reads pick the freshest")
 		sessionRPS  = flag.Float64("session-rps", 0, "per-session epoch budget, epochs/sec (0 disables rate limiting)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 
@@ -65,14 +67,30 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	var snaps server.SnapshotStore
+	var stores []server.SnapshotStore
 	if *snapshotDir != "" {
 		fs, err := server.NewFileSnapshotStore(*snapshotDir)
 		if err != nil {
 			log.Error("snapshot store failed", "dir", *snapshotDir, "err", err)
 			os.Exit(1)
 		}
-		snaps = fs
+		stores = append(stores, fs)
+	}
+	if *snapshotURL != "" {
+		stores = append(stores, cluster.NewHTTPSnapshotStore(*snapshotURL, nil))
+	}
+	var snaps server.SnapshotStore
+	switch len(stores) {
+	case 0:
+	case 1:
+		snaps = stores[0]
+	default:
+		rs, err := cluster.NewReplicatedSnapshotStore(stores...)
+		if err != nil {
+			log.Error("replicated snapshot store failed", "err", err)
+			os.Exit(1)
+		}
+		snaps = rs
 	}
 
 	// Tenancy is armed by any -tenant* flag; with none set, admission keeps

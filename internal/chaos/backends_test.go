@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"rebudget/internal/cluster"
+	"rebudget/internal/server"
+)
+
+// The fault suite must hold for every SnapshotStore backend, not just the
+// file store it was written against: the cluster backends (HTTP snapshot
+// service, in-process N-way replication, plain memory) all expose the same
+// RawSnapshotStore seam, so torn writes and bit rot corrupt their real
+// stored bytes and the shared decode path must turn the damage into
+// ErrNoSnapshot — a cold start, never a panic.
+func clusterBackends(t *testing.T) map[string]server.SnapshotStore {
+	t.Helper()
+	snapSrv := httptest.NewServer(cluster.NewSnapServer(0, nil).Handler())
+	t.Cleanup(snapSrv.Close)
+	replicated, err := cluster.NewReplicatedSnapshotStore(
+		server.NewMemorySnapshotStore(), server.NewMemorySnapshotStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]server.SnapshotStore{
+		"memory":     server.NewMemorySnapshotStore(),
+		"http":       cluster.NewHTTPSnapshotStore(snapSrv.URL, snapSrv.Client()),
+		"replicated": replicated,
+	}
+}
+
+func TestFaultyStoreSuiteOverClusterBackends(t *testing.T) {
+	for name, inner := range clusterBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			raw, ok := inner.(server.RawSnapshotStore)
+			if !ok {
+				t.Fatalf("%s backend lacks the RawSnapshotStore seam chaos faults need", name)
+			}
+
+			// Passthrough: a nil injector is transparent.
+			pt := NewFaultySnapshotStore(inner, nil)
+			if err := pt.Save(testSnap("pt")); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := pt.Load("pt"); err != nil || got.Epochs != 12 {
+				t.Fatalf("passthrough load: %+v %v", got, err)
+			}
+			if err := pt.Delete("pt"); err != nil {
+				t.Fatal(err)
+			}
+
+			// EIO on save fails without touching the stored snapshot.
+			if err := inner.Save(testSnap("eio")); err != nil {
+				t.Fatal(err)
+			}
+			eio := NewFaultySnapshotStore(inner, New(Config{Seed: 5, SaveEIORate: 1}))
+			if err := eio.Save(testSnap("eio")); !errors.Is(err, ErrInjectedIO) {
+				t.Fatalf("want ErrInjectedIO, got %v", err)
+			}
+			if got, err := inner.Load("eio"); err != nil || got.Epochs != 12 {
+				t.Fatalf("EIO clobbered the stored snapshot: %+v %v", got, err)
+			}
+
+			// Torn write: truncated bytes land, decode rejects them.
+			torn := NewFaultySnapshotStore(inner, New(Config{Seed: 5, TornWriteRate: 1}))
+			if err := torn.Save(testSnap("torn")); err != nil {
+				t.Fatal(err)
+			}
+			if buf, err := raw.LoadRaw("torn"); err != nil || len(buf) == 0 {
+				t.Fatalf("torn write left nothing: %d bytes, %v", len(buf), err)
+			}
+			if _, err := torn.Load("torn"); !errors.Is(err, server.ErrNoSnapshot) {
+				t.Fatalf("torn snapshot: want ErrNoSnapshot, got %v", err)
+			}
+
+			// Bit rot on load: the checksum catches the flip.
+			rot := NewFaultySnapshotStore(inner, New(Config{Seed: 5, LoadCorruptRate: 1}))
+			if err := rot.Save(testSnap("rot")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rot.Load("rot"); !errors.Is(err, server.ErrNoSnapshot) {
+				t.Fatalf("rotted snapshot: want ErrNoSnapshot, got %v", err)
+			}
+
+			// Scripted corruption: deterministic flip, caught on next load.
+			script := NewFaultySnapshotStore(inner, nil)
+			if err := script.Save(testSnap("script")); err != nil {
+				t.Fatal(err)
+			}
+			if err := script.CorruptNow("script", 12345); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := script.Load("script"); !errors.Is(err, server.ErrNoSnapshot) {
+				t.Fatalf("scripted corruption: want ErrNoSnapshot, got %v", err)
+			}
+		})
+	}
+}
+
+// Replication is the one backend where corruption should NOT mean a cold
+// start unless it hits every replica: rot injected through the replicated
+// store's raw seam damages all copies (tested above), but rot on a single
+// replica is survived and healed.
+func TestReplicatedBackendSurvivesSingleReplicaFaults(t *testing.T) {
+	intact := server.NewMemorySnapshotStore()
+	flaky := server.NewMemorySnapshotStore()
+	// The faulty wrapper sits around ONE replica; the replicated store
+	// composes it like any other SnapshotStore.
+	faulty := NewFaultySnapshotStore(flaky, New(Config{Seed: 9, LoadCorruptRate: 1}))
+	rs, err := cluster.NewReplicatedSnapshotStore(faulty, intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Save(testSnap("one")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Load("one")
+	if err != nil || got.Epochs != 12 {
+		t.Fatalf("single-replica rot must not cost the snapshot: %+v %v", got, err)
+	}
+}

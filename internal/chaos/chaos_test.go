@@ -175,3 +175,64 @@ func TestScheduleDeterministicAndWellFormed(t *testing.T) {
 		}
 	}
 }
+
+// Shard adds are opt-in and draw after everything else: a schedule with
+// ShardAdds set is the exact pre-elastic schedule plus add-shard events,
+// and each add lands inside an outage window (growing the fleet while it
+// is degraded is the case worth rehearsing).
+func TestScheduleShardAddsExtendWithoutPerturbing(t *testing.T) {
+	base := ScheduleConfig{
+		Seed: 11, Steps: 200, Shards: 2,
+		Sessions:   []string{"a", "b", "c"},
+		Partitions: 2, Kills: 1, LatencySpikes: 1, Corruptions: 2,
+	}
+	withAdds := base
+	withAdds.ShardAdds = 2
+	s0 := NewSchedule(base)
+	s1 := NewSchedule(withAdds)
+
+	strip := func(events []Event) []Event {
+		var out []Event
+		for _, e := range events {
+			if e.Kind != EventAddShard {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(s0, strip(s1)) {
+		t.Fatal("enabling ShardAdds perturbed the pre-elastic schedule")
+	}
+
+	adds := 0
+	inOutage := func(step int) bool {
+		open := map[int]int{}
+		for _, e := range s1 {
+			switch e.Kind {
+			case EventPartition, EventKillShard:
+				open[e.Shard] = e.Step
+			case EventHeal, EventRestartShard:
+				if s, ok := open[e.Shard]; ok && s <= step && step < e.Step {
+					return true
+				}
+				delete(open, e.Shard)
+			}
+		}
+		return false
+	}
+	for _, e := range s1 {
+		if e.Kind != EventAddShard {
+			continue
+		}
+		adds++
+		if e.Shard < base.Shards {
+			t.Fatalf("add-shard names an existing shard index %d", e.Shard)
+		}
+		if !inOutage(e.Step) {
+			t.Fatalf("add-shard at step %d is outside every outage window", e.Step)
+		}
+	}
+	if adds != 2 {
+		t.Fatalf("schedule carries %d add-shard events, want 2", adds)
+	}
+}

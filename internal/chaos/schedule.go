@@ -26,6 +26,10 @@ const (
 	EventLatencyNormal
 	// EventCorruptSnapshot flips a bit in one session's stored snapshot.
 	EventCorruptSnapshot
+	// EventAddShard grows the serving tier by one shard mid-run —
+	// deliberately placed inside an outage window, so elastic rebalance is
+	// exercised while the fleet is already degraded.
+	EventAddShard
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +49,8 @@ func (k EventKind) String() string {
 		return "latency-normal"
 	case EventCorruptSnapshot:
 		return "corrupt-snapshot"
+	case EventAddShard:
+		return "add-shard"
 	default:
 		return "unknown"
 	}
@@ -98,6 +104,10 @@ type ScheduleConfig struct {
 	// Corruptions is how many snapshot-corruption events (default 1, 0
 	// when Sessions is empty).
 	Corruptions int
+	// ShardAdds is how many mid-run shard additions to script (default 0
+	// — opt-in, so pre-elastic schedules stay bit-identical seed for
+	// seed: with ShardAdds zero the generator draws nothing extra).
+	ShardAdds int
 }
 
 func (c ScheduleConfig) withDefaults() ScheduleConfig {
@@ -211,6 +221,41 @@ func NewSchedule(cfg ScheduleConfig) []Event {
 			Draw:    rng.Uint64(),
 		})
 	}
+	// Shard adds draw last: every pre-elastic schedule (ShardAdds 0) sees
+	// the exact rng stream it always did. Each add lands inside an outage
+	// window when one exists — growing the fleet while it is degraded is
+	// the hard case — and the Shard field names the new member's index.
+	for i := 0; i < cfg.ShardAdds; i++ {
+		step := 1 + rng.Intn(cfg.Steps-1)
+		if windows := outageWindows(events); len(windows) > 0 {
+			w := windows[rng.Intn(len(windows))]
+			if w.len > 1 {
+				step = w.start + 1 + rng.Intn(w.len-1)
+			} else {
+				step = w.start
+			}
+		}
+		events = append(events, Event{Step: step, Kind: EventAddShard, Shard: cfg.Shards + i})
+	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Step < events[j].Step })
 	return events
+}
+
+// outageWindows lists the [start, start+len) spans where a shard is
+// partitioned or down, in generation order.
+func outageWindows(events []Event) []struct{ start, len int } {
+	var out []struct{ start, len int }
+	open := make(map[int]int) // shard -> start step, per outage kind pairing
+	for _, e := range events {
+		switch e.Kind {
+		case EventPartition, EventKillShard:
+			open[e.Shard] = e.Step
+		case EventHeal, EventRestartShard:
+			if s, ok := open[e.Shard]; ok {
+				out = append(out, struct{ start, len int }{s, e.Step - s})
+				delete(open, e.Shard)
+			}
+		}
+	}
+	return out
 }

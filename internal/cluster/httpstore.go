@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rebudget/internal/server"
+)
+
+// HTTPSnapshotStore is a server.SnapshotStore backed by a rebudget-snapstore
+// service: every shard pointed at the same base URL shares one snapshot
+// namespace, so a killed shard's sessions restore warm on any node with no
+// shared filesystem. It also implements server.RawSnapshotStore, which is
+// the seam the chaos layer's FaultySnapshotStore uses for torn-write and
+// bit-rot faults — damaged bytes round-trip through the service verbatim
+// and are rejected by DecodeSnapshot on the way out, exactly like the file
+// store.
+//
+// Error mapping follows the SnapshotStore contract: a 404 (absent or
+// server-side integrity failure) is ErrNoSnapshot — a cold start — while a
+// transport failure (service down, partitioned) surfaces as a plain error
+// so the daemon counts it as load_error rather than pretending the
+// snapshot never existed.
+type HTTPSnapshotStore struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPSnapshotStore builds a store over the service at base (e.g.
+// "http://127.0.0.1:9701"). client nil selects a 5s-timeout default.
+func NewHTTPSnapshotStore(base string, client *http.Client) *HTTPSnapshotStore {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &HTTPSnapshotStore{base: strings.TrimRight(base, "/"), client: client}
+}
+
+// Save implements SnapshotStore.
+func (hs *HTTPSnapshotStore) Save(snap *server.SessionSnapshot) error {
+	buf, err := server.EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	return hs.SaveRaw(snap.ID, buf)
+}
+
+// Load implements SnapshotStore.
+func (hs *HTTPSnapshotStore) Load(id string) (*server.SessionSnapshot, error) {
+	buf, err := hs.LoadRaw(id)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, server.ErrNoSnapshot
+		}
+		return nil, err
+	}
+	return server.DecodeSnapshot(id, buf)
+}
+
+// Delete implements SnapshotStore; deleting an absent snapshot is not an
+// error.
+func (hs *HTTPSnapshotStore) Delete(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, hs.blobURL(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hs.client.Do(req)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("snapstore delete %s: %s", id, resp.Status)
+	}
+	return nil
+}
+
+// SaveRaw implements RawSnapshotStore: data lands verbatim.
+func (hs *HTTPSnapshotStore) SaveRaw(id string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, hs.blobURL(id), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := hs.client.Do(req)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("snapstore put %s: %s", id, resp.Status)
+	}
+	return nil
+}
+
+// LoadRaw implements RawSnapshotStore; os.ErrNotExist when the service
+// holds no (usable) blob for id.
+func (hs *HTTPSnapshotStore) LoadRaw(id string) ([]byte, error) {
+	resp, err := hs.client.Get(hs.blobURL(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, os.ErrNotExist
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("snapstore get %s: %s", id, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (hs *HTTPSnapshotStore) blobURL(id string) string {
+	return hs.base + "/v1/blobs/" + id
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import "sort"
+
+// MovedKeys reports, in sorted order, which of keys change primary owner
+// when membership goes from oldMembers to newMembers (same vnodes on both
+// sides). This is the migration plan for a membership change: only the
+// returned keys need their sessions drained to snapshot and rehydrated on
+// the new owner; every other resident session stays put.
+//
+// The computation is pure — two fresh rings are built from the member
+// lists, so the answer depends only on (oldMembers, newMembers, vnodes,
+// keys) and is identical on every router replica that observed the same
+// membership epoch. Consistent hashing bounds the answer: adding one
+// member to N claims only the key ranges adjacent to its vnodes, ≈K/(N+1)
+// of K keys in expectation (the property test pins ⌈K/N⌉+ε).
+func MovedKeys(oldMembers, newMembers []string, vnodes int, keys []string) []string {
+	oldRing := NewRing(vnodes)
+	for _, m := range oldMembers {
+		oldRing.Add(m)
+	}
+	newRing := NewRing(vnodes)
+	for _, m := range newMembers {
+		newRing.Add(m)
+	}
+	moved := make([]string, 0)
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if oldRing.Primary(k) != newRing.Primary(k) {
+			moved = append(moved, k)
+		}
+	}
+	sort.Strings(moved)
+	return moved
+}

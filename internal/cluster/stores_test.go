@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"rebudget/internal/server"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func clusterSnap(id string, epochs int) *server.SessionSnapshot {
+	return &server.SessionSnapshot{
+		Version: server.SnapshotVersion,
+		ID:      id,
+		Spec:    server.SessionSpec{Mechanism: "equalshare", Workload: server.WorkloadSpec{Fig3: true}},
+		Epochs:  int64(epochs),
+		Health:  "healthy",
+		SavedAt: time.Unix(1700000000+int64(epochs), 0).UTC(),
+		Market:  &server.MarketSnapshot{Demand: []float64{1.25, 2.5}, Weights: []float64{1, 1}},
+	}
+}
+
+func newHTTPStore(t *testing.T) (*HTTPSnapshotStore, *SnapServer) {
+	t.Helper()
+	ss := NewSnapServer(0, discardLogger())
+	srv := httptest.NewServer(ss.Handler())
+	t.Cleanup(srv.Close)
+	return NewHTTPSnapshotStore(srv.URL, srv.Client()), ss
+}
+
+// --- HTTP store / snap server ---
+
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	hs, ss := newHTTPStore(t)
+	if err := hs.Save(clusterSnap("rt", 12)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hs.Load("rt")
+	if err != nil || got.Epochs != 12 {
+		t.Fatalf("load: %+v %v", got, err)
+	}
+	if ss.Len() != 1 {
+		t.Fatalf("server holds %d snapshots, want 1", ss.Len())
+	}
+	if err := hs.Delete("rt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.Load("rt"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("after delete: want ErrNoSnapshot, got %v", err)
+	}
+	// Deleting again (absent) is not an error, matching the file store.
+	if err := hs.Delete("rt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPStoreMissingIsErrNoSnapshot(t *testing.T) {
+	hs, _ := newHTTPStore(t)
+	if _, err := hs.Load("ghost"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("want ErrNoSnapshot, got %v", err)
+	}
+	if _, err := hs.LoadRaw("ghost"); !os.IsNotExist(err) {
+		t.Fatalf("want os.ErrNotExist, got %v", err)
+	}
+}
+
+// A down service is a load error, not a phantom cold start: the daemon
+// counts it separately and still degrades gracefully.
+func TestHTTPStoreTransportErrorIsNotErrNoSnapshot(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	hs := NewHTTPSnapshotStore(url, &http.Client{Timeout: time.Second})
+	if err := hs.Save(clusterSnap("down", 1)); err == nil {
+		t.Fatal("save against a dead service should fail")
+	}
+	_, err := hs.Load("down")
+	if err == nil || errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("dead service must not masquerade as ErrNoSnapshot: %v", err)
+	}
+}
+
+// Raw bytes round-trip verbatim — the seam chaos faults ride through.
+func TestHTTPStoreRawRoundTrip(t *testing.T) {
+	hs, _ := newHTTPStore(t)
+	torn := []byte(`{"version":3,"id":"torn","epo`) // truncated JSON
+	if err := hs.SaveRaw("torn", torn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hs.LoadRaw("torn")
+	if err != nil || !bytes.Equal(got, torn) {
+		t.Fatalf("raw round trip: %q %v", got, err)
+	}
+	// And the decode path turns the damage into a cold start.
+	if _, err := hs.Load("torn"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("torn bytes: want ErrNoSnapshot, got %v", err)
+	}
+}
+
+// Identical content under two ids is stored once (content addressing).
+func TestSnapServerDedupsIdenticalContent(t *testing.T) {
+	hs, ss := newHTTPStore(t)
+	data := []byte("identical bytes")
+	if err := hs.SaveRaw("a", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.SaveRaw("b", data); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.RLock()
+	uniq := len(ss.blobs)
+	ss.mu.RUnlock()
+	if uniq != 1 {
+		t.Fatalf("identical content stored %d times, want 1", uniq)
+	}
+	// Deleting one id must not take the other's bytes with it.
+	if err := hs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := hs.LoadRaw("b"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("dedup delete broke the surviving id: %q %v", got, err)
+	}
+}
+
+// Server-side rot (stored bytes no longer match their content address) is
+// detected on GET and answered 404 — a cold start, never damaged state.
+func TestSnapServerDetectsRot(t *testing.T) {
+	hs, ss := newHTTPStore(t)
+	if err := hs.SaveRaw("rot", []byte("pristine bytes")); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	for _, b := range ss.blobs {
+		b.data[0] ^= 0x40 // flip a bit in place, behind the hash's back
+	}
+	ss.mu.Unlock()
+	if _, err := hs.LoadRaw("rot"); !os.IsNotExist(err) {
+		t.Fatalf("rotted blob: want os.ErrNotExist, got %v", err)
+	}
+	if _, err := hs.Load("rot"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("rotted blob: want ErrNoSnapshot, got %v", err)
+	}
+}
+
+// --- replicated store ---
+
+func TestReplicatedStoreFreshestWinsAndRepairs(t *testing.T) {
+	r1 := server.NewMemorySnapshotStore()
+	r2 := server.NewMemorySnapshotStore()
+	r3 := server.NewMemorySnapshotStore()
+	rs, err := NewReplicatedSnapshotStore(r1, r2, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1 holds a stale copy, r2 the freshest, r3 nothing.
+	if err := r1.Save(clusterSnap("f", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Save(clusterSnap("f", 9)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Load("f")
+	if err != nil || got.Epochs != 9 {
+		t.Fatalf("load: %+v %v", got, err)
+	}
+	// The read repaired both the stale and the empty replica.
+	for i, r := range []*server.MemorySnapshotStore{r1, r3} {
+		cur, err := r.Load("f")
+		if err != nil || cur.Epochs != 9 {
+			t.Fatalf("replica %d not repaired: %+v %v", i, cur, err)
+		}
+	}
+}
+
+func TestReplicatedStoreSurvivesCorruptMinority(t *testing.T) {
+	r1 := server.NewMemorySnapshotStore()
+	r2 := server.NewMemorySnapshotStore()
+	rs, err := NewReplicatedSnapshotStore(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Save(clusterSnap("c", 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-rot replica 1's copy behind the store's back.
+	raw, err := r1.LoadRaw("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := r1.SaveRaw("c", raw); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Load("c")
+	if err != nil || got.Epochs != 7 {
+		t.Fatalf("one intact replica should be enough: %+v %v", got, err)
+	}
+	// And the rotted replica was healed from the intact one.
+	if cur, err := r1.Load("c"); err != nil || cur.Epochs != 7 {
+		t.Fatalf("rotted replica not healed: %+v %v", cur, err)
+	}
+}
+
+func TestReplicatedStoreAllCorruptIsColdStart(t *testing.T) {
+	r1 := server.NewMemorySnapshotStore()
+	r2 := server.NewMemorySnapshotStore()
+	rs, err := NewReplicatedSnapshotStore(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.SaveRaw("x", []byte("not a snapshot at all")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Load("x"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("all-corrupt: want ErrNoSnapshot, got %v", err)
+	}
+	if _, err := rs.Load("absent"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("absent: want ErrNoSnapshot, got %v", err)
+	}
+}
+
+func TestReplicatedStoreMixedBackends(t *testing.T) {
+	// A memory replica beside an HTTP replica: the interface is the seam.
+	hs, _ := newHTTPStore(t)
+	mem := server.NewMemorySnapshotStore()
+	rs, err := NewReplicatedSnapshotStore(mem, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Save(clusterSnap("mix", 3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []server.SnapshotStore{mem, hs, rs} {
+		got, err := st.Load("mix")
+		if err != nil || got.Epochs != 3 {
+			t.Fatalf("%T: %+v %v", st, got, err)
+		}
+	}
+	if err := rs.Delete("mix"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Load("mix"); !errors.Is(err, server.ErrNoSnapshot) {
+		t.Fatalf("after delete: want ErrNoSnapshot, got %v", err)
+	}
+}

@@ -25,6 +25,33 @@ type backend struct {
 	healthy  atomic.Bool
 	sessions atomic.Int64 // /healthz-reported resident session count
 	probes   atomic.Int64 // completed probes (telemetry)
+
+	// obsSeq versions this router's health observation for gossip: bumped
+	// on every first-hand flip (probe or data-path), so a fresh local
+	// observation outranks anything peers still gossip about the old state.
+	// See internal/cluster gossip.go for the merge rule.
+	obsSeq atomic.Uint64
+}
+
+// setHealthy records a first-hand health observation, bumping the gossip
+// sequence only when the state actually flips.
+func (b *backend) setHealthy(now bool) {
+	if b.healthy.Swap(now) != now {
+		b.obsSeq.Add(1)
+	}
+}
+
+// adoptObservation installs a peer's gossiped observation verbatim — state
+// and sequence together, no bump: adoption relays authority, it doesn't
+// create any.
+func (b *backend) adoptObservation(healthy bool, seq uint64) {
+	b.healthy.Store(healthy)
+	b.obsSeq.Store(seq)
+}
+
+// observation snapshots this backend's gossip view.
+func (b *backend) observation() (healthy bool, seq uint64) {
+	return b.healthy.Load(), b.obsSeq.Load()
 }
 
 // healthzBody mirrors the daemon's /healthz response.
@@ -39,12 +66,12 @@ func (b *backend) probe(ctx context.Context, client *http.Client) bool {
 	b.probes.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
 	if err != nil {
-		b.healthy.Store(false)
+		b.setHealthy(false)
 		return false
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		b.healthy.Store(false)
+		b.setHealthy(false)
 		return false
 	}
 	defer resp.Body.Close()
@@ -54,7 +81,7 @@ func (b *backend) probe(ctx context.Context, client *http.Client) bool {
 	if ok {
 		b.sessions.Store(int64(body.Sessions))
 	}
-	b.healthy.Store(ok)
+	b.setHealthy(ok)
 	return ok
 }
 
@@ -64,7 +91,7 @@ func (rt *Router) probeAll(ctx context.Context) {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, b := range rt.backends {
+	for _, b := range rt.allBackends() {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()

@@ -28,6 +28,16 @@ type rtrMetrics struct {
 	retries        atomic.Int64 // failover attempts beyond a request's first
 	retryExhausted atomic.Int64 // retries refused by the router-wide token bucket
 
+	// Elastic-membership counters (rendered only in elastic mode, so a
+	// static router's /metrics stays bit-identical to the pre-elastic one).
+	migrations        atomic.Int64 // sessions moved to a new owner
+	migrationRetries  atomic.Int64 // 410s swallowed and re-routed mid-migration
+	migrationDropped  atomic.Int64 // moves abandoned (owner gone; snapshot-or-cold)
+	membershipChanges atomic.Int64 // ring flips (admin, reload, or gossip adoption)
+	gossipRounds      atomic.Int64 // digests pushed to peers
+	gossipAdopted     atomic.Int64 // peer observations adopted locally
+	gossipFailures    atomic.Int64 // unreachable peers
+
 	requests labelCounters // route|code
 
 	latCount atomic.Int64
@@ -180,6 +190,27 @@ func (m *rtrMetrics) render(w io.Writer, backends []*backend, uptime time.Durati
 	fmt.Fprintf(w, "rebudget_router_request_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
 	fmt.Fprintf(w, "rebudget_router_request_seconds_sum %s\n", fmtFloat(m.latSum.load()))
 	fmt.Fprintf(w, "rebudget_router_request_seconds_count %d\n", m.latCount.Load())
+}
+
+// renderElastic appends the elastic-membership series: epoch, migration
+// and gossip counters. Called only in elastic mode — the whole section is
+// absent from a static router's exposition.
+func (m *rtrMetrics) renderElastic(w io.Writer, epoch uint64, queued, pinned int) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	gauge("rebudget_router_membership_epoch", "Current membership epoch (1 until the first change).", float64(epoch))
+	counter("rebudget_router_membership_changes_total", "Ring flips applied (admin API, config reload, or gossip adoption).", float64(m.membershipChanges.Load()))
+	counter("rebudget_router_migrations_total", "Sessions migrated to a new owner via snapshot evict/rehydrate.", float64(m.migrations.Load()))
+	counter("rebudget_router_migration_retries_total", "Requests re-routed after a session moved mid-flight (swallowed 410s).", float64(m.migrationRetries.Load()))
+	counter("rebudget_router_migrations_dropped_total", "Migrations abandoned because the owning shard stayed unreachable.", float64(m.migrationDropped.Load()))
+	gauge("rebudget_router_migrations_pending", "Session moves queued or pinned mid-move.", float64(max(queued, pinned)))
+	counter("rebudget_router_gossip_rounds_total", "Gossip digests pushed to peers.", float64(m.gossipRounds.Load()))
+	counter("rebudget_router_gossip_adopted_total", "Peer shard observations adopted locally.", float64(m.gossipAdopted.Load()))
+	counter("rebudget_router_gossip_failures_total", "Gossip pushes that failed to reach their peer.", float64(m.gossipFailures.Load()))
 }
 
 func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }

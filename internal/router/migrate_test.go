@@ -38,18 +38,28 @@ func TestMigrationUnderChurn(t *testing.T) {
 	rc := client.New(rts)
 	ctx := context.Background()
 
+	// Placement hashes the shards' random httptest ports, so a fixed id
+	// set can degenerate onto one shard; pick ids so both shards hold
+	// sessions and the kill below actually forces migrations.
 	const nSessions = 6
-	ids := make([]string, nSessions)
+	ids := make([]string, 0, nSessions)
 	onA := 0
-	for i := range ids {
-		ids[i] = fmt.Sprintf("churn-%d", i)
-		if rt.ring.Primary(ids[i]) == shardA.ts.URL {
+	for i := 0; len(ids) < nSessions; i++ {
+		if i >= 1000 {
+			t.Fatal("could not spread sessions across both shards")
+		}
+		id := fmt.Sprintf("churn-%d", i)
+		a := rt.ring.Primary(id) == shardA.ts.URL
+		if len(ids) == nSessions-1 && (onA == 0 || onA == len(ids)) {
+			if (onA == 0) != a { // last slot goes to the still-empty shard
+				continue
+			}
+		}
+		if a {
 			onA++
 		}
-		mustCreate(t, rc, fig3Spec(ids[i]))
-	}
-	if onA == 0 || onA == nSessions {
-		t.Fatalf("degenerate placement (%d/%d on shard A) — churn would not migrate anything", onA, nSessions)
+		ids = append(ids, id)
+		mustCreate(t, rc, fig3Spec(id))
 	}
 
 	// Steppers: step every session continuously, tolerating the transient

@@ -61,6 +61,29 @@ type Config struct {
 	// replicas pointed at the same shards don't synchronize their sweeps
 	// into a thundering probe herd. Set negative for none.
 	ProbeJitter float64
+
+	// AdminToken, when set, enables the authenticated membership API
+	// (POST/DELETE /admin/shards, GET /admin/membership) and arms elastic
+	// mode. Requests must carry "Authorization: Bearer <token>".
+	AdminToken string
+	// GossipPeers are sibling router base URLs for probe-state gossip.
+	// Non-empty arms elastic mode and starts the anti-entropy loop.
+	GossipPeers []string
+	// GossipInterval is the digest push period (default 1s).
+	GossipInterval time.Duration
+	// MigrationBudget bounds sessions moved per migration tick (default 8)
+	// — the fleet-level CutSchedule step, so a membership change disturbs
+	// serving no faster than a bounded budget cut disturbs the market.
+	MigrationBudget int
+	// MigrationInterval is the migrator tick period (default 200ms).
+	MigrationInterval time.Duration
+	// Elastic arms elastic mode without an admin token or gossip peers —
+	// for deployments whose only membership channel is the SIGHUP
+	// config-reload path. When elastic mode is off (the default with none
+	// of the three set), the router's outputs are bit-identical to the
+	// pre-elastic router: no epoch header, no membership metrics, no
+	// admin or gossip routes.
+	Elastic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,19 +124,47 @@ func (c Config) withDefaults() Config {
 	} else if c.ProbeJitter < 0 {
 		c.ProbeJitter = 0
 	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.MigrationBudget <= 0 {
+		c.MigrationBudget = 8
+	}
+	if c.MigrationInterval <= 0 {
+		c.MigrationInterval = 200 * time.Millisecond
+	}
+	if c.AdminToken != "" || len(c.GossipPeers) > 0 {
+		c.Elastic = true
+	}
 	return c
 }
 
 // Router is the sharded serving tier: it owns the hash ring, the health
-// prober and the proxy loop. Construct with New, mount Handler, Close when
-// done.
+// prober and the proxy loop — and, in elastic mode, the membership state
+// machine (admin API, budget-bounded session migrator, gossip loop).
+// Construct with New, mount Handler, Close when done.
 type Router struct {
-	cfg Config
-	log *slog.Logger
+	cfg     Config
+	log     *slog.Logger
+	elastic bool
 
+	// mu guards the membership view: ring, backends, order, retired, pins.
+	// In static deployments it is only ever write-locked during New, so the
+	// read-lock on the data path is uncontended.
+	mu       sync.RWMutex
 	ring     *Ring
-	backends map[string]*backend
-	order    []*backend // configured order, for stable /metrics rendering
+	backends map[string]*backend // every reachable shard, active and retired
+	order    []*backend          // active shards, configured order, for stable /metrics rendering
+	retired  map[string]*backend // removed from the ring, kept reachable while their sessions drain
+	pins     map[string]string   // session id → shard base, overriding the ring mid-migration
+	moveSeq  uint64              // bumps once per completed migration (under mu)
+	movedAt  map[string]uint64   // session id → moveSeq when its pin last cleared
+	listings int                 // membership listings in flight; movedAt is prunable only at zero
+
+	epoch atomic.Uint64 // membership epoch; starts at 1, bumped per change
+
+	migMu    sync.Mutex
+	migQueue []migration
 
 	met         *rtrMetrics
 	mux         *http.ServeMux
@@ -127,11 +178,21 @@ type Router struct {
 
 	proberStop chan struct{}
 	proberDone chan struct{}
+	loopStop   chan struct{} // migrator + gossip (elastic mode only)
+	loopsDone  sync.WaitGroup
+}
+
+// migration is one session move: evict id from shard `from`, then let the
+// ring's new owner rehydrate it.
+type migration struct {
+	id, from string
+	retries  int
 }
 
 // New builds a router over the configured backends, probes them once
 // synchronously (so routing decisions are informed from the first
-// request), and starts the background prober.
+// request), and starts the background prober (plus, in elastic mode, the
+// migrator and gossip loops).
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Backends) == 0 {
@@ -140,8 +201,12 @@ func New(cfg Config) (*Router, error) {
 	rt := &Router{
 		cfg:      cfg,
 		log:      cfg.Logger,
+		elastic:  cfg.Elastic,
 		ring:     NewRing(cfg.VNodes),
 		backends: make(map[string]*backend),
+		retired:  make(map[string]*backend),
+		pins:     make(map[string]string),
+		movedAt:  make(map[string]uint64),
 		met:      &rtrMetrics{},
 		mux:      http.NewServeMux(),
 		proxyClient: &http.Client{
@@ -157,7 +222,9 @@ func New(cfg Config) (*Router, error) {
 		idSalt:     strconv.FormatInt(time.Now().UnixNano(), 36),
 		proberStop: make(chan struct{}),
 		proberDone: make(chan struct{}),
+		loopStop:   make(chan struct{}),
 	}
+	rt.epoch.Store(1)
 	rt.retry = newRetryBudget(cfg.RetryRate, cfg.RetryBurst, time.Now)
 	for _, raw := range cfg.Backends {
 		base := strings.TrimRight(raw, "/")
@@ -175,6 +242,14 @@ func New(cfg Config) (*Router, error) {
 	rt.routes()
 	rt.probeAll(context.Background())
 	go rt.prober()
+	if rt.elastic {
+		rt.loopsDone.Add(1)
+		go rt.migrator()
+		if len(cfg.GossipPeers) > 0 {
+			rt.loopsDone.Add(1)
+			go rt.gossiper()
+		}
+	}
 	return rt, nil
 }
 
@@ -185,12 +260,27 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("/v1/sessions/{id}/{verb}", rt.handleSession)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	// Elastic routes exist only in elastic mode: a static router answers
+	// 404 on these paths, exactly as it did before elastic membership.
+	if rt.cfg.AdminToken != "" {
+		rt.mux.HandleFunc("POST /admin/shards", rt.handleAdminAdd)
+		rt.mux.HandleFunc("DELETE /admin/shards", rt.handleAdminRemove)
+		rt.mux.HandleFunc("GET /admin/membership", rt.handleMembership)
+	}
+	if rt.elastic {
+		rt.mux.HandleFunc("POST /gossip", rt.handleGossip)
+	}
 }
 
 // Handler returns the router's HTTP handler (logging + metrics wrapped).
 func (rt *Router) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if rt.elastic {
+			// The epoch header is how long-lived clients learn membership
+			// moved and refresh their sticky/fallback state.
+			w.Header().Set(server.EpochHeader, strconv.FormatUint(rt.epoch.Load(), 10))
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		rt.mux.ServeHTTP(rec, r)
 		dur := time.Since(start)
@@ -202,19 +292,22 @@ func (rt *Router) Handler() http.Handler {
 	})
 }
 
-// Close stops the health prober. The HTTP listener (owned by the caller)
-// should be shut down first; the backends keep running — they are not the
-// router's to stop.
+// Close stops the health prober and, in elastic mode, the migrator and
+// gossip loops. The HTTP listener (owned by the caller) should be shut
+// down first; the backends keep running — they are not the router's to
+// stop.
 func (rt *Router) Close() {
 	close(rt.proberStop)
 	<-rt.proberDone
+	close(rt.loopStop)
+	rt.loopsDone.Wait()
 }
 
 // Healthy reports how many shards currently pass probes (for tests and
 // ops tooling).
 func (rt *Router) Healthy() int {
 	n := 0
-	for _, b := range rt.order {
+	for _, b := range rt.activeBackends() {
 		if b.healthy.Load() {
 			n++
 		}
@@ -222,17 +315,116 @@ func (rt *Router) Healthy() int {
 	return n
 }
 
+// Epoch reports the current membership epoch (1 until the first change).
+func (rt *Router) Epoch() uint64 { return rt.epoch.Load() }
+
+// Members reports the active ring membership, sorted.
+func (rt *Router) Members() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Members()
+}
+
+// activeBackends snapshots the active (in-ring) shard list in configured
+// order; safe to iterate without holding mu.
+func (rt *Router) activeBackends() []*backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*backend, len(rt.order))
+	copy(out, rt.order)
+	return out
+}
+
+// allBackends snapshots every reachable shard — active and retired — for
+// the prober: a retired shard must stay watched while its sessions drain.
+func (rt *Router) allBackends() []*backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*backend, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		out = append(out, b)
+	}
+	return out
+}
+
 // --- placement + proxy ---
 
-// sequenceFor is the ring's failover order for a session id.
+// sequenceFor is the failover order for a session id: its migration pin
+// first when one exists (the session's state is mid-move and must keep
+// hitting its current owner), then the ring sequence.
 func (rt *Router) sequenceFor(id string) []*backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	names := rt.ring.Sequence(id)
-	seq := make([]*backend, 0, len(names))
+	seq := make([]*backend, 0, len(names)+1)
+	if pin, ok := rt.pins[id]; ok {
+		if b, ok := rt.backends[pin]; ok {
+			seq = append(seq, b)
+		}
+	}
 	for _, n := range names {
-		seq = append(seq, rt.backends[n])
+		b := rt.backends[n]
+		if len(seq) > 0 && b == seq[0] {
+			continue
+		}
+		seq = append(seq, b)
 	}
 	return seq
 }
+
+// primaryFor is the ring's current primary for id, pins ignored — the
+// routing answer once a session's migration has fully drained.
+func (rt *Router) primaryFor(id string) *backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	p := rt.ring.Primary(id)
+	if p == "" {
+		return nil
+	}
+	return rt.backends[p]
+}
+
+// routeFor is the retry target after a swallowed 410/404 revealed a
+// session mid-move: the pin while one is still set, the ring primary
+// once it clears. Retrying a *pinned* session on the ring primary would
+// fork it — the primary restores the snapshot and serves while later
+// pinned requests resurrect the old owner's copy, and whichever stepped
+// further loses when the pin clears. Honoring the pin keeps exactly one
+// shard authoritative at every instant; the migrator's second evict
+// still closes the resurrect window it leaves.
+func (rt *Router) routeFor(id string) *backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if pin, ok := rt.pins[id]; ok {
+		if b, ok := rt.backends[pin]; ok {
+			return b
+		}
+	}
+	p := rt.ring.Primary(id)
+	if p == "" {
+		return nil
+	}
+	return rt.backends[p]
+}
+
+// errSessionMoved reports a swallowed 410: the shard answered "gone", which
+// mid-migration means the session was just evicted to its snapshot and the
+// ring's current primary can rehydrate it.
+var errSessionMoved = errors.New("session gone mid-migration")
+
+// errSessionSettling reports a swallowed 404 on a moved-session retry: the
+// old owner said "gone", the new primary says "never heard of it" — the
+// eviction's snapshot write is still in flight (the daemon closes the
+// session before its save completes), so the snapshot will appear within
+// one write's latency.
+var errSessionSettling = errors.New("session snapshot still settling")
+
+// settleRetries and settleWait bound how long a moved-session retry waits
+// out that eviction/save race before letting the 404 stand.
+const (
+	settleRetries = 4
+	settleWait    = 15 * time.Millisecond
+)
 
 // proxy walks a session's ring sequence — healthy shards with a willing
 // breaker first in ring order, then (fail-open) the shards that were
@@ -247,6 +439,12 @@ func (rt *Router) sequenceFor(id string) []*backend {
 // beyond its first, and every retry also spends a token from the
 // router-wide bucket — an outage can't turn N incoming requests into
 // N×ring-length attempts against shards that are already browning out.
+//
+// In elastic mode one 410 per request is swallowed and retried against
+// the ring's current primary: a session evicted for migration between
+// this request's routing decision and its arrival answers "gone" on the
+// old owner, and the retry is what turns that race into one warm
+// rehydrate instead of a client-visible error.
 //
 // The returned flag reports whether body is safe to recycle: after a
 // transport-level failure the http.Transport's write goroutine may still
@@ -263,10 +461,13 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 	isEpoch := strings.HasSuffix(r.URL.Path, "/epoch")
 	attempts := 0
 	outOfBudget := false
+	movedRetried := false
+	settled := 0
 	// attempt forwards to b; every attempt after the first is a retry and
 	// must be paid for. served means the response was written; stop means
 	// the retry budget is gone and the walk must end.
-	attempt := func(b *backend, idx int) (served, stop bool) {
+	var attempt func(b *backend, idx int) (served, stop bool)
+	attempt = func(b *backend, idx int) (served, stop bool) {
 		if attempts > 0 {
 			if attempts > rt.cfg.RetryBudget {
 				outOfBudget = true
@@ -280,10 +481,51 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 			rt.met.retries.Add(1)
 		}
 		attempts++
-		if _, err := rt.forward(w, r, b, body); err != nil {
+		swallowGone := rt.elastic && !movedRetried
+		// A 404 is swallowed (and waited out) only while this request is
+		// entangled with a live migration: it already followed a 410 hand-
+		// off, it already waited once, or the session is pinned — meaning a
+		// move is in flight and the pin may have routed us to an owner that
+		// just evicted it. Genuine unknown-session 404s stay instant.
+		swallowMiss := rt.elastic && settled < settleRetries &&
+			(movedRetried || settled > 0 || rt.isPinned(id))
+		if _, err := rt.forward(w, r, b, body, swallowGone, swallowMiss); err != nil {
+			if errors.Is(err, errSessionMoved) {
+				// The shard answered; nothing was written. Re-route once to
+				// the ring's current primary — free of charge: this is a
+				// migration hand-off, not a failure.
+				movedRetried = true
+				rt.met.migrationRetries.Add(1)
+				rt.log.Info("session moved mid-request, re-routing", "id", id, "from", b.base)
+				np := rt.routeFor(id)
+				if np == nil {
+					np = b
+				}
+				attempts-- // the re-route replaces this attempt
+				return attempt(np, idx)
+			}
+			if errors.Is(err, errSessionSettling) {
+				// "Gone" on the old owner but not yet restorable on the new:
+				// the eviction's snapshot write is mid-flight. Wait one write
+				// latency and ask again — bounded, then the 404 stands.
+				settled++
+				rt.log.Info("moved session not restorable yet, waiting out the snapshot write",
+					"id", id, "try", settled)
+				select {
+				case <-r.Context().Done():
+					return false, true
+				case <-time.After(settleWait):
+				}
+				np := rt.routeFor(id)
+				if np == nil {
+					np = b
+				}
+				attempts-- // still the same migration hand-off
+				return attempt(np, idx)
+			}
 			bodySafe = false
 			b.br.onFailure()
-			b.healthy.Store(false)
+			b.setHealthy(false)
 			rt.met.failovers.Add(1)
 			rt.log.Warn("shard unreachable, failing over", "shard", b.base, "err", err)
 			return false, false
@@ -346,9 +588,13 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, id string, body 
 }
 
 // forward sends one buffered request to a shard and streams its response
-// back. An error means the shard never answered (transport failure) and
-// nothing was written to w — safe to retry on the next ring position.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, body []byte) (int, error) {
+// back. An error means nothing was written to w — either the shard never
+// answered (transport failure; safe to retry on the next ring position) or
+// it answered a status the caller asked to swallow: 410 with swallowGone
+// set (errSessionMoved; retry on the ring's current primary) or 404 with
+// swallowMiss set (errSessionSettling; the migration's snapshot write is
+// still landing, retry after a short wait).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, body []byte, swallowGone, swallowMiss bool) (int, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
 	defer cancel()
 	url := b.base + r.URL.Path
@@ -371,6 +617,14 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, bo
 		return 0, err
 	}
 	defer resp.Body.Close()
+	if swallowGone && resp.StatusCode == http.StatusGone {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, errSessionMoved
+	}
+	if swallowMiss && resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, errSessionSettling
+	}
 	// Retry-After must survive the hop: the router propagates the shard's
 	// backpressure contract instead of inventing its own.
 	for _, h := range []string{"Content-Type", "Retry-After"} {
@@ -443,13 +697,14 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
 	defer cancel()
+	order := rt.activeBackends()
 	type shardList struct {
 		views []server.SessionView
 		err   error
 	}
-	results := make([]shardList, len(rt.order))
+	results := make([]shardList, len(order))
 	var wg sync.WaitGroup
-	for i, b := range rt.order {
+	for i, b := range order {
 		if !b.healthy.Load() {
 			continue
 		}
@@ -463,7 +718,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 			}
 			resp, err := rt.proxyClient.Do(req)
 			if err != nil {
-				b.healthy.Store(false)
+				b.setHealthy(false)
 				results[i].err = err
 				return
 			}
@@ -493,19 +748,26 @@ type ShardHealth struct {
 	Sessions int64  `json:"sessions"`
 }
 
-// HealthzBody is the router's /healthz response.
+// HealthzBody is the router's /healthz response. MembershipEpoch appears
+// only in elastic mode (omitempty keeps the static router's body
+// bit-identical to the pre-elastic one).
 type HealthzBody struct {
-	Status        string        `json:"status"`
-	Shards        []ShardHealth `json:"shards"`
-	UptimeSeconds int64         `json:"uptime_seconds"`
+	Status          string        `json:"status"`
+	Shards          []ShardHealth `json:"shards"`
+	UptimeSeconds   int64         `json:"uptime_seconds"`
+	MembershipEpoch uint64        `json:"membership_epoch,omitempty"`
 }
 
 // handleHealthz reports the router healthy while at least one shard is:
 // a degraded tier still serves (rerouted) traffic.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := HealthzBody{UptimeSeconds: int64(time.Since(rt.started).Seconds())}
+	if rt.elastic {
+		body.MembershipEpoch = rt.epoch.Load()
+	}
+	order := rt.activeBackends()
 	healthyN := 0
-	for _, b := range rt.order {
+	for _, b := range order {
 		h := b.healthy.Load()
 		if h {
 			healthyN++
@@ -516,7 +778,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	code := http.StatusOK
 	switch {
-	case healthyN == len(rt.order):
+	case healthyN == len(order):
 		body.Status = "ok"
 	case healthyN > 0:
 		body.Status = "degraded"
@@ -529,7 +791,11 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	rt.met.render(w, rt.order, time.Since(rt.started))
+	rt.met.render(w, rt.activeBackends(), time.Since(rt.started))
+	if rt.elastic {
+		queued, pinned := rt.pendingMigrations()
+		rt.met.renderElastic(w, rt.epoch.Load(), queued, pinned)
+	}
 }
 
 // --- HTTP plumbing (mirrors the daemon's) ---
@@ -562,6 +828,10 @@ func routeLabel(path string) string {
 		return "/healthz"
 	case len(parts) >= 1 && parts[0] == "metrics":
 		return "/metrics"
+	case len(parts) >= 1 && parts[0] == "gossip":
+		return "/gossip"
+	case len(parts) >= 1 && parts[0] == "admin":
+		return "/admin"
 	case len(parts) >= 2 && parts[0] == "v1" && parts[1] == "sessions":
 		switch len(parts) {
 		case 2:

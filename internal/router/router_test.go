@@ -250,6 +250,17 @@ func TestRouterListMergesShards(t *testing.T) {
 	for _, id := range ids {
 		mustCreate(t, rc, fig3Spec(id))
 	}
+	// Placement hashes the shards' random httptest ports, so a fixed id
+	// set can land entirely on one shard; top up until both hold sessions
+	// so "partial" below means something.
+	for i := 0; shards[0].srv.Sessions() == 0 || shards[1].srv.Sessions() == 0; i++ {
+		if i >= 64 {
+			t.Fatal("could not spread sessions across both shards")
+		}
+		id := fmt.Sprintf("l-extra-%d", i)
+		mustCreate(t, rc, fig3Spec(id))
+		ids = append(ids, id)
+	}
 	views, err := rc.ListSessions(ctx)
 	if err != nil {
 		t.Fatal(err)

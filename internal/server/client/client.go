@@ -25,7 +25,8 @@ import (
 // goes straight to a healthy endpoint.
 type Client struct {
 	bases []string
-	cur   atomic.Int64 // index into bases of the endpoint that last worked
+	cur   atomic.Int64  // index into bases of the endpoint that last worked
+	epoch atomic.Uint64 // last membership epoch seen from an elastic router
 	http  *http.Client
 }
 
@@ -162,6 +163,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, hasBody boo
 		resp, err := c.http.Do(req)
 		if err == nil {
 			c.cur.Store(idx)
+			c.observeEpoch(resp, idx)
 			return resp, nil
 		}
 		lastErr = err
@@ -173,6 +175,31 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, hasBody boo
 	}
 	return nil, lastErr
 }
+
+// observeEpoch tracks the membership epoch an elastic router stamps on
+// every response (server.EpochHeader). When the epoch moves, the fleet's
+// shard set changed — sticky fallback state learned under the old ring
+// (a remembered shard, a failed-over base) may now be wrong, so the
+// client snaps back to its primary base and rediscovers from there.
+// Static daemons and pre-elastic routers send no header; this never fires.
+func (c *Client) observeEpoch(resp *http.Response, idx int64) {
+	s := resp.Header.Get(server.EpochHeader)
+	if s == "" {
+		return
+	}
+	e, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return
+	}
+	old := c.epoch.Swap(e)
+	if old != 0 && old != e && idx != 0 {
+		c.cur.Store(0)
+	}
+}
+
+// Epoch returns the last membership epoch observed on a response, or 0 if
+// the endpoint has never sent one (static daemon or pre-elastic router).
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
 
 // CreateSession registers a new chip session and returns its initial view.
 func (c *Client) CreateSession(ctx context.Context, spec server.SessionSpec) (server.SessionView, error) {

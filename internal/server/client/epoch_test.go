@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"rebudget/internal/server"
+)
+
+// epochServer answers /healthz stamping a controllable membership epoch.
+func epochServer(t *testing.T, epoch *atomic.Uint64, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		if e := epoch.Load(); e != 0 {
+			w.Header().Set(server.EpochHeader, strconv.FormatUint(e, 10))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","sessions":0,"uptime_seconds":1}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// A membership-epoch change resets the sticky fallback index: state
+// learned under the old ring (which base last worked) is stale once the
+// shard set moves, so the client re-homes to its primary base.
+func TestEpochChangeResetsStickyBase(t *testing.T) {
+	var epochA, epochB atomic.Uint64
+	var hitsA atomic.Int64
+	epochA.Store(1)
+	epochB.Store(1)
+	tsA := epochServer(t, &epochA, &hitsA)
+	tsB := epochServer(t, &epochB, nil)
+
+	c := New(tsA.URL, WithFallbackBases(tsB.URL))
+	ctx := context.Background()
+
+	// Learn epoch 1, then pretend a transport failure pushed us to base B.
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("epoch after first response = %d, want 1", got)
+	}
+	c.cur.Store(1)
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.cur.Load(); got != 1 {
+		t.Fatalf("sticky index = %d, want 1 (no epoch change yet)", got)
+	}
+
+	// The fleet rebalances: base B starts stamping epoch 2. The next
+	// response snaps the client back to its primary base.
+	epochB.Store(2)
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("epoch after change = %d, want 2", got)
+	}
+	if got := c.cur.Load(); got != 0 {
+		t.Fatalf("sticky index after epoch change = %d, want 0 (re-homed)", got)
+	}
+	before := hitsA.Load()
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if hitsA.Load() != before+1 {
+		t.Fatal("client did not route the next request to its primary base")
+	}
+}
+
+// Static daemons send no epoch header: the client's epoch stays 0 and the
+// sticky index is never disturbed — pre-elastic behavior, bit for bit.
+func TestNoEpochHeaderLeavesStickyBaseAlone(t *testing.T) {
+	var zero atomic.Uint64
+	tsA := epochServer(t, &zero, nil)
+	tsB := epochServer(t, &zero, nil)
+	c := New(tsA.URL, WithFallbackBases(tsB.URL))
+	ctx := context.Background()
+	c.cur.Store(1)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Healthz(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Epoch(); got != 0 {
+		t.Fatalf("epoch without header = %d, want 0", got)
+	}
+	if got := c.cur.Load(); got != 1 {
+		t.Fatalf("sticky index moved to %d without any epoch signal", got)
+	}
+}
+
+// The first epoch ever seen is adopted without a reset: a fresh client
+// joining mid-life must not treat "learned the epoch" as "epoch changed".
+func TestFirstEpochObservationDoesNotReset(t *testing.T) {
+	var e atomic.Uint64
+	e.Store(7)
+	tsA := epochServer(t, &e, nil)
+	tsB := epochServer(t, &e, nil)
+	c := New(tsA.URL, WithFallbackBases(tsB.URL))
+	c.cur.Store(1)
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 7 {
+		t.Fatalf("first observed epoch = %d, want 7", got)
+	}
+	if got := c.cur.Load(); got != 1 {
+		t.Fatalf("first observation reset the sticky index to %d", got)
+	}
+}

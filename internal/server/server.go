@@ -189,6 +189,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/epoch", s.handleEpoch)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/evict", s.handleEvict)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -772,6 +773,26 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp.view)
+}
+
+// handleEvict retires a resident session to its snapshot on demand: the
+// session closes, its durable state lands in the snapshot store, and the
+// next touch — on this shard or any other sharing the store — rehydrates it
+// warm. This is the router's migration verb: a ring rebalance drains each
+// moved session here on its old owner, then routes it to the new one.
+// Unlike DELETE, the snapshot is the point, not collateral to remove. A
+// non-resident id answers 404; the caller treats that as already migrated
+// (an eviction or drain got there first).
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.store.remove(id)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return
+	}
+	s.retire(sess, "migrate")
+	s.log.Info("session evicted", "id", id, "reason", "migrate")
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {

@@ -133,6 +133,47 @@ func (s *SessionSnapshot) verifyChecksum() (verified bool, err error) {
 	return true, nil
 }
 
+// EncodeSnapshot validates a snapshot, stamps its integrity checksum and
+// returns the canonical wire bytes every SnapshotStore backend persists.
+// Factoring the encoding out of FileSnapshotStore is what makes backends
+// pluggable: the file store, the in-memory store, the HTTP snapshot service
+// and the replicated store (internal/cluster) all store these exact bytes,
+// so a snapshot written by one restores through any other.
+func EncodeSnapshot(snap *SessionSnapshot) ([]byte, error) {
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	c := *snap
+	sum, err := c.checksum()
+	if err != nil {
+		return nil, err
+	}
+	c.Checksum = sum
+	return json.MarshalIndent(&c, "", "  ")
+}
+
+// DecodeSnapshot parses stored snapshot bytes for id, enforcing the full
+// load contract shared by every backend: undecodable, truncated, checksum-
+// failing, wrong-version or mis-filed bytes all come back as ErrNoSnapshot
+// (wrapped with detail) so corruption degrades to a cold start — never a
+// panic, never a serving error.
+func DecodeSnapshot(id string, data []byte) (*SessionSnapshot, error) {
+	var snap SessionSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%w: snapshot %q undecodable: %v", ErrNoSnapshot, id, err)
+	}
+	if err := snap.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
+	}
+	if _, err := snap.verifyChecksum(); err != nil {
+		return nil, fmt.Errorf("%w: snapshot %q corrupt: %v", ErrNoSnapshot, id, err)
+	}
+	if snap.ID != id {
+		return nil, fmt.Errorf("%w: entry for %q holds snapshot of %q", ErrNoSnapshot, id, snap.ID)
+	}
+	return &snap, nil
+}
+
 // SnapshotStore persists session snapshots across evictions, restarts and
 // cross-shard migrations. Implementations must be safe for concurrent use;
 // Load returns ErrNoSnapshot for absent or unusable entries.
@@ -193,16 +234,7 @@ func (fs *FileSnapshotStore) path(id string) (string, error) {
 // Save implements SnapshotStore: the snapshot is checksummed and written
 // with an atomic, durable temp-file + fsync + rename.
 func (fs *FileSnapshotStore) Save(snap *SessionSnapshot) error {
-	if err := snap.validate(); err != nil {
-		return err
-	}
-	c := *snap
-	sum, err := c.checksum()
-	if err != nil {
-		return err
-	}
-	c.Checksum = sum
-	buf, err := json.MarshalIndent(&c, "", "  ")
+	buf, err := EncodeSnapshot(snap)
 	if err != nil {
 		return err
 	}
@@ -278,20 +310,7 @@ func (fs *FileSnapshotStore) Load(id string) (*SessionSnapshot, error) {
 	if err != nil {
 		return nil, ErrNoSnapshot
 	}
-	var snap SessionSnapshot
-	if err := json.Unmarshal(buf, &snap); err != nil {
-		return nil, fmt.Errorf("%w: %s undecodable: %v", ErrNoSnapshot, filepath.Base(path), err)
-	}
-	if err := snap.validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoSnapshot, err)
-	}
-	if _, err := snap.verifyChecksum(); err != nil {
-		return nil, fmt.Errorf("%w: %s corrupt: %v", ErrNoSnapshot, filepath.Base(path), err)
-	}
-	if snap.ID != id {
-		return nil, fmt.Errorf("%w: file for %q holds snapshot of %q", ErrNoSnapshot, id, snap.ID)
-	}
-	return &snap, nil
+	return DecodeSnapshot(id, buf)
 }
 
 // Delete implements SnapshotStore; deleting an absent snapshot is not an

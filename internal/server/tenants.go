@@ -17,6 +17,13 @@ import (
 // as the spec's default.
 const TenantHeader = "X-Rebudget-Tenant"
 
+// EpochHeader is the HTTP header an elastic router stamps on every
+// response with its current membership epoch; long-lived clients watch it
+// to refresh sticky/fallback routing state after a membership change.
+// (Declared here beside TenantHeader so client and router share one
+// definition without importing each other.)
+const EpochHeader = "X-Rebudget-Epoch"
+
 // TenancyConfig arms the hierarchical tenant budget economy: the
 // dispatcher's cost capacity is divided across a tenant tree
 // (internal/tenant), each tenant's sessions admit against its granted

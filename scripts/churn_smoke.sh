@@ -1,0 +1,209 @@
+#!/bin/sh
+# churn_smoke.sh — elastic-membership smoke of the serving tier, run by
+# `make churn-smoke` (and `make ci`).
+#
+# Boots a rebudget-snapstore, two rebudgetd shards snapshotting to it, and
+# two rebudget-router replicas (one gossiping to the other) with the admin
+# API armed. Places sessions, starts a background rebudget-loadgen, then
+# churns the fleet under that live traffic: grow 2 -> 4 shards through
+# POST /admin/shards, wait for the migration queue to drain, shrink back
+# 4 -> 2 through DELETE /admin/shards, wait for the retired shards to
+# drain. Asserts zero lost sessions (every pre-churn session still steps
+# with its progress intact), zero loadgen errors across the whole churn,
+# membership-epoch/migration/gossip counters on the routers, and warm
+# restores on the snapstore and shards. Any failure exits non-zero.
+set -u
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+PIDS=""
+TOKEN=${CHURN_TOKEN:-churn-smoke-token}
+DURATION=${CHURN_DURATION:-16s}
+
+cleanup() {
+    for p in $PIDS; do
+        if kill -0 "$p" 2>/dev/null; then
+            kill -9 "$p" 2>/dev/null
+            wait "$p" 2>/dev/null
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "churn-smoke: FAIL: $1" >&2
+    shift
+    for f in "$@"; do
+        echo "---- $f ----" >&2
+        cat "$f" >&2
+    done
+    exit 1
+}
+
+echo "churn-smoke: building the tier"
+for c in rebudgetd rebudget-router rebudget-snapstore rebudget-smoke rebudget-loadgen; do
+    go build -o "$TMP/$c" ./cmd/$c || exit 1
+done
+
+# wait_addr LOGFILE PID NAME: echo the addr= the process logged on startup.
+wait_addr() {
+    _log=$1
+    _pid=$2
+    _name=$3
+    _i=0
+    while [ $_i -lt 50 ]; do
+        _addr=$(sed -n 's/.*listening.*addr=//p' "$_log" | sed 's/ .*//' | head -1)
+        if [ -n "$_addr" ]; then
+            echo "$_addr"
+            return 0
+        fi
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "churn-smoke: $_name died before listening:" >&2
+            cat "$_log" >&2
+            return 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "churn-smoke: $_name never reported its address:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+# admin METHOD PATH [BODY]: authenticated admin call against router 1.
+admin() {
+    _method=$1
+    _path=$2
+    _body=${3:-}
+    if [ -n "$_body" ]; then
+        curl -sf -X "$_method" -H "Authorization: Bearer $TOKEN" \
+            -H "Content-Type: application/json" -d "$_body" \
+            "http://$RADDR1$_path"
+    else
+        curl -sf -X "$_method" -H "Authorization: Bearer $TOKEN" \
+            "http://$RADDR1$_path"
+    fi
+}
+
+# wait_quiet: poll /admin/membership until no migration is queued or
+# pinned and no retired shard is still draining (40s bound).
+wait_quiet() {
+    _i=0
+    while [ $_i -lt 400 ]; do
+        _m=$(admin GET /admin/membership) || fail "membership poll failed" "$TMP/router1.log"
+        if echo "$_m" | grep -q '"migrating": *0' && ! echo "$_m" | grep -q '"draining"'; then
+            return 0
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    fail "migrations never drained: $_m" "$TMP/router1.log"
+}
+
+# --- boot: snapstore, 4 shards (2 in the ring, 2 standing by), 2 routers ---
+"$TMP/rebudget-snapstore" -addr 127.0.0.1:0 2> "$TMP/snapstore.log" &
+PIDS="$PIDS $!"
+SNAPADDR=$(wait_addr "$TMP/snapstore.log" "$!" snapstore) || exit 1
+
+i=1
+while [ $i -le 4 ]; do
+    "$TMP/rebudgetd" -addr 127.0.0.1:0 -snapshot-url "http://$SNAPADDR" \
+        2> "$TMP/shard$i.log" &
+    PIDS="$PIDS $!"
+    eval "SPID$i=$!"
+    _a=$(wait_addr "$TMP/shard$i.log" "$!" "shard $i") || exit 1
+    eval "SADDR$i=$_a"
+    i=$((i + 1))
+done
+echo "churn-smoke: snapstore at $SNAPADDR, shards at $SADDR1 $SADDR2 (+$SADDR3 $SADDR4 standing by)"
+
+"$TMP/rebudget-router" -addr 127.0.0.1:0 -probe-interval 200ms \
+    -admin-token "$TOKEN" -migration-interval 50ms -migration-budget 8 \
+    -backends "http://$SADDR1,http://$SADDR2" 2> "$TMP/router1.log" &
+PIDS="$PIDS $!"
+RADDR1=$(wait_addr "$TMP/router1.log" "$!" "router 1") || exit 1
+"$TMP/rebudget-router" -addr 127.0.0.1:0 -probe-interval 200ms \
+    -admin-token "$TOKEN" -gossip-peers "http://$RADDR1" -gossip-interval 300ms \
+    -backends "http://$SADDR1,http://$SADDR2" 2> "$TMP/router2.log" &
+PIDS="$PIDS $!"
+RADDR2=$(wait_addr "$TMP/router2.log" "$!" "router 2") || exit 1
+echo "churn-smoke: routers up at $RADDR1 (admin) and $RADDR2 (gossiping to it)"
+
+# --- place a tracked population and snapshot its progress ---
+i=1
+while [ $i -le 12 ]; do
+    "$TMP/rebudget-smoke" -base "http://$RADDR1" -id "churn$i" \
+        -epochs 2 -keep -checks none > /dev/null \
+        || fail "placing session churn$i" "$TMP/router1.log"
+    i=$((i + 1))
+done
+echo "churn-smoke: 12 tracked sessions placed"
+
+# --- background load through the churn ---
+"$TMP/rebudget-loadgen" -target "http://$RADDR1" -mode closed -concurrency 4 \
+    -sessions 8 -duration "$DURATION" -label churn -out "$TMP/load.json" \
+    > /dev/null 2> "$TMP/loadgen.log" &
+LGPID=$!
+PIDS="$PIDS $LGPID"
+
+# --- grow 2 -> 4 under that traffic ---
+sleep 1
+echo "churn-smoke: growing 2 -> 4 shards"
+admin POST /admin/shards "{\"shard\":\"http://$SADDR3\"}" > /dev/null \
+    || fail "adding shard 3" "$TMP/router1.log"
+admin POST /admin/shards "{\"shard\":\"http://$SADDR4\"}" > /dev/null \
+    || fail "adding shard 4" "$TMP/router1.log"
+wait_quiet
+echo "churn-smoke: grown to 4 shards, migrations drained"
+
+# --- shrink 4 -> 2, still under traffic ---
+sleep 1
+echo "churn-smoke: shrinking 4 -> 2 shards"
+admin DELETE "/admin/shards?shard=http://$SADDR4" > /dev/null \
+    || fail "removing shard 4" "$TMP/router1.log"
+admin DELETE "/admin/shards?shard=http://$SADDR3" > /dev/null \
+    || fail "removing shard 3" "$TMP/router1.log"
+wait_quiet
+echo "churn-smoke: shrunk back to 2 shards, retirees drained"
+
+# --- zero lost sessions: every tracked session resumes with its progress ---
+i=1
+while [ $i -le 12 ]; do
+    "$TMP/rebudget-smoke" -base "http://$RADDR1" -id "churn$i" \
+        -resume 2 -epochs 1 -keep -checks none > /dev/null \
+        || fail "session churn$i lost in the churn" "$TMP/router1.log" "$TMP/shard1.log" "$TMP/shard2.log"
+    i=$((i + 1))
+done
+echo "churn-smoke: all 12 tracked sessions survived with progress intact"
+
+# --- zero loadgen errors across the whole churn window ---
+wait "$LGPID" || fail "loadgen exited non-zero" "$TMP/loadgen.log"
+if grep -o '"errors": *[0-9]*' "$TMP/load.json" | grep -vq ': *0$'; then
+    fail "loadgen saw transport errors during the churn: $(cat "$TMP/load.json")" "$TMP/loadgen.log"
+fi
+echo "churn-smoke: loadgen ran error-free through both membership changes"
+
+# --- observability: epochs moved, sessions migrated, gossip converged ---
+# Four membership changes (two adds, two removes) on top of epoch 1.
+"$TMP/rebudget-smoke" -base "http://$RADDR1" -metrics-only -checks \
+    'rebudget_router_membership_epoch>=5,rebudget_router_membership_changes_total>=4,rebudget_router_migrations_total>=1' \
+    || fail "router 1 elastic metrics" "$TMP/router1.log"
+# Router 2 never took an admin call: everything it knows arrived by gossip.
+"$TMP/rebudget-smoke" -base "http://$RADDR2" -metrics-only -checks \
+    'rebudget_router_membership_epoch>=5,rebudget_router_gossip_rounds_total>=1' \
+    || fail "router 2 did not converge via gossip" "$TMP/router2.log"
+# Migration used snapshots as the vehicle: the snapstore served restores.
+"$TMP/rebudget-smoke" -base "http://$SNAPADDR" -metrics-only -checks \
+    'snapstore_puts_total>=1,snapstore_gets_total>=1,snapstore_corrupt_total>=0' \
+    || fail "snapstore counters" "$TMP/snapstore.log"
+# And at least one surviving shard performed a checksum-verified restore.
+if ! "$TMP/rebudget-smoke" -base "http://$SADDR1" -metrics-only \
+    -checks 'rebudgetd_snapshots_total{op="restore"}>=1' > /dev/null 2>&1 \
+    && ! "$TMP/rebudget-smoke" -base "http://$SADDR2" -metrics-only \
+        -checks 'rebudgetd_snapshots_total{op="restore"}>=1' > /dev/null 2>&1; then
+    fail "no surviving shard reports a snapshot restore" "$TMP/shard1.log" "$TMP/shard2.log"
+fi
+
+echo "churn-smoke: OK"
+exit 0
