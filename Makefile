@@ -18,16 +18,19 @@
 # when its demand returns, observed through the per-tenant gauges),
 # churn-smoke grows and shrinks a live tier 2 -> 4 -> 2 shards through the
 # router's admin API under load (zero lost sessions, gossip convergence on
-# a second router, snapshot-backed migration), and
+# a second router, snapshot-backed migration), density-smoke floods one
+# shard with 10k resident sessions through the loadgen's -resident mode
+# (bounded create time, zero errors, sub-250ms full-population scrape, the
+# hibernation sweep parking the idle population), and
 # bench-smoke warns (but does not fail, unless BENCH_STRICT=1) on a >10%
 # regression of the market equilibrium kernel against the newest
 # BENCH_*.json snapshot.
 
 GO ?= go
 
-.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos race-tenant race-cluster bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke churn-smoke load-ab profile-sim
+.PHONY: ci build vet vet-cmd test race race-server race-router race-chaos race-tenant race-cluster bench bench-all bench-smoke serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke churn-smoke density-smoke load-ab density-ab profile-sim
 
-ci: build vet vet-cmd race race-server race-router race-chaos race-tenant race-cluster serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke churn-smoke bench-smoke
+ci: build vet vet-cmd race race-server race-router race-chaos race-tenant race-cluster serve-smoke router-smoke chaos-smoke load-smoke tenant-smoke churn-smoke density-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -137,6 +140,24 @@ load-smoke:
 # are folded into the next dated BENCH_*.json by scripts/bench_record.sh.
 load-ab:
 	scripts/load_ab.sh
+
+# High-density serving smoke: one shard, 10k resident sessions created
+# through the loadgen's -resident mode with the API key armed. Asserts a
+# bounded create flood, zero tick errors, a sub-250ms full-population
+# /metrics scrape with no per-session-id series, and the hibernation sweep
+# parking >=95% of the idle population. DENSITY_RESIDENT scales it down
+# for slower machines.
+density-smoke:
+	scripts/density_smoke.sh
+
+# The 100k-resident density measurement: four shards behind a router,
+# DENSITY_RESIDENT (default 100000) sessions created and open-loop ticked
+# through a rotating working set. Report (tick percentiles, create rate,
+# scrape time, per-shard parked counts and RSS) lands in .bench/density.json
+# and is folded into the next dated BENCH_*.json by scripts/bench_record.sh.
+# A measurement run, not a CI gate.
+density-ab:
+	scripts/density_ab.sh
 
 # CPU profile of the end-to-end detailed simulation — the starting point for
 # hot-path work. Leaves sim.cpu.prof and the sim.test binary behind:

@@ -24,6 +24,15 @@
 // search — the floor of the cost scale). The expensive class defaults to a
 // 64-core cold-start equilibrium mechanism: warm_start=false forces a full
 // solve every epoch, the worst realistic per-epoch cost.
+//
+// Density mode (-resident N) is the 100k-session harness: create N resident
+// sessions with bounded parallelism over pooled connections, then open-loop
+// tick a rotating working set while most of the population sits idle (and,
+// on a -park-after daemon, hibernates). The report carries create time,
+// tick-latency percentiles and a timed /metrics scrape:
+//
+//	rebudget-loadgen -resident 100000 -rate 500 -working-set 2048 \
+//	    -duration 60s -target http://127.0.0.1:8343
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -184,6 +194,13 @@ type Report struct {
 	// per-tenant placement and backpressure can be asserted from the report
 	// instead of scraping /metrics.
 	Tenants map[string]ClassReport `json:"tenants,omitempty"`
+	// Density-mode (-resident) fields.
+	Resident       int     `json:"resident,omitempty"`
+	WorkingSet     int     `json:"working_set,omitempty"`
+	CreateSec      float64 `json:"create_sec,omitempty"`
+	CreatePerSec   float64 `json:"create_per_sec,omitempty"`
+	ScrapeMs       float64 `json:"scrape_ms,omitempty"`
+	ScrapeBytes    int64   `json:"scrape_bytes,omitempty"`
 }
 
 func main() {
@@ -210,6 +227,14 @@ func main() {
 		tenantsArg  = flag.String("tenants", "", "tenant mix: comma-separated name:archetype[:weight] (archetypes: steady, bursty, idle); labels sessions and shapes per-tenant load (empty disables)")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 		keep        = flag.Bool("keep-sessions", false, "leave sessions resident after the run")
+		apiKey      = flag.String("api-key", "", "bearer token for daemons/routers running with -api-key (empty sends none)")
+
+		resident       = flag.Int("resident", 0, "density mode: create this many resident sessions, then open-loop tick a rotating working set (0 = classic mix mode)")
+		createParallel = flag.Int("create-parallel", 64, "density mode: concurrent session creations")
+		workingSet     = flag.Int("working-set", 1024, "density mode: sessions in the actively-ticked window")
+		rotateEvery    = flag.Duration("rotate-every", 5*time.Second, "density mode: slide the working-set window this often")
+		residentCores  = flag.Int("resident-cores", 8, "density mode: bundle size per resident session")
+		residentMech   = flag.String("resident-mech", "equalshare", "density mode: mechanism per resident session")
 	)
 	flag.Parse()
 
@@ -227,8 +252,47 @@ func main() {
 		fatal("%v", err)
 	}
 
-	cl := client.New(*target, client.WithTimeout(*timeout))
+	// One pooled transport for everything: a 100k-session create burst at
+	// -create-parallel 64 would otherwise open (and TIME_WAIT) a socket per
+	// request. Pool depth tracks the create parallelism, which bounds the
+	// harness's own concurrency in both modes.
+	poolDepth := *createParallel
+	if *concurrency > poolDepth {
+		poolDepth = *concurrency
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        poolDepth * 2,
+		MaxIdleConnsPerHost: poolDepth * 2,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	opts := []client.Option{
+		client.WithHTTPClient(&http.Client{Transport: transport}),
+		client.WithTimeout(*timeout),
+	}
+	if *apiKey != "" {
+		opts = append(opts, client.WithAPIKey(*apiKey))
+	}
+	cl := client.New(*target, opts...)
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *resident > 0 {
+		runResident(cl, residentConfig{
+			target:     *target,
+			label:      *label,
+			resident:   *resident,
+			parallel:   *createParallel,
+			workingSet: *workingSet,
+			rotate:     *rotateEvery,
+			cores:      *residentCores,
+			mech:       *residentMech,
+			rate:       *rate,
+			duration:   *duration,
+			seed:       *seed,
+			keep:       *keep,
+			out:        *out,
+		})
+		return
+	}
 
 	f := false
 	tr := true
@@ -505,6 +569,167 @@ func reportFor(cs *classStats, sessions int, elapsed time.Duration) ClassReport 
 		cr.Rate429 = float64(cr.Busy429) / float64(cr.Requests)
 	}
 	return cr
+}
+
+// residentConfig parameterises one density-mode run.
+type residentConfig struct {
+	target     string
+	label      string
+	resident   int
+	parallel   int
+	workingSet int
+	rotate     time.Duration
+	cores      int
+	mech       string
+	rate       float64
+	duration   time.Duration
+	seed       int64
+	keep       bool
+	out        string
+}
+
+// runResident is density mode: flood-create rc.resident sessions with
+// bounded parallelism, then tick an open loop over a working-set window
+// that slides through the population every rc.rotate — the rest of the
+// residents idle (and hibernate, on a -park-after daemon). Any create or
+// tick error beyond 429 backpressure is fatal to the run's claim, so it is
+// reported and exits nonzero.
+func runResident(cl *client.Client, rc residentConfig) {
+	if rc.workingSet > rc.resident {
+		rc.workingSet = rc.resident
+	}
+	ids := make([]string, rc.resident)
+	createCtx, cancelCreate := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancelCreate()
+
+	fmt.Fprintf(os.Stderr, "loadgen: creating %d resident sessions (%d-way)\n", rc.resident, rc.parallel)
+	createStart := time.Now()
+	var createErrs atomic.Int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, rc.parallel)
+	for i := 0; i < rc.resident; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			spec := server.SessionSpec{
+				ID:        fmt.Sprintf("dn-%06d", i),
+				Workload:  server.WorkloadSpec{Category: "CPBN", Cores: rc.cores, Seed: uint64(rc.seed)*1_000_003 + uint64(i)},
+				Mechanism: rc.mech,
+			}
+			view, err := createWithRetry(createCtx, cl, spec)
+			if err != nil {
+				if createErrs.Add(1) <= 5 {
+					fmt.Fprintf(os.Stderr, "loadgen: create %s: %v\n", spec.ID, err)
+				}
+				return
+			}
+			ids[i] = view.ID
+		}(i)
+	}
+	wg.Wait()
+	createElapsed := time.Since(createStart)
+	if n := createErrs.Load(); n > 0 {
+		fatal("%d/%d creates failed", n, rc.resident)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d residents in %s (%.0f/s), ticking %d-session window at %.0f/s for %s\n",
+		rc.resident, createElapsed.Round(time.Millisecond), float64(rc.resident)/createElapsed.Seconds(),
+		rc.workingSet, rc.rate, rc.duration)
+
+	// Open-loop ticking over the sliding window. The window start advances
+	// by one window every rc.rotate, wrapping over the population, so a long
+	// run touches everyone while the instantaneous resident:active ratio
+	// stays resident/workingSet.
+	stats := &classStats{}
+	runCtx, cancelRun := context.WithTimeout(context.Background(), rc.duration)
+	defer cancelRun()
+	rng := rand.New(rand.NewSource(rc.seed))
+	start := time.Now()
+	var tickWG sync.WaitGroup
+	mean := time.Duration(float64(time.Second) / rc.rate)
+	for runCtx.Err() == nil {
+		gap := time.Duration(rng.ExpFloat64() * float64(mean))
+		select {
+		case <-runCtx.Done():
+		case <-time.After(gap):
+			window := int(time.Since(start)/rc.rotate) * rc.workingSet
+			id := ids[(window+rng.Intn(rc.workingSet))%rc.resident]
+			tickWG.Add(1)
+			go func() {
+				defer tickWG.Done()
+				t0 := time.Now()
+				_, err := cl.StepEpoch(runCtx, id)
+				if runCtx.Err() != nil && err != nil {
+					return // shutdown race, not a measurement
+				}
+				stats.record(time.Since(t0), err)
+			}()
+		}
+	}
+	tickWG.Wait()
+	elapsed := time.Since(start)
+
+	// A timed scrape is part of the density claim: /metrics must stay cheap
+	// with the full population resident.
+	scrapeStart := time.Now()
+	body, err := cl.Metrics(context.Background())
+	if err != nil {
+		fatal("scrape /metrics: %v", err)
+	}
+	scrape := time.Since(scrapeStart)
+
+	rep := Report{
+		Label:       rc.label,
+		Target:      rc.target,
+		Mode:        "resident",
+		RatePerSec:  rc.rate,
+		DurationSec: elapsed.Seconds(),
+		Sessions:    rc.resident,
+		Resident:    rc.resident,
+		WorkingSet:  rc.workingSet,
+		CreateSec:    createElapsed.Seconds(),
+		CreatePerSec: float64(rc.resident) / createElapsed.Seconds(),
+		ScrapeMs:     scrape.Seconds() * 1000,
+		ScrapeBytes: int64(len(body)),
+		Classes:     map[string]ClassReport{},
+	}
+	cr := reportFor(stats, rc.resident, elapsed)
+	rep.Classes["resident"] = cr
+	rep.Requests, rep.OK, rep.Busy429, rep.Errors = cr.Requests, cr.OK, cr.Busy429, cr.Errors
+	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	if rep.Requests > 0 {
+		rep.Rate429 = float64(rep.Busy429) / float64(rep.Requests)
+	}
+
+	if !rc.keep {
+		cleanCtx, cancelClean := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancelClean()
+		for i := 0; i < rc.resident; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(id string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				_ = cl.DeleteSession(cleanCtx, id)
+			}(ids[i])
+		}
+		wg.Wait()
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("encode report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if rc.out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(rc.out, enc, 0o644); err != nil {
+		fatal("write %s: %v", rc.out, err)
+	}
+	if rep.Errors > 0 {
+		fatal("%d tick errors during the measured run", rep.Errors)
+	}
 }
 
 // createWithRetry rides out transient 429s during the setup burst: session

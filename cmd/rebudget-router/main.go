@@ -51,6 +51,7 @@ func main() {
 		retryBudget   = flag.Int("retry-budget", 2, "failover retries allowed per request after the first attempt")
 		retryRate     = flag.Float64("retry-rate", 16, "router-wide retry tokens per second (bounds retry amplification)")
 		retryBurst    = flag.Float64("retry-burst", 0, "retry token bucket burst (default 2x -retry-rate)")
+		backendKey    = flag.String("backend-api-key", "", "bearer token for shards running with -api-key: sent on the router's own calls and injected on proxied requests that carry no Authorization")
 		logFormat     = flag.String("log", "text", "log format: text or json")
 
 		adminToken     = flag.String("admin-token", "", "bearer token for /admin endpoints; setting it turns on elastic membership")
@@ -110,6 +111,7 @@ func main() {
 			FailureThreshold: *breakerFails,
 			OpenTimeout:      *breakerOpen,
 		},
+		BackendAPIKey:     *backendKey,
 		RetryBudget:       *retryBudget,
 		RetryRate:         *retryRate,
 		RetryBurst:        *retryBurst,

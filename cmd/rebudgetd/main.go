@@ -46,6 +46,13 @@ func main() {
 		sessionRPS  = flag.Float64("session-rps", 0, "per-session epoch budget, epochs/sec (0 disables rate limiting)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 
+		storeSegments = flag.Int("store-segments", 0, "session-store lock stripes, rounded up to a power of two (0 = auto-size from -max-sessions; 1 = the pre-density global-LRU store)")
+		parkAfter     = flag.Duration("park-after", 0, "hibernate sessions idle this long: loop goroutine exits, engine is dropped, next touch rebuilds bit-identically (0 = 5m default, negative disables)")
+		noWheel       = flag.Bool("no-ticker-wheel", false, "give each ticker session its own time.Ticker instead of the shared timer wheel (the pre-density behaviour)")
+		wheelGran     = flag.Duration("wheel-granularity", 0, "timer-wheel tick; ticker periods quantise up to it (0 = 20ms)")
+		perSessionMet = flag.Bool("metrics-per-session", false, "export per-session-id debug series on /metrics (unbounded cardinality; default keeps the bounded histogram + top-K)")
+		apiKey        = flag.String("api-key", "", "require this bearer token on mutating endpoints; GET/HEAD, /healthz and /metrics stay open (empty disables)")
+
 		tenants       = flag.String("tenants", "", "arm the tenant budget economy: comma-separated path[:share[:weight[:floor]]] entries (e.g. acme/prod:3:2:0.5,free); empty with -tenant-epoch 0 disables tenancy")
 		tenantEpoch   = flag.Duration("tenant-epoch", 0, "tenant rebalance period (0 = 250ms when tenancy is armed)")
 		tenantCap     = flag.Float64("tenant-capacity", 0, "tenant-tree root budget in cost units (0 = the dispatcher cost capacity)")
@@ -129,6 +136,13 @@ func main() {
 		SessionRPS:     *sessionRPS,
 		Tenancy:        tenancy,
 		Logger:         log,
+
+		StoreSegments:      *storeSegments,
+		ParkAfter:          *parkAfter,
+		DisableTickerWheel: *noWheel,
+		WheelGranularity:   *wheelGran,
+		PerSessionMetrics:  *perSessionMet,
+		APIKey:             *apiKey,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

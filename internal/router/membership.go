@@ -441,6 +441,11 @@ func (rt *Router) evict(base, id string) (ok, retry bool) {
 	if err != nil {
 		return false, false
 	}
+	// The migrator speaks for itself, not for a client — keyed shards get
+	// the router's own backend token.
+	if rt.cfg.BackendAPIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.cfg.BackendAPIKey)
+	}
 	resp, err := rt.proxyClient.Do(req)
 	if err != nil {
 		return false, true

@@ -62,6 +62,13 @@ type Config struct {
 	// into a thundering probe herd. Set negative for none.
 	ProbeJitter float64
 
+	// BackendAPIKey is the bearer token for shards running with -api-key.
+	// The router sends it on its own shard-directed calls (migration
+	// evicts) and injects it on proxied requests that carry no
+	// Authorization of their own — so a deployment can keep keys on the
+	// router→shard hop only, or pass client tokens through end to end.
+	BackendAPIKey string
+
 	// AdminToken, when set, enables the authenticated membership API
 	// (POST/DELETE /admin/shards, GET /admin/membership) and arms elastic
 	// mode. Requests must carry "Authorization: Bearer <token>".
@@ -606,11 +613,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, b *backend, bo
 		return 0, err
 	}
 	// The tenant label rides the hop too: a spec without one is labelled by
-	// the shard from this header, so tenancy works through the router.
-	for _, h := range []string{"Content-Type", server.TenantHeader} {
+	// the shard from this header, so tenancy works through the router. The
+	// client's bearer token is forwarded for keyed shards; when the client
+	// sent none, the router's own backend key (if any) fills the hop.
+	for _, h := range []string{"Content-Type", server.TenantHeader, "Authorization"} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
+	}
+	if req.Header.Get("Authorization") == "" && rt.cfg.BackendAPIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.cfg.BackendAPIKey)
 	}
 	resp, err := rt.proxyClient.Do(req)
 	if err != nil {

@@ -278,3 +278,42 @@ func TestRouterListMergesShards(t *testing.T) {
 		t.Fatalf("partial list has %d sessions, want 1..%d", len(views), len(ids)-1)
 	}
 }
+
+// TestRouterAuthForwarding: keyed shards behind a router work three ways —
+// the client's bearer token passes through, the router's BackendAPIKey
+// fills the hop for keyless clients, and a client with a wrong key gets the
+// shard's 401 verbatim.
+func TestRouterAuthForwarding(t *testing.T) {
+	ctx := context.Background()
+	shards := []*shard{newShard(t, server.Config{APIKey: "shard-key"})}
+	rt, err := New(Config{
+		Backends:      []string{shards[0].ts.URL},
+		ProbeInterval: time.Hour,
+		BackendAPIKey: "shard-key",
+		Logger:        discardLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+
+	// Keyless client: the router injects its backend key on the hop.
+	bare := client.New(ts.URL)
+	mustCreate(t, bare, fig3Spec("via-router"))
+	if _, err := bare.StepEpoch(ctx, "via-router"); err != nil {
+		t.Fatalf("keyless epoch through keyed router: %v", err)
+	}
+
+	// Client token passes through and wins over the router's own key.
+	keyed := client.New(ts.URL, client.WithAPIKey("shard-key"))
+	if _, err := keyed.StepEpoch(ctx, "via-router"); err != nil {
+		t.Fatalf("keyed epoch: %v", err)
+	}
+	wrong := client.New(ts.URL, client.WithAPIKey("not-it"))
+	if _, err := wrong.StepEpoch(ctx, "via-router"); err == nil {
+		t.Fatal("wrong client key was not refused")
+	} else if ae, ok := err.(*client.APIError); !ok || ae.Status != 401 {
+		t.Fatalf("wrong key: want 401 through the router, got %v", err)
+	}
+}

@@ -24,10 +24,11 @@ import (
 // URL, and the index that last worked is remembered so steady-state traffic
 // goes straight to a healthy endpoint.
 type Client struct {
-	bases []string
-	cur   atomic.Int64  // index into bases of the endpoint that last worked
-	epoch atomic.Uint64 // last membership epoch seen from an elastic router
-	http  *http.Client
+	bases  []string
+	cur    atomic.Int64  // index into bases of the endpoint that last worked
+	epoch  atomic.Uint64 // last membership epoch seen from an elastic router
+	apiKey string
+	http   *http.Client
 }
 
 // DefaultTimeout is the client's per-attempt HTTP timeout when
@@ -73,6 +74,13 @@ func WithFallbackBases(bases ...string) Option {
 			c.bases = append(c.bases, strings.TrimRight(b, "/"))
 		}
 	}
+}
+
+// WithAPIKey sends key as a bearer token on every request, matching the
+// daemon's -api-key check on mutating endpoints. The empty string sends no
+// Authorization header.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // New builds a client for the daemon or router at base (e.g.
@@ -159,6 +167,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, hasBody boo
 		}
 		if hasBody {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+c.apiKey)
 		}
 		resp, err := c.http.Do(req)
 		if err == nil {

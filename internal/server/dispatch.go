@@ -212,13 +212,6 @@ func (d *dispatcher) retryAfter() time.Duration {
 	return time.Duration(full * hold * float64(time.Second))
 }
 
-// inFlight reports leases currently held (legacy request-count gauge).
-func (d *dispatcher) inFlight() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.holding
-}
-
 // inFlightCost reports cost units currently claimed (for /metrics).
 func (d *dispatcher) inFlightCost() float64 {
 	d.mu.Lock()
@@ -226,7 +219,8 @@ func (d *dispatcher) inFlightCost() float64 {
 	return d.inUse
 }
 
-// queued reports requests currently waiting (legacy count gauge).
+// queued reports requests currently waiting (test synchronisation hook; the
+// exposition's gauge is queuedCostUnits).
 func (d *dispatcher) queued() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -19,7 +19,7 @@ func quietLogger() *slog.Logger {
 
 // newTestDaemon stands up a Server plus an httptest listener and tears both
 // down with the test.
-func newTestDaemon(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestDaemon(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
@@ -62,7 +62,9 @@ func doJSON(t *testing.T, method, url string, body any, out any) *http.Response 
 }
 
 func TestDegradedSessionReportsStateThroughMetrics(t *testing.T) {
-	_, ts := newTestDaemon(t, Config{})
+	// The per-id health series moved behind the debug flag in the metrics
+	// cardinality diet; the by-state population gauge is the default surface.
+	_, ts := newTestDaemon(t, Config{PerSessionMetrics: true})
 	spec := SessionSpec{
 		ID:        "faulty-chip",
 		Mode:      ModeSim,
@@ -277,5 +279,73 @@ func TestLRUEvictionOverHTTP(t *testing.T) {
 	}
 	if resp := doJSON(t, "GET", ts.URL+"/v1/sessions/lru-2", nil, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("fresh session missing: %d", resp.StatusCode)
+	}
+}
+
+// TestAPIKeyAuth: with an API key armed, mutating endpoints demand the
+// bearer token while reads, probes and scrapes stay open for probes and
+// Prometheus.
+func TestAPIKeyAuth(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{APIKey: "s3kr1t"})
+	spec := SessionSpec{ID: "guarded", Workload: WorkloadSpec{Fig3: true}, Mechanism: "equalshare"}
+
+	do := func(method, path, auth string, body any) int {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// No key, wrong key, malformed scheme: all 401 on mutations.
+	for _, auth := range []string{"", "Bearer wrong", "Basic s3kr1t", "s3kr1t"} {
+		if code := do("POST", "/v1/sessions", auth, spec); code != http.StatusUnauthorized {
+			t.Fatalf("create with auth %q: %d, want 401", auth, code)
+		}
+	}
+	if code := do("POST", "/v1/sessions", "Bearer s3kr1t", spec); code != http.StatusCreated {
+		t.Fatalf("create with key: %d, want 201", code)
+	}
+	if code := do("POST", "/v1/sessions/guarded/epoch", "", nil); code != http.StatusUnauthorized {
+		t.Fatalf("epoch without key: %d, want 401", code)
+	}
+	if code := do("DELETE", "/v1/sessions/guarded", "", nil); code != http.StatusUnauthorized {
+		t.Fatalf("delete without key: %d, want 401", code)
+	}
+
+	// Reads and operational surfaces stay open.
+	for _, path := range []string{"/v1/sessions/guarded", "/v1/sessions", "/healthz", "/metrics"} {
+		if code := do("GET", path, "", nil); code != http.StatusOK {
+			t.Fatalf("GET %s without key: %d, want 200", path, code)
+		}
+	}
+
+	// Auth misses are counted.
+	resp := doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	buf, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(buf), `reason="auth"`) {
+		t.Fatal("/metrics missing auth rejection counter")
+	}
+
+	// The daemon client speaks the scheme end to end.
+	if code := do("POST", "/v1/sessions/guarded/epoch", "Bearer s3kr1t", nil); code != http.StatusOK {
+		t.Fatalf("epoch with key: %d, want 200", code)
 	}
 }

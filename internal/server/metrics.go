@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +20,16 @@ import (
 var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
+// costBuckets are the per-epoch cost-estimate histogram upper bounds, in
+// cost units. One unit is a cheap 8-core epoch (the dispatcher's pricing
+// anchor); the top bucket covers the largest analytic priors.
+var costBuckets = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
+
+// costTopK bounds the per-id offender series in the default exposition:
+// instead of one rebudgetd_session_epoch_cost{id} line per resident session
+// (100k lines at density), the scrape carries the K most expensive sessions.
+const costTopK = 5
+
 // srvMetrics is the daemon's observability state: lock-free counters on the
 // hot paths, a mutex-guarded label map for per-route request accounting, and
 // a renderer emitting Prometheus text exposition format. No client library —
@@ -26,9 +38,11 @@ type srvMetrics struct {
 	sessionsCreated atomic.Int64
 	epochsServed    atomic.Int64
 	tickerDropped   atomic.Int64
+	parked          atomic.Int64 // sessions ever hibernated
+	unparked        atomic.Int64 // sessions ever woken from hibernation
 
 	evicted   labelCounters     // reason: capacity | idle | deleted | drain
-	rejected  labelCounters     // reason: busy | mailbox | draining | timeout | ratelimit
+	rejected  labelCounters     // reason: busy | mailbox | draining | timeout | ratelimit | tenant | auth
 	requests  routeCodeCounters // route × status code
 	snapshots labelCounters     // op: save | restore | verified | corrupt | save_error | load_error | restore_error
 
@@ -161,23 +175,100 @@ func (m *srvMetrics) observeRequest(route string, code int, dur time.Duration) {
 	}
 }
 
-// render writes the exposition. Per-session gauges (epochs, FSM state) come
-// from the live session list; the ISSUE's acceptance check — degraded-mode
-// sessions report their FSM state through /metrics — reads
-// rebudgetd_session_health and rebudgetd_sessions_by_state.
+// expo is a pooled exposition writer: one bufio.Writer plus a number-format
+// scratch buffer, reused across scrapes. Every line is assembled with
+// strconv.Append* into the buffered writer — at a 50k-session scrape the
+// per-line fmt.Fprintf it replaced was the dominant cost (one format-parse
+// and several interface allocations per line).
+type expo struct {
+	w   *bufio.Writer
+	num []byte
+}
+
+var expoPool = sync.Pool{New: func() any {
+	return &expo{w: bufio.NewWriterSize(io.Discard, 32<<10), num: make([]byte, 0, 64)}
+}}
+
+func (e *expo) str(s string)  { e.w.WriteString(s) }
+func (e *expo) byte(b byte)   { e.w.WriteByte(b) }
+func (e *expo) int(v int64)   { e.num = strconv.AppendInt(e.num[:0], v, 10); e.w.Write(e.num) }
+func (e *expo) float(v float64) {
+	// %g and AppendFloat('g', -1) produce identical shortest representations,
+	// so the exposition text is byte-identical to the Fprintf renderer's.
+	e.num = strconv.AppendFloat(e.num[:0], v, 'g', -1, 64)
+	e.w.Write(e.num)
+}
+func (e *expo) quoted(s string) { e.num = strconv.AppendQuote(e.num[:0], s); e.w.Write(e.num) }
+
+// header writes the # HELP / # TYPE preamble for a metric.
+func (e *expo) header(name, help, typ string) {
+	e.str("# HELP ")
+	e.str(name)
+	e.byte(' ')
+	e.str(help)
+	e.str("\n# TYPE ")
+	e.str(name)
+	e.byte(' ')
+	e.str(typ)
+	e.byte('\n')
+}
+
+// scalar writes a headerless `name value` line.
+func (e *expo) scalarFloat(name string, v float64) {
+	e.str(name)
+	e.byte(' ')
+	e.float(v)
+	e.byte('\n')
+}
+
+func (e *expo) scalarInt(name string, v int64) {
+	e.str(name)
+	e.byte(' ')
+	e.int(v)
+	e.byte('\n')
+}
+
+// render writes the exposition. Default mode keeps cardinality bounded:
+// population gauges, a cost histogram and a top-K offender list stand in for
+// the per-session-id series, which only appear when perSession is set
+// (Config.PerSessionMetrics / -metrics-per-session) — at 100k resident
+// sessions the per-id series are the scrape, so they are debug equipment,
+// not steady-state telemetry.
 func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
-	gov *tenantGovernor, draining bool, uptime time.Duration) {
+	gov *tenantGovernor, draining, perSession bool, uptime time.Duration) {
+	e := expoPool.Get().(*expo)
+	e.w.Reset(w)
+	defer func() {
+		e.w.Flush()
+		e.w.Reset(io.Discard) // drop the handler's writer reference
+		expoPool.Put(e)
+	}()
+
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+		e.header(name, help, "gauge")
+		e.scalarFloat(name, v)
 	}
 	counter := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, fmtFloat(v))
+		e.header(name, help, "counter")
+		e.scalarFloat(name, v)
 	}
 	labelled := func(name, help, typ string, lc *labelCounters) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		e.header(name, help, typ)
 		labels, counts := lc.snapshot()
 		for i, l := range labels {
-			fmt.Fprintf(w, "%s{%s} %d\n", name, l, counts[i])
+			e.str(name)
+			e.byte('{')
+			e.str(l)
+			e.str("} ")
+			e.int(counts[i])
+			e.byte('\n')
+		}
+	}
+
+	parked := 0
+	for _, s := range sessions {
+		if s.isParked() {
+			parked++
 		}
 	}
 
@@ -189,7 +280,10 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	}
 	gauge("rebudgetd_draining", "1 while the daemon is draining for shutdown.", drainVal)
 	gauge("rebudgetd_sessions_live", "Sessions currently resident.", float64(len(sessions)))
+	gauge("rebudgetd_sessions_parked", "Resident sessions currently hibernating (no goroutine, engine collapsed to a snapshot).", float64(parked))
 	counter("rebudgetd_sessions_created_total", "Sessions ever created.", float64(m.sessionsCreated.Load()))
+	counter("rebudgetd_sessions_parked_total", "Sessions ever hibernated by the park sweep.", float64(m.parked.Load()))
+	counter("rebudgetd_sessions_unparked_total", "Hibernated sessions woken by a touch.", float64(m.unparked.Load()))
 	labelled("rebudgetd_sessions_evicted_total", "Sessions removed, by reason.", "counter", &m.evicted)
 	counter("rebudgetd_epochs_served_total", "Allocation epochs stepped across all sessions.", float64(m.epochsServed.Load()))
 	counter("rebudgetd_ticker_epochs_dropped_total", "Ticker epochs dropped under dispatcher backpressure.", float64(m.tickerDropped.Load()))
@@ -210,17 +304,22 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	if gov != nil {
 		rows, epochs := gov.metricsSnapshot()
 		counter("rebudgetd_tenant_rebalance_epochs_total", "Tenant-tree rebalance epochs run.", float64(epochs))
-		tg := func(name, help string, value func(tenantMetric) float64) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		tenantSeries := func(name, help, typ string, value func(tenantMetric) float64) {
+			e.header(name, help, typ)
 			for _, row := range rows {
-				fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, row.Path, fmtFloat(value(row)))
+				e.str(name)
+				e.str("{tenant=")
+				e.quoted(row.Path)
+				e.str("} ")
+				e.float(value(row))
+				e.byte('\n')
 			}
 		}
+		tg := func(name, help string, value func(tenantMetric) float64) {
+			tenantSeries(name, help, "gauge", value)
+		}
 		tc := func(name, help string, value func(tenantMetric) float64) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-			for _, row := range rows {
-				fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, row.Path, fmtFloat(value(row)))
-			}
+			tenantSeries(name, help, "counter", value)
 		}
 		tg("rebudgetd_tenant_deserved_cost", "Deserved budget (cost units): the tenant's static entitlement.",
 			func(r tenantMetric) float64 { return r.Deserved })
@@ -257,9 +356,13 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 				bySessTenant[t]++
 			}
 		}
-		fmt.Fprintf(w, "# HELP rebudgetd_tenant_sessions Resident sessions per tenant.\n# TYPE rebudgetd_tenant_sessions gauge\n")
+		e.header("rebudgetd_tenant_sessions", "Resident sessions per tenant.", "gauge")
 		for _, row := range rows {
-			fmt.Fprintf(w, "rebudgetd_tenant_sessions{tenant=%q} %d\n", row.Path, bySessTenant[row.Path])
+			e.str("rebudgetd_tenant_sessions{tenant=")
+			e.quoted(row.Path)
+			e.str("} ")
+			e.int(int64(bySessTenant[row.Path]))
+			e.byte('\n')
 		}
 	}
 
@@ -271,39 +374,148 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 	counter("rebudgetd_equilibrium_wall_seconds_total", "Wall time spent inside equilibrium computations.", eq.Wall.Seconds())
 
 	// Request accounting.
-	fmt.Fprintf(w, "# HELP rebudgetd_requests_total HTTP requests served, by route and status code.\n# TYPE rebudgetd_requests_total counter\n")
+	e.header("rebudgetd_requests_total", "HTTP requests served, by route and status code.", "counter")
 	reqLabels, reqCounts := m.requests.snapshot()
 	for i, l := range reqLabels {
-		fmt.Fprintf(w, "rebudgetd_requests_total{%s} %d\n", l, reqCounts[i])
+		e.str("rebudgetd_requests_total{")
+		e.str(l)
+		e.str("} ")
+		e.int(reqCounts[i])
+		e.byte('\n')
 	}
-	fmt.Fprintf(w, "# HELP rebudgetd_request_seconds HTTP request latency.\n# TYPE rebudgetd_request_seconds histogram\n")
+	e.header("rebudgetd_request_seconds", "HTTP request latency.", "histogram")
 	for i, ub := range latencyBuckets {
-		fmt.Fprintf(w, "rebudgetd_request_seconds_bucket{le=%q} %d\n", fmtFloat(ub), m.latBkt[i].Load())
+		e.str("rebudgetd_request_seconds_bucket{le=\"")
+		e.float(ub)
+		e.str("\"} ")
+		e.int(m.latBkt[i].Load())
+		e.byte('\n')
 	}
-	fmt.Fprintf(w, "rebudgetd_request_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
-	fmt.Fprintf(w, "rebudgetd_request_seconds_sum %s\n", fmtFloat(m.latSum.load()))
-	fmt.Fprintf(w, "rebudgetd_request_seconds_count %d\n", m.latCount.Load())
+	e.str("rebudgetd_request_seconds_bucket{le=\"+Inf\"} ")
+	e.int(m.latCount.Load())
+	e.byte('\n')
+	e.str("rebudgetd_request_seconds_sum ")
+	e.float(m.latSum.load())
+	e.byte('\n')
+	e.str("rebudgetd_request_seconds_count ")
+	e.int(m.latCount.Load())
+	e.byte('\n')
 
-	// Degradation FSM: population counts per state, plus per-session detail.
+	// Degradation FSM: population counts per state.
 	byState := map[metrics.HealthState]int{}
 	for _, s := range sessions {
 		byState[s.Health()]++
 	}
-	fmt.Fprintf(w, "# HELP rebudgetd_sessions_by_state Sessions per degradation-FSM state.\n# TYPE rebudgetd_sessions_by_state gauge\n")
+	e.header("rebudgetd_sessions_by_state", "Sessions per degradation-FSM state.", "gauge")
 	for _, st := range []metrics.HealthState{metrics.Healthy, metrics.Degraded, metrics.Recovering} {
-		fmt.Fprintf(w, "rebudgetd_sessions_by_state{state=%q} %d\n", st.String(), byState[st])
+		e.str("rebudgetd_sessions_by_state{state=")
+		e.quoted(st.String())
+		e.str("} ")
+		e.int(int64(byState[st]))
+		e.byte('\n')
 	}
-	fmt.Fprintf(w, "# HELP rebudgetd_session_epochs Epochs served, per live session.\n# TYPE rebudgetd_session_epochs gauge\n")
-	for _, s := range sessions {
-		fmt.Fprintf(w, "rebudgetd_session_epochs{id=%q} %d\n", s.id, s.Epochs())
+
+	// Per-epoch cost estimates as a bounded distribution snapshot plus the
+	// K most expensive sessions — what replaced the O(sessions) per-id
+	// gauge. (A gauge histogram: recomputed from the live population each
+	// scrape, not cumulative.)
+	m.renderCostProfile(e, sessions)
+
+	if perSession {
+		m.renderPerSession(e, sessions)
 	}
-	fmt.Fprintf(w, "# HELP rebudgetd_session_health Degradation-FSM state, per live session (1 = current state).\n# TYPE rebudgetd_session_health gauge\n")
+}
+
+// renderCostProfile emits the cost histogram and top-K offender series.
+func (m *srvMetrics) renderCostProfile(e *expo, sessions []*session) {
+	counts := make([]int64, len(costBuckets)+1) // +Inf tail
+	var sum float64
+	top := make([]*session, 0, costTopK)
+	topCost := make([]float64, 0, costTopK)
 	for _, s := range sessions {
-		fmt.Fprintf(w, "rebudgetd_session_health{id=%q,state=%q} 1\n", s.id, s.Health().String())
+		c := s.costEstimate()
+		sum += c
+		i := sort.SearchFloat64s(costBuckets, c)
+		counts[i]++
+		// Bounded insertion into the descending offender list — K is 5, a
+		// linear scan beats cleverness.
+		if len(top) < costTopK || c > topCost[len(topCost)-1] {
+			ins := len(top)
+			for j, tc := range topCost {
+				if c > tc {
+					ins = j
+					break
+				}
+			}
+			if len(top) < costTopK {
+				top = append(top, nil)
+				topCost = append(topCost, 0)
+			}
+			copy(top[ins+1:], top[ins:])
+			copy(topCost[ins+1:], topCost[ins:])
+			top[ins] = s
+			topCost[ins] = c
+		}
 	}
-	fmt.Fprintf(w, "# HELP rebudgetd_session_epoch_cost EWMA admission-cost estimate (cost units per epoch), per live session.\n# TYPE rebudgetd_session_epoch_cost gauge\n")
+	e.header("rebudgetd_session_epoch_cost", "Distribution of per-epoch EWMA cost estimates across live sessions (recomputed each scrape).", "histogram")
+	cum := int64(0)
+	for i, ub := range costBuckets {
+		cum += counts[i]
+		e.str("rebudgetd_session_epoch_cost_bucket{le=\"")
+		e.float(ub)
+		e.str("\"} ")
+		e.int(cum)
+		e.byte('\n')
+	}
+	cum += counts[len(costBuckets)]
+	e.str("rebudgetd_session_epoch_cost_bucket{le=\"+Inf\"} ")
+	e.int(cum)
+	e.byte('\n')
+	e.str("rebudgetd_session_epoch_cost_sum ")
+	e.float(sum)
+	e.byte('\n')
+	e.str("rebudgetd_session_epoch_cost_count ")
+	e.int(int64(len(sessions)))
+	e.byte('\n')
+
+	e.header("rebudgetd_session_cost_topk", "The K most expensive live sessions by per-epoch cost estimate (bounded cardinality; rank 1 = costliest).", "gauge")
+	for i, s := range top {
+		e.str("rebudgetd_session_cost_topk{rank=\"")
+		e.int(int64(i + 1))
+		e.str("\",session=")
+		e.quoted(s.id)
+		e.str("} ")
+		e.float(topCost[i])
+		e.byte('\n')
+	}
+}
+
+// renderPerSession emits the unbounded per-session-id debug series — one or
+// more lines per resident session, gated behind Config.PerSessionMetrics.
+func (m *srvMetrics) renderPerSession(e *expo, sessions []*session) {
+	e.header("rebudgetd_session_epochs", "Epochs served, per live session.", "gauge")
 	for _, s := range sessions {
-		fmt.Fprintf(w, "rebudgetd_session_epoch_cost{id=%q} %s\n", s.id, fmtFloat(s.costEstimate()))
+		e.str("rebudgetd_session_epochs{id=")
+		e.quoted(s.id)
+		e.str("} ")
+		e.int(s.Epochs())
+		e.byte('\n')
+	}
+	e.header("rebudgetd_session_health", "Degradation-FSM state, per live session (1 = current state).", "gauge")
+	for _, s := range sessions {
+		e.str("rebudgetd_session_health{id=")
+		e.quoted(s.id)
+		e.str(",state=")
+		e.quoted(s.Health().String())
+		e.str("} 1\n")
+	}
+	e.header("rebudgetd_session_epoch_cost_per_id", "EWMA admission-cost estimate (cost units per epoch), per live session.", "gauge")
+	for _, s := range sessions {
+		e.str("rebudgetd_session_epoch_cost_per_id{id=")
+		e.quoted(s.id)
+		e.str("} ")
+		e.float(s.costEstimate())
+		e.byte('\n')
 	}
 	// Rate-limit bucket fill, per live session (only when buckets are armed).
 	now := time.Now()
@@ -314,10 +526,14 @@ func (m *srvMetrics) render(w io.Writer, sessions []*session, disp *dispatcher,
 			continue
 		}
 		if !wroteHeader {
-			fmt.Fprintf(w, "# HELP rebudgetd_session_tokens Rate-limit tokens currently available, per live session.\n# TYPE rebudgetd_session_tokens gauge\n")
+			e.header("rebudgetd_session_tokens", "Rate-limit tokens currently available, per live session.", "gauge")
 			wroteHeader = true
 		}
-		fmt.Fprintf(w, "rebudgetd_session_tokens{id=%q} %s\n", s.id, fmtFloat(level))
+		e.str("rebudgetd_session_tokens{id=")
+		e.quoted(s.id)
+		e.str("} ")
+		e.float(level)
+		e.byte('\n')
 	}
 }
 

@@ -14,7 +14,9 @@ import (
 // with a Retry-After hint, the bucket refills with wall-clock time, and the
 // bucket level is visible on /metrics.
 func TestSessionRateLimit(t *testing.T) {
-	_, c, _ := startDaemonWith(t, server.Config{SessionRPS: 2, SessionBurst: 2})
+	// PerSessionMetrics arms the per-id token gauge this test reads; the
+	// default exposition keeps cardinality bounded.
+	_, c, _ := startDaemonWith(t, server.Config{SessionRPS: 2, SessionBurst: 2, PerSessionMetrics: true})
 	ctx := context.Background()
 	if _, err := c.CreateSession(ctx, server.SessionSpec{
 		ID: "rl", Workload: server.WorkloadSpec{Fig3: true}, Mechanism: "equalshare",

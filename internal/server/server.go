@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,9 +21,41 @@ type Config struct {
 	// MaxSessions caps resident sessions; the LRU session is evicted to
 	// admit a new one past the cap (default 128).
 	MaxSessions int
+	// StoreSegments stripes the session registry's lock: ids hash onto this
+	// many independently locked LRU segments (rounded up to a power of two).
+	// 0 auto-sizes from MaxSessions (one segment per 64 sessions, max 64);
+	// 1 is the pre-density single-mutex layout with exact global LRU
+	// eviction order. With more segments, capacity eviction is per-segment.
+	StoreSegments int
 	// IdleTTL evicts sessions untouched by any client for this long
 	// (default 10m; <0 disables).
 	IdleTTL time.Duration
+	// ParkAfter hibernates sessions untouched by any client for this long
+	// but not yet idle enough to evict: the loop goroutine exits, the
+	// engine collapses into an in-memory snapshot, and the next touch
+	// rebuilds it warm (bit-identical, via the rehydrate machinery). Ticker
+	// sessions never park — they are active by definition. Default 5m;
+	// <0 disables. Parking is what lets 100k resident-but-idle sessions
+	// cost ~0 goroutines.
+	ParkAfter time.Duration
+	// DisableTickerWheel reverts ticker-driven sessions (TickerMillis > 0)
+	// to one time.Ticker per session loop — the pre-density behaviour, kept
+	// for exact tick-period semantics. By default ticker epochs are driven
+	// by one shared coarse timer wheel (see WheelGranularity).
+	DisableTickerWheel bool
+	// WheelGranularity is the shared timer wheel's tick (default 20ms).
+	// Ticker periods are quantised up to it.
+	WheelGranularity time.Duration
+	// PerSessionMetrics re-enables the unbounded per-session-id /metrics
+	// series (rebudgetd_session_epochs{id}, _health{id}, _epoch_cost{id},
+	// _tokens{id}) for debugging. Off by default: at density those series
+	// dominate scrape cost, so the exposition carries a bounded cost
+	// histogram + top-K offenders instead.
+	PerSessionMetrics bool
+	// APIKey, when set, requires `Authorization: Bearer <key>` on every
+	// mutating endpoint (create/epoch/evict/telemetry/delete). Reads —
+	// /healthz, /metrics, session GETs — stay open for probes and scrapes.
+	APIKey string
 	// Workers bounds allocation work in flight across all sessions
 	// (default GOMAXPROCS).
 	Workers int
@@ -94,6 +127,12 @@ func (c Config) withDefaults() Config {
 	if c.IdleTTL == 0 {
 		c.IdleTTL = 10 * time.Minute
 	}
+	if c.ParkAfter == 0 {
+		c.ParkAfter = 5 * time.Minute
+	}
+	if c.WheelGranularity <= 0 {
+		c.WheelGranularity = 20 * time.Millisecond
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -139,6 +178,7 @@ type Server struct {
 	disp  *dispatcher
 	gov   *tenantGovernor // nil unless Config.Tenancy is set
 	met   *srvMetrics
+	wheel *timerWheel // nil when Config.DisableTickerWheel
 	mux   *http.ServeMux
 
 	started  time.Time
@@ -163,13 +203,16 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		log:         cfg.Logger,
-		store:       newStore(cfg.MaxSessions, cfg.IdleTTL),
+		store:       newStore(cfg.MaxSessions, cfg.IdleTTL, cfg.StoreSegments),
 		disp:        newDispatcher(capacity, cfg.MaxWaiting, maxQueued),
 		met:         &srvMetrics{},
 		mux:         http.NewServeMux(),
 		started:     time.Now(),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	if !cfg.DisableTickerWheel {
+		s.wheel = newTimerWheel(cfg.WheelGranularity)
 	}
 	if cfg.Tenancy != nil {
 		gov, err := newTenantGovernor(*cfg.Tenancy, capacity, s.log)
@@ -196,9 +239,35 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// Handler returns the daemon's HTTP handler (logging + metrics wrapped).
+// Handler returns the daemon's HTTP handler (logging + metrics wrapped,
+// API-key auth when configured).
 func (s *Server) Handler() http.Handler {
-	return s.instrument(s.mux)
+	return s.instrument(s.authenticate(s.mux))
+}
+
+// authenticate guards mutating endpoints with a bearer API key when
+// Config.APIKey is set. Reads stay open: health probes, scrapes, and view
+// GETs carry no state-changing power, and the router's probe loop must work
+// without credentials. The comparison is constant-time; a miss is a 401
+// counted under rejected{reason="auth"}.
+func (s *Server) authenticate(next http.Handler) http.Handler {
+	if s.cfg.APIKey == "" {
+		return next
+	}
+	expect := []byte("Bearer " + s.cfg.APIKey)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, expect) != 1 {
+			s.met.rejected.inc(`reason="auth"`)
+			writeErr(w, http.StatusUnauthorized, "missing or invalid API key")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // StartDrain flips the daemon into drain mode: /healthz reports 503 so load
@@ -228,6 +297,9 @@ func (s *Server) Close() {
 	}
 	for _, sess := range s.store.drain() {
 		s.retire(sess, "drain")
+	}
+	if s.wheel != nil {
+		s.wheel.close()
 	}
 }
 
@@ -301,18 +373,27 @@ func (s *Server) buildEngine(spec SessionSpec, snap *SessionSnapshot, est *costE
 // the served-epoch counter (nonzero only on rehydrate).
 func (s *Server) newSession(id string, spec SessionSpec, eng engine, est *costEstimator, epochs int64) *session {
 	return newSession(id, spec, eng, est, s.cfg.Admission == AdmissionCost,
-		s.disp, s.met, s.cfg.MailboxDepth,
+		s.disp, s.met, s.wheel, s.cfg.MailboxDepth,
 		s.cfg.SessionRPS, s.cfg.SessionBurst, epochs, time.Now())
 }
 
-// janitor sweeps idle sessions on a fraction of the TTL.
+// janitor sweeps idle sessions (TTL eviction) and parks idle-but-resident
+// ones (hibernation) on a fraction of whichever deadline is shorter.
 func (s *Server) janitor() {
 	defer close(s.janitorDone)
-	if s.cfg.IdleTTL <= 0 {
+	var period time.Duration
+	if ttl := s.cfg.IdleTTL; ttl > 0 {
+		period = ttl / 4
+	}
+	if pa := s.cfg.ParkAfter; pa > 0 {
+		if p := pa / 2; period == 0 || p < period {
+			period = p
+		}
+	}
+	if period == 0 {
 		<-s.janitorStop
 		return
 	}
-	period := s.cfg.IdleTTL / 4
 	if period < time.Second {
 		period = time.Second
 	}
@@ -327,8 +408,61 @@ func (s *Server) janitor() {
 				s.retire(sess, "idle")
 				s.log.Info("session evicted", "id", sess.id, "reason", "idle")
 			}
+			s.parkSweep(now)
 		}
 	}
+}
+
+// parkSweep hibernates sessions idle past ParkAfter but not yet TTL-evicted.
+// Ticker sessions are exempt — they self-drive epochs and are never idle by
+// design; bound them with rate limits, not hibernation. park() re-checks
+// freshness under the lifecycle lock, so a touch racing the sweep wins.
+func (s *Server) parkSweep(now time.Time) {
+	pa := s.cfg.ParkAfter
+	if pa <= 0 {
+		return
+	}
+	for _, sess := range s.store.idleCandidates(now, pa) {
+		if sess.isParked() || sess.tick > 0 {
+			continue
+		}
+		if sess.park(now, pa) {
+			s.met.parked.Add(1)
+			s.log.Info("session parked", "id", sess.id)
+		}
+	}
+}
+
+// ensureRunning wakes a hibernating session: rebuild the engine from the
+// in-memory snapshot (the same restore path rehydrate uses, so outputs are
+// bit-identical to an uninterrupted run) and restart the loop. Engine
+// rebuild is allocation-grade work — it competes for dispatcher capacity at
+// the session's measured cost, like rehydrate. No-op for running sessions.
+func (s *Server) ensureRunning(ctx context.Context, sess *session) error {
+	if !sess.isParked() {
+		return nil
+	}
+	sess.lifeMu.Lock()
+	defer sess.lifeMu.Unlock()
+	switch sess.state {
+	case stateRunning:
+		return nil
+	case stateClosed:
+		return errSessionClosed
+	}
+	lease, err := s.disp.acquire(ctx, s.admissionCost(sess.cost.epochCost()))
+	if err != nil {
+		return err
+	}
+	eng, err := s.buildEngine(sess.hib.Spec, sess.hib, sess.cost)
+	lease.release()
+	if err != nil {
+		return fmt.Errorf("unpark %q: %w", sess.id, err)
+	}
+	sess.resume(eng)
+	s.met.unparked.Add(1)
+	s.log.Info("session unparked", "id", sess.id)
+	return nil
 }
 
 // --- HTTP plumbing ---
@@ -589,6 +723,27 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 	return sess
 }
 
+// lookupRunning is lookup for endpoints that need the engine loop (epoch,
+// telemetry, result): a hibernating session is woken first. Pure reads
+// (handleGet, list) stay on lookup — they serve the cached view without
+// paying an engine rebuild.
+func (s *Server) lookupRunning(w http.ResponseWriter, r *http.Request) *session {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return nil
+	}
+	if sess.isParked() {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		err := s.ensureRunning(ctx, sess)
+		cancel()
+		if err != nil {
+			s.replyError(w, err)
+			return nil
+		}
+	}
+	return sess
+}
+
 // rehydrate rebuilds a non-resident session from its snapshot, if the
 // configured store holds a usable one. On any failure it writes the HTTP
 // error and returns nil; an unusable (corrupt, truncated, wrong-version)
@@ -724,7 +879,7 @@ type epochBody struct {
 }
 
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(w, r)
+	sess := s.lookupRunning(w, r)
 	if sess == nil {
 		return
 	}
@@ -796,7 +951,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(w, r)
+	sess := s.lookupRunning(w, r)
 	if sess == nil {
 		return
 	}
@@ -816,7 +971,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(w, r)
+	sess := s.lookupRunning(w, r)
 	if sess == nil {
 		return
 	}
@@ -853,5 +1008,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.store.list(), s.disp, s.gov, s.draining.Load(), time.Since(s.started))
+	s.met.render(w, s.store.list(), s.disp, s.gov, s.draining.Load(),
+		s.cfg.PerSessionMetrics, time.Since(s.started))
 }

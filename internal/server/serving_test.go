@@ -343,3 +343,76 @@ func TestConcurrentCreateTickEvict(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDensityOffConfigBitIdentical pins the escape hatch for the density
+// machinery: a daemon with striping collapsed to one segment, the timer
+// wheel disabled and hibernation off (the pre-density configuration) emits
+// exactly the offline allocator outputs — and so does the default density
+// configuration, proving striping/wheel/parking change scheduling, never
+// arithmetic.
+func TestDensityOffConfigBitIdentical(t *testing.T) {
+	const epochs = 4
+	configs := []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"density-off", server.Config{StoreSegments: 1, DisableTickerWheel: true, ParkAfter: -1}},
+		{"density-default", server.Config{}},
+	}
+	want := offlineEpochs(t, core.ReBudget{Step: 0.05}, epochs, true)
+	ctx := context.Background()
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			_, c := startDaemon(t, tc.cfg)
+			v, err := c.CreateSession(ctx, server.SessionSpec{
+				ID:        "pin",
+				Workload:  server.WorkloadSpec{Fig3: true},
+				Mechanism: "rebudget-0.05",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < epochs; e++ {
+				v, err = c.StepEpoch(ctx, v.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(v.Alloc.Allocations, want[e]) {
+					t.Fatalf("%s: epoch %d diverged from offline run:\ndaemon  %v\noffline %v",
+						tc.name, e, v.Alloc.Allocations, want[e])
+				}
+			}
+		})
+	}
+}
+
+// TestClientAPIKeyRoundTrip: the typed client's WithAPIKey speaks the
+// daemon's bearer scheme end to end; a keyless client is refused on
+// mutations but can still read.
+func TestClientAPIKeyRoundTrip(t *testing.T) {
+	srv := server.New(server.Config{APIKey: "hunter2",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	ctx := context.Background()
+	spec := server.SessionSpec{ID: "keyed", Workload: server.WorkloadSpec{Fig3: true}, Mechanism: "equalshare"}
+
+	bare := client.New(ts.URL)
+	if _, err := bare.CreateSession(ctx, spec); err == nil {
+		t.Fatal("keyless create succeeded against a keyed daemon")
+	} else if ae, ok := err.(*client.APIError); !ok || ae.Status != 401 {
+		t.Fatalf("keyless create: want 401 APIError, got %v", err)
+	}
+
+	keyed := client.New(ts.URL, client.WithAPIKey("hunter2"))
+	if _, err := keyed.CreateSession(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := keyed.StepEpoch(ctx, "keyed"); err != nil {
+		t.Fatal(err)
+	}
+	// Reads stay open for the keyless client.
+	if _, err := bare.GetSession(ctx, "keyed"); err != nil {
+		t.Fatalf("keyless read: %v", err)
+	}
+}

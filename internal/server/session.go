@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rebudget/internal/metrics"
@@ -36,6 +37,9 @@ const (
 	reqEpoch = iota
 	reqTelemetry
 	reqResult
+	// reqTick is a timer-wheel nudge: run one ticker epoch. It carries no
+	// reply channel — the wheel never waits.
+	reqTick
 )
 
 type request struct {
@@ -44,6 +48,10 @@ type request struct {
 	tele   TelemetrySpec // reqTelemetry payload
 	reply  chan response // buffered(1); the loop never blocks replying
 }
+
+// wheelTick is the shared timer-wheel nudge: immutable, reply-less, safe to
+// enqueue into any number of mailboxes at once.
+var wheelTick = &request{kind: reqTick}
 
 type response struct {
 	view   SessionView
@@ -60,9 +68,26 @@ var (
 	errMailboxFull = errors.New("session mailbox full")
 )
 
+// Session lifecycle states, guarded by lifeMu. Running sessions own a loop
+// goroutine; parked (hibernated) sessions own nothing but an in-memory
+// snapshot — the server's unpark path rebuilds the engine and loop on the
+// next touch; closed is terminal.
+const (
+	stateRunning = iota
+	stateParked
+	stateClosed
+)
+
 // session owns one engine behind a bounded mailbox served by a dedicated
 // goroutine — the concurrency unit of the daemon. All engine access is
 // serialised through the loop; handlers read the cached view under mu.
+//
+// A session can hibernate: park() snapshots the engine into memory, drops
+// it, and lets the loop goroutine exit, so an idle resident session costs a
+// struct and a snapshot instead of an engine, a goroutine and a timer. The
+// stop/done channels are per-run — resume() makes fresh ones — and the
+// engine-rebuild half of unparking lives in the server, which owns engine
+// construction.
 type session struct {
 	id        string
 	mode      string
@@ -71,7 +96,7 @@ type session struct {
 	created   time.Time
 	spec      SessionSpec // retained for snapshots
 
-	eng  engine
+	eng  engine // nil while parked; guarded by the lifecycle, not a mutex
 	disp *dispatcher
 	met  *srvMetrics
 
@@ -81,10 +106,19 @@ type session struct {
 	cost     *costEstimator
 	weighted bool
 
-	reqs     chan *request
+	// wheel, when non-nil, drives ticker epochs for this session (tick > 0)
+	// instead of a per-session time.Ticker in the loop.
+	wheel *timerWheel
+	tick  time.Duration
+
+	reqs chan *request
+
+	lifeMu   sync.Mutex  // guards state, stop, done, hib, eng swaps
+	state    int
 	stop     chan struct{}
 	done     chan struct{}
-	stopOnce sync.Once
+	hib      *SessionSnapshot // in-memory hibernation snapshot while parked
+	parkedFl atomic.Bool      // mirror of state == stateParked, for lock-free reads
 
 	mu       sync.Mutex
 	lastUsed time.Time
@@ -103,11 +137,12 @@ type session struct {
 }
 
 // newSession wraps an engine and starts its loop. tick > 0 additionally
-// drives epochs from a server-side ticker at that period. rps > 0 arms the
+// drives epochs from the shared timer wheel when one is given, else from a
+// per-session server-side ticker at that period. rps > 0 arms the
 // per-session token bucket (burst tokens available immediately).
 func newSession(id string, spec SessionSpec, eng engine, est *costEstimator,
-	weighted bool, disp *dispatcher, met *srvMetrics, mailbox int,
-	rps, burst float64, epochs int64, now time.Time) *session {
+	weighted bool, disp *dispatcher, met *srvMetrics, wheel *timerWheel,
+	mailbox int, rps, burst float64, epochs int64, now time.Time) *session {
 	if est == nil {
 		est = newCostEstimator(eng.cores())
 	}
@@ -123,6 +158,8 @@ func newSession(id string, spec SessionSpec, eng engine, est *costEstimator,
 		met:       met,
 		cost:      est,
 		weighted:  weighted,
+		wheel:     wheel,
+		tick:      time.Duration(spec.TickerMillis) * time.Millisecond,
 		reqs:      make(chan *request, mailbox),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -135,7 +172,10 @@ func newSession(id string, spec SessionSpec, eng engine, est *costEstimator,
 		tokenStamp:   now,
 	}
 	s.refresh("")
-	go s.loop(time.Duration(spec.TickerMillis) * time.Millisecond)
+	if s.wheel != nil && s.tick > 0 {
+		s.wheel.schedule(s, s.tick)
+	}
+	go s.loop(s.tick, s.stop, s.done)
 	return s
 }
 
@@ -193,9 +233,20 @@ func (s *session) tokenLevel(now time.Time) float64 {
 }
 
 // snapshot captures the session's durable state. It must only be called
-// after close() — the loop has exited, so reading the engine off-loop is
-// safe.
+// after close() or park() — the loop has exited, so reading the engine
+// off-loop is safe. A hibernating session already holds its snapshot in
+// memory and hands that back.
 func (s *session) snapshot(now time.Time) *SessionSnapshot {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	return s.snapshotLocked(now)
+}
+
+func (s *session) snapshotLocked(now time.Time) *SessionSnapshot {
+	if s.hib != nil {
+		s.hib.SavedAt = now
+		return s.hib
+	}
 	s.mu.Lock()
 	snap := &SessionSnapshot{
 		Version:   SnapshotVersion,
@@ -212,22 +263,27 @@ func (s *session) snapshot(now time.Time) *SessionSnapshot {
 }
 
 // loop is the session goroutine: it serves mailbox requests, runs ticker
-// epochs, and on stop drains queued requests with errSessionClosed.
-func (s *session) loop(tick time.Duration) {
-	defer close(s.done)
+// epochs (its own time.Ticker only on the wheel-off path), and on stop
+// drains queued requests with errSessionClosed. The stop/done channels are
+// passed in because they are per-run: a parked session's next run gets
+// fresh ones.
+func (s *session) loop(tick time.Duration, stop, done chan struct{}) {
+	defer close(done)
 	var tickC <-chan time.Time
-	if tick > 0 {
+	if tick > 0 && s.wheel == nil {
 		t := time.NewTicker(tick)
 		defer t.Stop()
 		tickC = t.C
 	}
 	for {
 		select {
-		case <-s.stop:
+		case <-stop:
 			for {
 				select {
 				case req := <-s.reqs:
-					req.reply <- response{err: errSessionClosed}
+					if req.reply != nil {
+						req.reply <- response{err: errSessionClosed}
+					}
 				default:
 					return
 				}
@@ -253,8 +309,23 @@ func (s *session) tickEpoch() {
 	s.runEpochs(1)
 }
 
+// deliverTick is the timer wheel's fire path: a non-blocking nudge into the
+// mailbox. A full mailbox drops the tick (counted), mirroring the old
+// ticker's behaviour under backpressure; a stopped session ignores it.
+func (s *session) deliverTick() {
+	select {
+	case s.reqs <- wheelTick:
+	default:
+		s.met.tickerDropped.Add(1)
+	}
+}
+
 // handle serves one mailbox request on the loop goroutine.
 func (s *session) handle(req *request) {
+	if req.kind == reqTick {
+		s.tickEpoch()
+		return
+	}
 	var resp response
 	switch req.kind {
 	case reqEpoch:
@@ -288,8 +359,8 @@ func (s *session) runEpochs(n int) error {
 	return err
 }
 
-// refresh re-renders the cached view from the engine (loop goroutine only)
-// and publishes it under mu for concurrent readers.
+// refresh re-renders the cached view from the engine (loop goroutine only,
+// or with the loop stopped) and publishes it under mu for concurrent readers.
 func (s *session) refresh(lastErr string) {
 	v := s.eng.view()
 	h := s.eng.healthState()
@@ -314,12 +385,21 @@ func (s *session) refresh(lastErr string) {
 // enqueue submits a request to the session loop and waits for the reply,
 // respecting ctx. A full mailbox fails fast with errMailboxFull (per-session
 // backpressure) instead of queueing unboundedly. Epoch requests must already
-// hold a dispatcher slot.
+// hold a dispatcher slot, and parked sessions must be unparked first
+// (Server.ensureRunning) — a request racing a park sees errSessionClosed,
+// exactly like one racing an idle eviction.
 func (s *session) enqueue(ctx context.Context, req *request) response {
 	req.reply = make(chan response, 1)
+	s.lifeMu.Lock()
+	if s.state != stateRunning {
+		s.lifeMu.Unlock()
+		return response{err: errSessionClosed}
+	}
+	stop := s.stop
+	s.lifeMu.Unlock()
 	select {
 	case s.reqs <- req:
-	case <-s.stop:
+	case <-stop:
 		return response{err: errSessionClosed}
 	default:
 		return response{err: errMailboxFull}
@@ -355,7 +435,7 @@ func (s *session) Epochs() int64 {
 	return s.epochs
 }
 
-// touch records client activity for idle-TTL accounting.
+// touch records client activity for idle-TTL and hibernation accounting.
 func (s *session) touch(now time.Time) {
 	s.mu.Lock()
 	s.lastUsed = now
@@ -369,11 +449,71 @@ func (s *session) LastUsed() time.Time {
 	return s.lastUsed
 }
 
-// close stops the loop and waits for it to exit. Safe to call repeatedly
-// and from any goroutine.
-func (s *session) close() {
-	s.stopOnce.Do(func() { close(s.stop) })
+// isParked reports whether the session is hibernating (lock-free; the flag
+// mirrors state == stateParked).
+func (s *session) isParked() bool { return s.parkedFl.Load() }
+
+// park hibernates a running session: the loop goroutine exits, the engine's
+// durable state moves into an in-memory snapshot (the same bytes the retire
+// path would persist), and the engine is dropped for the GC. minIdle > 0
+// re-checks freshness under the lifecycle lock so a touch that raced the
+// sweep aborts the park; pass 0 to force. Reports whether the session is now
+// parked by this call.
+func (s *session) park(now time.Time, minIdle time.Duration) bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.state != stateRunning {
+		return false
+	}
+	if minIdle > 0 && now.Sub(s.LastUsed()) < minIdle {
+		return false
+	}
+	if s.wheel != nil {
+		s.wheel.remove(s)
+	}
+	close(s.stop)
 	<-s.done
+	s.hib = s.snapshotLocked(now)
+	s.eng = nil
+	s.state = stateParked
+	s.parkedFl.Store(true)
+	return true
+}
+
+// resume installs a freshly rebuilt engine on a parked session and restarts
+// its loop. Caller must hold lifeMu (Server.ensureRunning does) and have
+// restored the engine from s.hib.
+func (s *session) resume(eng engine) {
+	s.eng = eng
+	s.hib = nil
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.state = stateRunning
+	s.parkedFl.Store(false)
+	// Re-render the cached view before the loop starts — the engine is
+	// still single-owner here.
+	s.refresh("")
+	if s.wheel != nil && s.tick > 0 {
+		s.wheel.schedule(s, s.tick)
+	}
+	go s.loop(s.tick, s.stop, s.done)
+}
+
+// close stops the loop (if running) and waits for it to exit. Safe to call
+// repeatedly and from any goroutine; closing a parked session just marks it
+// terminal — there is no loop to stop.
+func (s *session) close() {
+	if s.wheel != nil {
+		s.wheel.remove(s)
+	}
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.state == stateRunning {
+		close(s.stop)
+		<-s.done
+	}
+	s.state = stateClosed
+	s.parkedFl.Store(false)
 }
 
 func errString(err error) string {

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// mailboxSession builds the minimal session a wheel fire needs: a mailbox to
+// nudge and a metrics sink for the drop counter. No engine, no loop.
+func mailboxSession(buf int) *session {
+	return &session{
+		reqs: make(chan *request, buf),
+		met:  &srvMetrics{},
+	}
+}
+
+// TestWheelFiresQuantisedPeriods: a session scheduled at a sub-granularity
+// period fires at the wheel granularity (quantised UP), repeatedly, and stops
+// firing after remove.
+func TestWheelFiresQuantisedPeriods(t *testing.T) {
+	w := newTimerWheel(5 * time.Millisecond)
+	defer w.close()
+	s := mailboxSession(64)
+	w.schedule(s, time.Millisecond) // quantised up to one 5ms tick
+	if w.size() != 1 {
+		t.Fatalf("size = %d, want 1", w.size())
+	}
+	// Re-scheduling is a no-op, not a double registration.
+	w.schedule(s, time.Hour)
+	if w.size() != 1 {
+		t.Fatalf("size after reschedule = %d, want 1", w.size())
+	}
+
+	deadline := time.After(2 * time.Second)
+	for fires := 0; fires < 3; {
+		select {
+		case req := <-s.reqs:
+			if req.kind != reqTick {
+				t.Fatalf("unexpected request kind %d in mailbox", req.kind)
+			}
+			fires++
+		case <-deadline:
+			t.Fatal("wheel did not deliver 3 ticks in 2s")
+		}
+	}
+
+	w.remove(s)
+	w.remove(s) // idempotent
+	if w.size() != 0 {
+		t.Fatalf("size after remove = %d, want 0", w.size())
+	}
+	// Drain anything already in flight, then verify silence.
+	time.Sleep(20 * time.Millisecond)
+	for len(s.reqs) > 0 {
+		<-s.reqs
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := len(s.reqs); n != 0 {
+		t.Fatalf("%d ticks delivered after remove", n)
+	}
+}
+
+// TestWheelLongPeriodRotations: a period far beyond one wheel revolution is
+// carried as a rotation count and must NOT fire within the first revolutions.
+func TestWheelLongPeriodRotations(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	defer w.close()
+	s := mailboxSession(4)
+	w.schedule(s, 10*time.Second) // ~39 revolutions of a 256ms wheel
+	time.Sleep(600 * time.Millisecond)
+	if n := len(s.reqs); n != 0 {
+		t.Fatalf("long-period entry fired %d times within two revolutions", n)
+	}
+}
+
+// TestWheelFullMailboxDropsTick: a full mailbox means the nudge is dropped
+// and counted, never blocking the wheel goroutine.
+func TestWheelFullMailboxDropsTick(t *testing.T) {
+	s := mailboxSession(1)
+	s.reqs <- &request{kind: reqTick} // fill the mailbox
+	s.deliverTick()
+	if got := s.met.tickerDropped.Load(); got != 1 {
+		t.Fatalf("tickerDropped = %d, want 1", got)
+	}
+	if n := len(s.reqs); n != 1 {
+		t.Fatalf("mailbox length %d, want 1", n)
+	}
+}

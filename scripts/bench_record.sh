@@ -11,10 +11,15 @@ BENCHTIME="${1:-10x}"
 OUT="BENCH_$(date +%Y%m%d).json"
 KEY='^(BenchmarkMarketEquilibrium8|BenchmarkMarketEquilibrium64|BenchmarkMarketEquilibrium64Serial|BenchmarkReBudget64|BenchmarkFig5Simulation|BenchmarkCacheAccess|BenchmarkChipEpoch8|BenchmarkChipEpoch64|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkServeEpoch|BenchmarkTenantRebalance|BenchmarkTenantFrontier)$'
 
+SRVKEY='^(BenchmarkStoreParallelGet|BenchmarkStoreParallelAdd|BenchmarkMetricsRender50k|BenchmarkResidentSessionBytes)$'
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench "$KEY" -benchtime "$BENCHTIME" . | tee "$RAW"
+# The density benches live in the server package. BenchmarkResidentSessionBytes
+# is a census, not a loop — one iteration is the measurement.
+go test -run '^$' -bench "$SRVKEY" -benchtime 1x ./internal/server | tee -a "$RAW"
 
 # Parse "BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  7.0 rounds/op"
 # into one JSON object per benchmark.
@@ -22,12 +27,13 @@ awk -v date="$(date +%Y-%m-%d)" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; rounds = ""
+    ns = ""; bytes = ""; allocs = ""; rounds = ""; bsession = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "rounds/op") rounds = $i
+        if ($(i+1) == "bytes/session") bsession = $i
     }
     if (count++) printf ",\n"
     printf "    {\"name\": \"%s\", \"iters\": %s", name, $2
@@ -35,6 +41,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date }
     if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     if (rounds != "") printf ", \"rounds_per_op\": %s", rounds
+    if (bsession != "") printf ", \"bytes_per_session\": %s", bsession
     printf "}"
 }
 END { print "\n  ]" }
@@ -43,6 +50,16 @@ END { print "\n  ]" }
 # Fold the newest loadgen A/B reports (written by scripts/load_ab.sh) into
 # the snapshot, so serving-tier latency trajectories ride alongside the
 # kernel numbers. Skipped when no A/B has been recorded.
+# Fold the newest density run (written by scripts/density_ab.sh) into the
+# snapshot the same way.
+if [ -f .bench/density.json ]; then
+    {
+        printf ',\n  "density": '
+        sed 's/^/  /;1s/^ *//' .bench/density.json | sed '${/^ *$/d}'
+    } >> "$OUT"
+    echo "folded density report into $OUT"
+fi
+
 if [ -f .bench/loadgen_cost.json ] && [ -f .bench/loadgen_count.json ]; then
     {
         printf ',\n  "loadgen": {\n    "cost": '

@@ -23,8 +23,9 @@
 set -u
 
 cd "$(dirname "$0")/.."
-NAMES='BenchmarkMarketEquilibrium64 BenchmarkFig5Simulation BenchmarkChipEpoch64 BenchmarkServeEpoch BenchmarkTenantRebalance'
+NAMES='BenchmarkMarketEquilibrium64 BenchmarkFig5Simulation BenchmarkChipEpoch64 BenchmarkServeEpoch BenchmarkTenantRebalance BenchmarkStoreParallelGet/segments=16 BenchmarkMetricsRender50k/default'
 BENCH='^(BenchmarkMarketEquilibrium64|BenchmarkFig5Simulation|BenchmarkChipEpoch64|BenchmarkServeEpoch|BenchmarkTenantRebalance)$'
+SRVBENCH='^(BenchmarkStoreParallelGet|BenchmarkMetricsRender50k)$'
 DIR=.bench
 BASE="$DIR/baseline.txt"
 CUR="$DIR/current.txt"
@@ -33,6 +34,12 @@ mkdir -p "$DIR"
 
 if ! go test -run '^$' -bench "$BENCH" -benchtime 5x -count 3 . > "$CUR" 2>&1; then
     echo "bench-smoke: benchmark failed to run:"
+    cat "$CUR"
+    [ "$STRICT" = "1" ] && exit 1
+    exit 0
+fi
+if ! go test -run '^$' -bench "$SRVBENCH" -benchtime 5x -count 3 ./internal/server >> "$CUR" 2>&1; then
+    echo "bench-smoke: server benchmarks failed to run:"
     cat "$CUR"
     [ "$STRICT" = "1" ] && exit 1
     exit 0

@@ -1,0 +1,128 @@
+#!/bin/sh
+# density_ab.sh — the 100k-resident density run behind the high-density
+# serving claim: a 4-shard rebudgetd tier behind rebudget-router absorbs
+# DENSITY_RESIDENT (default 100000) resident sessions with zero errors and
+# bounded 429s, keeps open-loop tick latency sane while most of the
+# population hibernates, and answers a full-population /metrics scrape
+# quickly. The loadgen report lands in .bench/density.json, plus the
+# shards' post-run parked counts and peak RSS, where
+# scripts/bench_record.sh folds it into the dated BENCH_*.json.
+#
+# This is a measurement run, not a CI gate — it takes minutes and real
+# memory. The CI-sized version is scripts/density_smoke.sh.
+#
+# Usage: scripts/density_ab.sh [duration]      (default 60s)
+#   DENSITY_RESIDENT=100000  population     (default 100000)
+#   DENSITY_RATE=500         tick arrivals/sec
+set -u
+
+cd "$(dirname "$0")/.."
+DURATION="${1:-60s}"
+RESIDENT="${DENSITY_RESIDENT:-100000}"
+RATE="${DENSITY_RATE:-500}"
+SHARDS=4
+KEY=density-ab-key
+TMP=$(mktemp -d)
+PIDS=""
+mkdir -p .bench
+
+cleanup() {
+    for p in $PIDS; do
+        kill -9 "$p" 2>/dev/null
+        wait "$p" 2>/dev/null
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "density-ab: building rebudgetd, rebudget-router and rebudget-loadgen"
+go build -o "$TMP/rebudgetd" ./cmd/rebudgetd || exit 1
+go build -o "$TMP/router" ./cmd/rebudget-router || exit 1
+go build -o "$TMP/loadgen" ./cmd/rebudget-loadgen || exit 1
+
+wait_addr() {
+    _log=$1
+    _pid=$2
+    _i=0
+    while [ $_i -lt 100 ]; do
+        _addr=$(sed -n 's/.*listening.*addr=//p' "$_log" | sed 's/ .*//' | head -1)
+        if [ -n "$_addr" ]; then echo "$_addr"; return 0; fi
+        kill -0 "$_pid" 2>/dev/null || { cat "$_log" >&2; return 1; }
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    cat "$_log" >&2
+    return 1
+}
+
+# Per-shard capacity: an even split plus headroom for ring imbalance and
+# the store's per-segment eviction (see internal/server/store.go).
+PER_SHARD=$((RESIDENT / SHARDS + RESIDENT / SHARDS / 2))
+BASES=""
+SHARD_PIDS=""
+i=0
+while [ $i -lt $SHARDS ]; do
+    "$TMP/rebudgetd" -addr 127.0.0.1:0 \
+        -max-sessions "$PER_SHARD" -idle-ttl 0 -park-after 5s -api-key "$KEY" \
+        2> "$TMP/shard$i.log" &
+    p=$!
+    PIDS="$PIDS $p"
+    SHARD_PIDS="$SHARD_PIDS $p"
+    a=$(wait_addr "$TMP/shard$i.log" "$p") || exit 1
+    BASES="$BASES${BASES:+,}http://$a"
+    i=$((i + 1))
+done
+echo "density-ab: $SHARDS shards up: $BASES"
+
+"$TMP/router" -addr 127.0.0.1:0 -backends "$BASES" -backend-api-key "$KEY" \
+    2> "$TMP/router.log" &
+RPID=$!
+PIDS="$PIDS $RPID"
+RADDR=$(wait_addr "$TMP/router.log" "$RPID") || exit 1
+echo "density-ab: router up at $RADDR, creating $RESIDENT residents"
+
+if ! "$TMP/loadgen" -target "http://$RADDR" \
+    -resident "$RESIDENT" -create-parallel 128 -working-set 2048 \
+    -rate "$RATE" -duration "$DURATION" -keep-sessions \
+    -out .bench/density.json; then
+    echo "density-ab: loadgen run failed; router log tail:"
+    tail -20 "$TMP/router.log"
+    exit 1
+fi
+
+# Post-run shard census: resident/parked populations and RSS per shard.
+sleep 8   # let the park sweep catch the now-idle working set
+TOT_LIVE=0
+TOT_PARKED=0
+TOT_RSS_KB=0
+i=0
+for p in $SHARD_PIDS; do
+    a=$(sed -n 's/.*listening.*addr=//p' "$TMP/shard$i.log" | sed 's/ .*//' | head -1)
+    live=$(curl -sf "http://$a/metrics" | awk '/^rebudgetd_sessions_live / { print int($2); exit }')
+    parked=$(curl -sf "http://$a/metrics" | awk '/^rebudgetd_sessions_parked / { print int($2); exit }')
+    rss=$(awk '/^VmRSS:/ { print $2 }' "/proc/$p/status" 2>/dev/null || echo 0)
+    echo "density-ab: shard$i live=$live parked=$parked rss=${rss}kB"
+    TOT_LIVE=$((TOT_LIVE + live))
+    TOT_PARKED=$((TOT_PARKED + parked))
+    TOT_RSS_KB=$((TOT_RSS_KB + rss))
+    i=$((i + 1))
+done
+echo "density-ab: total live=$TOT_LIVE parked=$TOT_PARKED rss=${TOT_RSS_KB}kB"
+
+# Append the shard census to the loadgen report so bench_record.sh folds
+# one self-contained object into the snapshot.
+sed '$d' .bench/density.json > "$TMP/density.json"
+{
+    cat "$TMP/density.json"
+    printf ',\n  "shards": %d,\n  "shard_live": %d,\n  "shard_parked": %d,\n  "shard_rss_kb": %d\n}\n' \
+        "$SHARDS" "$TOT_LIVE" "$TOT_PARKED" "$TOT_RSS_KB"
+} > .bench/density.json
+
+[ "$TOT_LIVE" -ge "$RESIDENT" ] || {
+    echo "density-ab: only $TOT_LIVE of $RESIDENT sessions resident"; exit 1; }
+
+ERRORS=$(tr ',' '\n' < .bench/density.json | sed -n 's/.*"errors": *//p' | head -1)
+[ "$ERRORS" = "0" ] || { echo "density-ab: $ERRORS tick errors"; exit 1; }
+
+echo "density-ab: PASS — report in .bench/density.json"
+exit 0

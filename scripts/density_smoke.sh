@@ -1,0 +1,116 @@
+#!/bin/sh
+# density_smoke.sh — high-density serving smoke test, run by
+# `make density-smoke` (and `make ci`).
+#
+# Boots one rebudgetd shard tuned for density (auto lock striping, 2s
+# hibernation deadline, API key armed) and drives it with the loadgen's
+# -resident mode at 10k sessions. Asserts:
+#   - the create flood finishes inside a bound (default 120s) with zero
+#     failures,
+#   - the measured tick window ends with zero errors,
+#   - a full-population /metrics scrape stays under 250ms and carries no
+#     per-session-id series,
+#   - after the working set goes quiet, the hibernation sweep parks the
+#     population (rebudgetd_sessions_parked reported and large).
+#
+# Size overrides for slower machines: DENSITY_RESIDENT=2000 make density-smoke
+set -u
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+PID=""
+RESIDENT="${DENSITY_RESIDENT:-10000}"
+CREATE_BOUND_S="${DENSITY_CREATE_BOUND_S:-120}"
+KEY=density-smoke-key
+
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null
+        wait "$PID" 2>/dev/null
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "density-smoke: building rebudgetd and rebudget-loadgen"
+go build -o "$TMP/rebudgetd" ./cmd/rebudgetd || exit 1
+go build -o "$TMP/loadgen" ./cmd/rebudget-loadgen || exit 1
+
+# Capacity is per-segment under striping, so give the store headroom over
+# the resident target (see internal/server/store.go).
+"$TMP/rebudgetd" -addr 127.0.0.1:0 \
+    -max-sessions $((RESIDENT + RESIDENT / 4)) \
+    -idle-ttl 0 -park-after 2s -api-key "$KEY" \
+    2> "$TMP/daemon.log" &
+PID=$!
+
+i=0
+ADDR=""
+while [ $i -lt 50 ]; do
+    ADDR=$(sed -n 's/.*rebudgetd listening.*addr=//p' "$TMP/daemon.log" | head -1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "density-smoke: daemon died before listening:"; cat "$TMP/daemon.log"
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "density-smoke: daemon never listened"; exit 1; }
+echo "density-smoke: daemon up at $ADDR, creating $RESIDENT residents"
+
+if ! "$TMP/loadgen" -target "http://$ADDR" -api-key "$KEY" \
+    -resident "$RESIDENT" -working-set 256 -rate 200 -duration 5s \
+    -keep-sessions -out "$TMP/report.json"; then
+    echo "density-smoke: loadgen run failed; daemon log tail:"
+    tail -20 "$TMP/daemon.log"
+    exit 1
+fi
+
+get() { tr ',' '\n' < "$TMP/report.json" | sed -n "s/.*\"$1\": *//p" | head -1; }
+
+CREATE=$(get create_sec)
+ERRORS=$(get errors)
+SCRAPE=$(get scrape_ms)
+echo "density-smoke: create_sec=$CREATE errors=$ERRORS scrape_ms=$SCRAPE"
+
+awk -v c="$CREATE" -v bound="$CREATE_BOUND_S" 'BEGIN { exit !(c > 0 && c < bound) }' || {
+    echo "density-smoke: create flood took ${CREATE}s (bound ${CREATE_BOUND_S}s)"; exit 1; }
+[ "$ERRORS" = "0" ] || { echo "density-smoke: $ERRORS tick errors"; exit 1; }
+awk -v s="$SCRAPE" 'BEGIN { exit !(s > 0 && s < 250) }' || {
+    echo "density-smoke: full-population scrape took ${SCRAPE}ms (bound 250ms)"; exit 1; }
+
+# The default exposition must stay bounded: no per-session-id series even
+# with the full population resident.
+curl -sf "http://$ADDR/metrics" > "$TMP/metrics.txt" || { echo "density-smoke: scrape failed"; exit 1; }
+if grep -q 'id="' "$TMP/metrics.txt"; then
+    echo "density-smoke: default /metrics leaks per-session-id series:"
+    grep 'id="' "$TMP/metrics.txt" | head -3
+    exit 1
+fi
+
+# Let the population go idle past -park-after (2s) plus a janitor period
+# (1s), then the parked gauge must cover nearly everyone.
+echo "density-smoke: waiting for the hibernation sweep"
+PARKED=0
+i=0
+while [ $i -lt 30 ]; do
+    sleep 1
+    PARKED=$(curl -sf "http://$ADDR/metrics" | awk '/^rebudgetd_sessions_parked / { print $2; exit }')
+    [ -n "$PARKED" ] || PARKED=0
+    if awk -v p="$PARKED" -v r="$RESIDENT" 'BEGIN { exit !(p >= r * 0.95) }'; then
+        break
+    fi
+    i=$((i + 1))
+done
+awk -v p="$PARKED" -v r="$RESIDENT" 'BEGIN { exit !(p >= r * 0.95) }' || {
+    echo "density-smoke: only $PARKED of $RESIDENT sessions parked"; exit 1; }
+echo "density-smoke: $PARKED/$RESIDENT sessions hibernating"
+
+# A parked resident must still wake on touch, through auth.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H "Authorization: Bearer $KEY" "http://$ADDR/v1/sessions/dn-000000/epoch")
+[ "$CODE" = "200" ] || { echo "density-smoke: wake-on-touch returned $CODE"; exit 1; }
+
+echo "density-smoke: PASS ($RESIDENT residents, scrape ${SCRAPE}ms, parked $PARKED)"
+exit 0
